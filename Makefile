@@ -1,0 +1,26 @@
+# Convenience targets for the Falcon-Down reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench demo figures clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+demo:
+	$(PYTHON) examples/attack_demo.py --n 8 --traces 10000
+
+figures:
+	$(PYTHON) examples/trace_explorer.py
+	$(PYTHON) examples/ntt_vs_fft.py
+	$(PYTHON) examples/single_trace_ntt.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

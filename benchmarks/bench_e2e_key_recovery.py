@@ -1,0 +1,34 @@
+"""E2E — Section IV's headline: full key extraction and forgery.
+
+Runs the complete pipeline against the shared victim: capture 10k traces
+per coefficient, recover every FFT(f) double via extend-and-prune DEMA,
+invert the FFT, complete the NTRU key from the public key, and forge a
+signature that the victim's genuine public key accepts.
+"""
+
+from repro.attack import full_attack
+
+
+def test_e2e_key_recovery_and_forgery(victim, benchmark):
+    sk, pk = victim
+
+    def attack():
+        return full_attack(
+            sk,
+            pk,
+            n_traces=10_000,
+            message=b"forged under the victim's public key",
+        )
+
+    report = benchmark.pedantic(attack, rounds=1, iterations=1)
+    print("\n" + report.summary())
+
+    # the paper's claim, verbatim: the entire signing key is extracted
+    # and arbitrary messages can be signed
+    assert report.key_correct
+    assert report.key_recovery.f == sk.f
+    assert report.key_recovery.g == sk.g
+    assert report.forgery_verifies
+    # mantissas and signs come straight out of the DEMA (the repair only
+    # ever touches exponents): most coefficients are exact at top-1
+    assert report.n_correct_coefficients >= report.n_coefficients // 2

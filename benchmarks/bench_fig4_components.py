@@ -1,0 +1,58 @@
+"""FIG4(a,b) — sign-bit and exponent correlation panels.
+
+Regenerates the paper's Figure 4(a) and 4(b): the differential EM attack
+on the sign bit and on the exponent addition, with the correct guess
+crossing the 99.99% confidence interval and wrong guesses dying out.
+"""
+
+import numpy as np
+
+from repro.analysis import format_ranking
+from repro.attack.sign_exp import recover_exponent, recover_sign
+
+
+def test_fig4a_sign_bit(traceset, true_parts, benchmark):
+    """Fig 4(a): the sign-bit DEMA finds the correct sign with positive
+    correlation; the wrong guess is the exact mirror image."""
+    rec = benchmark.pedantic(lambda: recover_sign(traceset), rounds=1, iterations=1)
+    assert rec.bit == true_parts["sign"]
+    # The hashed message c has non-negative coefficients, so some FFT(c)
+    # slots have constant-sign parts: one of the two multiplications may
+    # carry no sign information at all. Report the informative segment,
+    # as an attacker would.
+    best = max(rec.results, key=lambda r: float(r.corr[rec.bit].max()))
+    correct_corr = float(best.corr[rec.bit].max())
+    wrong_corr = float(best.corr[1 - rec.bit].max())
+    print(f"\nFIG4a: correct sign corr {correct_corr:+.4f}, "
+          f"mirror guess {wrong_corr:+.4f}, bound {best.threshold():.4f}")
+    # symmetric leakage (paper: "the sign-bit leakage is symmetric")
+    np.testing.assert_allclose(best.corr[0], -best.corr[1], atol=1e-12)
+    # the correct sign is significant at 10k traces
+    assert correct_corr > best.threshold()
+
+
+def test_fig4b_exponent(traceset, true_parts, attack_config, benchmark):
+    """Fig 4(b): exponent DEMA — correct guess significant; a handful of
+    structured false guesses also cross the bound (the blue traces)."""
+    rec = benchmark.pedantic(
+        lambda: recover_exponent(
+            traceset,
+            guess_range=attack_config.exponent_guesses,
+            significand=true_parts["sig"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    scores = rec.combined_scores
+    guesses = rec.guesses
+    print("\nFIG4b top guesses (combined over exponent intermediates):")
+    print(format_ranking(list(map(int, guesses)), list(scores), correct=true_parts["exp"], top=8, value_format="d"))
+    # the true exponent is at worst within the top handful (ties with
+    # structured aliases are resolved by the magnitude prior / repair)
+    order = np.argsort(-scores)
+    rank = int(np.where(guesses[order] == true_parts["exp"])[0][0])
+    assert rank < 8, f"true exponent ranked {rank}"
+    # and the per-intermediate CPA is significant for the truth
+    res = rec.results[0]
+    true_idx = int(np.where(res.guesses == true_parts["exp"])[0][0])
+    assert abs(res.corr[true_idx]).max() > res.threshold()

@@ -1,0 +1,75 @@
+"""FIG4(e-h) — correlation evolution vs number of measurements.
+
+Regenerates the paper's right-hand panels: at the leakiest sample of
+each component, the correct guess's correlation is tracked as traces
+accumulate against the shrinking 99.99% bound. The paper's shape:
+exponent and mantissa addition become significant around one thousand
+measurements; the sign bit is the most expensive at several thousand;
+everything lands within the 10k budget.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    Series,
+    ascii_plot,
+    correlation_evolution,
+    traces_to_significance,
+    write_csv,
+)
+from repro.attack.hypotheses import hyp_exp_sum, hyp_s_lo, hyp_sign, known_limbs
+
+
+def _component_evolutions(traceset, true_parts):
+    seg = traceset.segments[0]
+    layout = traceset.layout
+    y_lo, y_hi = known_limbs(seg.known_y)
+    out = {}
+
+    hyp = hyp_sign(seg.known_y)
+    out["sign"] = (
+        correlation_evolution(hyp, seg.traces[:, layout.sample_of("sign_out")],
+                              np.array([0, 1])),
+        int(true_parts["sign"]),
+    )
+    guesses = np.arange(true_parts["exp"] - 16, true_parts["exp"] + 16, dtype=np.uint64)
+    hyp = hyp_exp_sum(seg.known_y, guesses)
+    out["exponent"] = (
+        correlation_evolution(hyp, seg.traces[:, layout.sample_of("exp_sum")], guesses),
+        int(true_parts["exp"]),
+    )
+    cands = np.array([true_parts["lo"]], dtype=np.uint64)
+    hyp = hyp_s_lo(y_lo, y_hi, cands)
+    out["mantissa_add"] = (
+        correlation_evolution(hyp, seg.traces[:, layout.sample_of("s_lo")], cands),
+        int(true_parts["lo"]),
+    )
+    return out
+
+
+def test_fig4_evolution(traceset, true_parts, figures_dir, benchmark):
+    evolutions = benchmark.pedantic(
+        lambda: _component_evolutions(traceset, true_parts), rounds=1, iterations=1
+    )
+    crossings = {}
+    series = []
+    for name, (evo, correct) in evolutions.items():
+        crossings[name] = traces_to_significance(evo, correct)
+        gi = int(np.where(evo.guesses == correct)[0][0])
+        series.append(Series(name, list(evo.checkpoints), list(np.abs(evo.corr[:, gi]))))
+    series.append(Series("99.99% bound", list(evolutions["sign"][0].checkpoints),
+                         list(evolutions["sign"][0].thresholds)))
+    write_csv(str(figures_dir / "fig4_evolution.csv"), series)
+    print("\n" + ascii_plot(series, title="FIG4e-h: |corr| of the correct guess vs traces",
+                            x_label="traces", y_label="|corr|", height=14))
+    print(f"  traces to 99.99% significance: {crossings}")
+
+    # Paper shape: every component significant within the 10k budget ...
+    assert all(c is not None and c <= 10_000 for c in crossings.values()), crossings
+    # ... exponent and mantissa addition are cheap (about a thousand) ...
+    assert crossings["exponent"] <= 3_000
+    assert crossings["mantissa_add"] <= 3_000
+    # ... and the sign bit is the most expensive component.
+    assert crossings["sign"] >= crossings["exponent"]
+    assert crossings["sign"] >= crossings["mantissa_add"]
+    assert crossings["sign"] >= 2_000, "sign should need thousands of traces"

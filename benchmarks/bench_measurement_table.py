@@ -1,0 +1,98 @@
+"""TAB-MEAS — the paper's headline measurement costs.
+
+"The leakage of the correct guesses become statistically significant
+with as few as a thousand measurements when attacking the exponent and
+mantissa addition ... extracting the sign bit ... takes ... about 9k
+measurements ... Overall, the measurement for all coefficients can be
+confidently acquired with less than 10k measurements."
+
+This bench regenerates that table across several coefficients. One
+structural effect surfaces that the paper's numbers are consistent
+with: HashToPoint's c is non-centered, so some FFT(c) slots have
+heavily sign-imbalanced known operands, which starves the sign-bit
+hypothesis of variance — the sign bit is by far the most expensive
+component and, on the most imbalanced slots, may need (slightly) more
+than the 10k budget to cross the 99.99% bound even though the *bit
+itself is still ranked correctly*. Exponent and mantissa additions are
+significant within a few thousand traces on every coefficient.
+"""
+
+import numpy as np
+
+from repro.analysis import correlation_evolution, format_table, traces_to_significance
+from repro.attack.hypotheses import hyp_exp_sum, hyp_s_lo, hyp_sign, known_limbs
+from repro.attack.sign_exp import recover_sign
+
+N_COEFFS = 4
+
+
+def _component_costs(ts):
+    sig = (ts.true_secret & ((1 << 52) - 1)) | (1 << 52)
+    true = {
+        "sign": ts.true_secret >> 63,
+        "exp": (ts.true_secret >> 52) & 0x7FF,
+        "lo": sig & ((1 << 25) - 1),
+    }
+    layout = ts.layout
+    costs = {}
+    # sign: evaluate both multiplication streams, keep the informative one
+    sign_crossings = []
+    for seg in ts.segments:
+        evo = correlation_evolution(
+            hyp_sign(seg.known_y),
+            seg.traces[:, layout.sample_of("sign_out")],
+            np.array([0, 1]),
+        )
+        sign_crossings.append(traces_to_significance(evo, int(true["sign"])))
+    defined = [c for c in sign_crossings if c is not None]
+    costs["sign"] = min(defined) if defined else None
+    costs["sign_bit_ok"] = recover_sign(ts).bit == true["sign"]
+
+    seg = ts.segments[0]
+    y_lo, y_hi = known_limbs(seg.known_y)
+    guesses = np.arange(true["exp"] - 8, true["exp"] + 8, dtype=np.uint64)
+    evo = correlation_evolution(
+        hyp_exp_sum(seg.known_y, guesses), seg.traces[:, layout.sample_of("exp_sum")], guesses
+    )
+    costs["exponent"] = traces_to_significance(evo, int(true["exp"]))
+    cands = np.array([true["lo"]], dtype=np.uint64)
+    evo = correlation_evolution(
+        hyp_s_lo(y_lo, y_hi, cands), seg.traces[:, layout.sample_of("s_lo")], cands
+    )
+    costs["mantissa_add"] = traces_to_significance(evo, int(true["lo"]))
+    return costs
+
+
+def test_measurement_table(campaign, benchmark):
+    def build_table():
+        return [(j, _component_costs(campaign.capture(j))) for j in range(N_COEFFS)]
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    table = [
+        [
+            f"coeff {j}",
+            c["sign"] if c["sign"] is not None else ">10000",
+            "yes" if c["sign_bit_ok"] else "NO",
+            c["exponent"],
+            c["mantissa_add"],
+        ]
+        for j, c in rows
+    ]
+    print("\nTAB-MEAS: traces to 99.99% significance per component")
+    print(format_table(
+        ["target", "sign cost", "sign bit ok", "exponent", "mantissa add"], table
+    ))
+
+    exps = [c["exponent"] for _, c in rows]
+    mants = [c["mantissa_add"] for _, c in rows]
+    signs = [c["sign"] for _, c in rows]
+    # the cheap components converge within a few thousand measurements
+    # on every coefficient (paper: "as few as a thousand")
+    assert all(v is not None and v <= 3_000 for v in exps + mants)
+    # the sign bit is always *recovered* within the 10k budget ...
+    assert all(c["sign_bit_ok"] for _, c in rows)
+    # ... and is the most expensive component wherever it crosses
+    defined = [s for s in signs if s is not None]
+    assert defined, "no coefficient's sign crossed at all"
+    assert min(defined) >= 1_000
+    assert all(s > max(e, m) for s, e, m in zip(signs, exps, mants) if s is not None)

@@ -1,0 +1,55 @@
+"""ABL-SASCA — V-C's cited comparator: single-trace NTT key recovery.
+
+"While our attack on FFT requires around 10k traces, NTT has shown to
+be vulnerable even with a single trace [19]." This bench implements
+that comparator: belief propagation over the NTT butterfly factor graph
+with Hamming-weight priors from ONE execution recovers every input
+coefficient exactly at moderate noise, and the multi-trace fusion needs
+orders of magnitude fewer traces than the FFT DEMA at comparable
+relative noise.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.sasca import NttSasca
+
+Q = 257
+N = 16
+
+
+def test_single_trace_ntt_recovery(benchmark):
+    rng0 = np.random.default_rng(0)
+    secret = list(rng0.integers(0, Q, N))
+    model = NttSasca(n=N, q=Q)
+
+    def run():
+        rows = []
+        for sigma, budgets in ((0.5, (1,)), (1.0, (1, 8)), (2.0, (1, 30))):
+            for t in budgets:
+                rng = np.random.default_rng(7)
+                traces = model.leak_many(secret, t, sigma, rng)
+                rec, _ = model.attack(traces, sigma, iterations=25)
+                rows.append((sigma, t, int(np.sum(rec == np.array(secret) % Q))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nABL-SASCA: BP recovery of all {N} NTT inputs (q={Q})")
+    print(format_table(
+        ["noise sigma", "traces", f"coefficients recovered (of {N})"],
+        [[s, t, c] for s, t, c in rows],
+    ))
+
+    by_key = {(s, t): c for s, t, c in rows}
+    # THE claim: a single trace suffices at moderate noise
+    assert by_key[(0.5, 1)] == N
+    # fusion keeps the trace count tiny as noise grows
+    assert by_key[(1.0, 8)] == N
+    assert by_key[(2.0, 30)] == N
+    # while a single high-noise trace is not enough (no magic)
+    assert by_key[(2.0, 1)] < N
+    # Contrast (see bench_fig4_evolution): FALCON's FFT multiplication
+    # needs ~10^3-10^4 traces under the HW model at the calibrated
+    # device noise, and no single-trace recovery is possible at all —
+    # an HW sample carries <6 bits about a 2^53-point mantissa space
+    # and IEEE carries admit no low-degree modular factor graph.

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Discussion V-B: masking and hiding against the Falcon-Down attack.
+
+The paper notes no masked FALCON implementation existed and recommends
+one. This experiment runs the straightforward mantissa CPA against three
+devices — unprotected, first-order masked, and shuffle-hidden — and
+reports the correct-guess correlation against the 99.99% bound in each
+case.
+
+    python examples/countermeasure_masking.py [--traces 6000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attack.strawman import straightforward_mantissa_attack
+from repro.countermeasures import MaskingTransform, ShufflingTransform
+from repro.falcon import FalconParams, keygen
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+def run_case(sk, transform, n_traces, label):
+    camp = CaptureCampaign(
+        sk=sk,
+        n_traces=n_traces,
+        device=DeviceModel(seed=1234),
+        value_transform=transform,
+    )
+    ts = camp.capture(0)
+    sig = (ts.true_secret & ((1 << 52) - 1)) | (1 << 52)
+    true_lo = sig & ((1 << 25) - 1)
+    rng = np.random.default_rng(0)
+    guesses = np.unique(
+        np.concatenate([[true_lo], rng.integers(1, 1 << 25, 400)]).astype(np.uint64)
+    )
+    res = straightforward_mantissa_attack(ts, guesses, true_limb=true_lo)
+    corr = float(res.cpa.scores[res.cpa.guesses == true_lo][0])
+    thr = res.cpa.threshold()
+    verdict = "LEAKS (significant)" if corr > thr else "protected (below bound)"
+    print(f"  {label:<22} corr(correct guess) = {corr:+.4f}  "
+          f"99.99% bound = {thr:.4f}  -> {verdict}")
+    return corr, thr
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=6000)
+    args = parser.parse_args()
+
+    sk, _ = keygen(FalconParams.get(8), seed=b"countermeasures")
+    print(f"straightforward mantissa CPA, {args.traces} traces per device:\n")
+    plain, _ = run_case(sk, None, args.traces, "unprotected")
+    masked, _ = run_case(sk, MaskingTransform(), args.traces, "first-order masked")
+    shuffled, _ = run_case(sk, ShufflingTransform(), args.traces, "shuffled (hiding)")
+
+    print()
+    print(f"hiding attenuates the leak by ~{plain / max(shuffled, 1e-6):.1f}x "
+          f"(more traces still win);")
+    print("masking removes the first-order leak entirely — a higher-order")
+    print("attack on joint samples would be required.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Profiled attacks (paper Section V-A): templates and a numpy MLP.
+
+The paper notes its non-profiled DEMA is not the lower bound on
+measurement cost: "it is possible to extend our attack by template or
+machine-learning based profiling techniques". This example profiles a
+clone device (known key) and compares three distinguishers on starved
+trace budgets from the victim:
+
+* plain CPA (the paper's attack),
+* Gaussian templates (Chari et al.),
+* an MLP classifier trained on the profiling traces (Maghrebi-style).
+
+    python examples/profiled_attack.py [--noise 20] [--budget 150]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attack.cpa import run_cpa
+from repro.attack.hypotheses import hyp_s_lo, known_limbs
+from repro.attack.ml_profiled import ml_profile_step, ml_scores
+from repro.attack.template import profile_step, template_scores
+from repro.falcon import FalconParams, keygen
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--noise", type=float, default=20.0)
+    parser.add_argument("--budget", type=int, default=150, help="victim traces")
+    parser.add_argument("--profiling", type=int, default=5000, help="profiling traces")
+    args = parser.parse_args()
+
+    sk, _ = keygen(FalconParams.get(8), seed=b"profiled-example")
+    dev_prof = DeviceModel(noise_sigma=args.noise, samples_per_step=3, seed=41)
+    dev_atk = DeviceModel(noise_sigma=args.noise, samples_per_step=3, seed=43)
+
+    print(f"profiling a clone device: {args.profiling} traces, known key ...")
+    prof = CaptureCampaign(sk=sk, n_traces=args.profiling, device=dev_prof, seed=42).capture(0)
+    tpl = profile_step(prof, "s_lo")
+    print(f"  Gaussian templates: {len(tpl.classes)} HW classes")
+    mlp = ml_profile_step(prof, "s_lo", epochs=40, seed=3)
+    print("  MLP classifier trained (hidden=32, Adam, 40 epochs)")
+
+    print(f"\nattacking the victim with only {args.budget} traces ...")
+    atk = CaptureCampaign(sk=sk, n_traces=args.budget, device=dev_atk, seed=44).capture(0)
+    sig = (atk.true_secret & ((1 << 52) - 1)) | (1 << 52)
+    true_lo = sig & ((1 << 25) - 1)
+    rng = np.random.default_rng(5)
+    cands = np.unique(
+        np.concatenate([[true_lo], rng.integers(1, 1 << 25, 200)]).astype(np.uint64)
+    )
+    seg = atk.segments[0]
+    y_lo, y_hi = known_limbs(seg.known_y)
+    hyp = hyp_s_lo(y_lo, y_hi, cands)
+    window = seg.traces[:, atk.layout.slice_of("s_lo")]
+
+    def rank(scores):
+        order = np.argsort(-scores)
+        return int(np.where(cands[order] == true_lo)[0][0])
+
+    c_rank = rank(run_cpa(hyp, window, cands).scores)
+    t_rank = rank(template_scores(tpl, window, hyp, cands).scores)
+    m_rank = rank(ml_scores(mlp, window, hyp, cands).scores)
+
+    print(f"\nrank of the true mantissa limb among {len(cands)} candidates "
+          f"(0 = recovered):")
+    print(f"  plain CPA (paper's attack): {c_rank}")
+    print(f"  Gaussian templates:         {t_rank}")
+    print(f"  MLP classifier:             {m_rank}")
+    print("\nprofiling squeezes more out of each trace — the paper's 10k-trace")
+    print("figure is an upper bound on the real measurement cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Discussion V-C's comparator: single-trace NTT key recovery (SASCA).
+
+The paper contrasts its ~10k-trace FFT attack with NTT-based schemes
+that fall to a *single* trace. This example runs that attack: one noisy
+Hamming-weight observation of every intermediate of one NTT execution,
+fused by belief propagation over the butterfly factor graph, recovers
+all input coefficients exactly.
+
+    python examples/single_trace_ntt.py [--noise 0.5] [--traces 1]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.sasca import NttSasca
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=16, help="NTT size")
+    parser.add_argument("--q", type=int, default=257, help="toy modulus")
+    parser.add_argument("--noise", type=float, default=0.5)
+    parser.add_argument("--traces", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    secret = list(rng.integers(0, args.q, args.n))
+    model = NttSasca(n=args.n, q=args.q)
+    print(f"secret NTT input: {secret}")
+    print(f"device: HW leakage of every intermediate, noise sigma {args.noise}")
+    print(f"capturing {args.traces} execution(s) ...")
+
+    traces = model.leak_many(secret, args.traces, args.noise, rng)
+    recovered, marginals = model.attack(traces, args.noise, iterations=25)
+    truth = np.array(secret) % args.q
+    n_ok = int(np.sum(recovered == truth))
+
+    print(f"recovered       : {list(map(int, recovered))}")
+    print(f"correct         : {n_ok}/{args.n}")
+    if n_ok == args.n:
+        print(f"\nfull key recovered from {args.traces} trace(s).")
+        print("FALCON's floating-point FFT admits no such attack: a Hamming")
+        print("weight sample carries under 6 bits about a 2^53-point mantissa")
+        print("space, and IEEE-754 carries form no modular factor graph —")
+        print("hence the paper's multi-thousand-trace DEMA instead.")
+    else:
+        print("\nnot fully recovered — raise --traces or lower --noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Reproduction of "Falcon Down: Breaking Falcon Post-Quantum Signature
+Scheme through Side-Channel Attacks" (Karabulut & Aysu, DAC 2021).
+
+Packages:
+
+* :mod:`repro.falcon` — complete FALCON implementation (the victim).
+* :mod:`repro.fpr` — bit-exact emulation of FALCON's 64-bit float, with
+  the instrumented multiplication the attack targets.
+* :mod:`repro.leakage` — simulated EM acquisition (the measurement bench).
+* :mod:`repro.attack` — the paper's differential EM attack with the
+  novel extend-and-prune strategy, through full key recovery and forgery.
+* :mod:`repro.countermeasures` — masking/hiding models (Discussion V-B).
+* :mod:`repro.analysis` — confidence bounds, evolution plots, reporting.
+* :mod:`repro.math`, :mod:`repro.utils` — shared substrate.
+
+The one-line demo (Section IV at laptop scale)::
+
+    from repro import demo_attack
+    report = demo_attack(n=16, n_traces=4000)
+    print(report.summary())
+"""
+
+from repro.experiment_defaults import (
+    DEFAULT_N,
+    DEFAULT_N_TRACES,
+    PAPER_N,
+    PAPER_N_TRACES,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "demo_attack",
+    "DEFAULT_N",
+    "DEFAULT_N_TRACES",
+    "PAPER_N",
+    "PAPER_N_TRACES",
+]
+
+
+def demo_attack(n: int = DEFAULT_N, n_traces: int = DEFAULT_N_TRACES, seed: bytes = b"demo"):
+    """Generate a victim key, run the full attack, return the report."""
+    from repro.attack import full_attack
+    from repro.falcon import FalconParams, keygen
+
+    sk, pk = keygen(FalconParams.get(n), seed=seed)
+    return full_attack(sk, pk, n_traces=n_traces)

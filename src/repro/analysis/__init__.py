@@ -1,0 +1,27 @@
+"""Analysis and reporting: confidence bounds, trace-count evolution,
+ASCII/CSV rendering of the paper's figures."""
+
+from repro.analysis.confidence import confidence_bound, traces_needed_for
+from repro.analysis.evolution import correlation_evolution, traces_to_significance, EvolutionResult
+from repro.analysis.report import format_table, format_ranking
+from repro.analysis.figures import ascii_plot, write_csv, Series
+from repro.analysis.success_rate import SuccessCurve, success_curve
+from repro.analysis.key_rank import KeyRankEstimate, estimate_key_rank, exact_key_rank
+
+__all__ = [
+    "confidence_bound",
+    "traces_needed_for",
+    "correlation_evolution",
+    "traces_to_significance",
+    "EvolutionResult",
+    "format_table",
+    "format_ranking",
+    "ascii_plot",
+    "write_csv",
+    "Series",
+    "SuccessCurve",
+    "success_curve",
+    "KeyRankEstimate",
+    "estimate_key_rank",
+    "exact_key_rank",
+]

@@ -1,0 +1,27 @@
+"""Confidence bounds for correlation traces (the paper's dashed lines)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.stats import fisher_z_threshold, normal_quantile
+
+__all__ = ["confidence_bound", "traces_needed_for"]
+
+
+def confidence_bound(n_traces: int, confidence: float = 0.9999) -> float:
+    """|r| above which a correlation is significant at ``confidence``."""
+    return fisher_z_threshold(n_traces, confidence)
+
+
+def traces_needed_for(true_corr: float, confidence: float = 0.9999) -> int:
+    """Predicted measurements until ``true_corr`` crosses the bound.
+
+    Inverts the Fisher-z bound: significance needs
+    atanh(|r|) > z_alpha / sqrt(D - 3). The paper uses this framing when
+    reporting "~10k measurements suffice".
+    """
+    if not 0 < abs(true_corr) < 1:
+        raise ValueError(f"true_corr must be in (0, 1) exclusive, got {true_corr}")
+    z = normal_quantile(confidence)
+    return int(math.ceil((z / math.atanh(abs(true_corr))) ** 2 + 3))

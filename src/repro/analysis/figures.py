@@ -1,0 +1,79 @@
+"""Figure rendering without a plotting stack: CSV + ASCII line charts.
+
+The benchmark harness regenerates every figure of the paper as (a) a CSV
+file with the raw series and (b) an ASCII chart for quick inspection in
+terminals and logs.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "ascii_plot", "write_csv"]
+
+
+@dataclass
+class Series:
+    """One named line of a figure."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y")
+
+
+def write_csv(path: str, series: list[Series]) -> None:
+    """Long-format CSV: series,x,y."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "x", "y"])
+        for s in series:
+            for xv, yv in zip(s.x, s.y):
+                writer.writerow([s.name, xv, yv])
+
+
+def ascii_plot(
+    series: list[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII chart (one glyph per series)."""
+    glyphs = "*o+x#@%&"
+    xs = [v for s in series for v in s.x]
+    ys = [v for s in series for v in s.y]
+    if not xs:
+        return "(empty figure)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        g = glyphs[si % len(glyphs)]
+        for xv, yv in zip(s.x, s.y):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:+.4g}".rjust(10))
+    for row in grid:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{y_lo:+.4g}".rjust(10) + "+" + "-" * width)
+    lines.append(" " * 11 + f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width // 2))
+    if x_label or y_label:
+        lines.append(f"           x: {x_label}    y: {y_label}")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {s.name}" for i, s in enumerate(series))
+    lines.append("           " + legend)
+    return "\n".join(lines)

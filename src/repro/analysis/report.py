@@ -1,0 +1,35 @@
+"""Plain-text reporting helpers for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_ranking"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_ranking(
+    guesses: Sequence[int],
+    scores: Sequence[float],
+    correct: int | None = None,
+    top: int = 10,
+    value_format: str = "#x",
+) -> str:
+    """Best-first guess ranking with the correct guess flagged."""
+    order = sorted(range(len(scores)), key=lambda i: -scores[i])[:top]
+    rows = []
+    for rank, i in enumerate(order, start=1):
+        mark = "  <-- correct" if correct is not None and guesses[i] == correct else ""
+        rows.append(f"  {rank:3d}. {format(guesses[i], value_format):>16} corr={scores[i]:+.5f}{mark}")
+    return "\n".join(rows)

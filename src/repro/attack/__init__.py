@@ -1,0 +1,64 @@
+"""The paper's contribution: differential EM analysis of FALCON.
+
+Layered as in Section III of the paper:
+
+* :mod:`repro.attack.cpa` — the Pearson-correlation distinguisher with
+  Hamming-weight leakage estimates and 99.99% significance bounds.
+* :mod:`repro.attack.hypotheses` — vectorized predictors of the softfloat
+  intermediates for key guesses.
+* :mod:`repro.attack.strawman` — the straightforward attack on the
+  mantissa *multiplication* only; exhibits the false positives of
+  Section III-B (shift-aliased guesses tie exactly).
+* :mod:`repro.attack.ladder` — windowed LSB-to-MSB candidate extension
+  (how the 2^25 / 2^27 guess spaces are walked on a laptop).
+* :mod:`repro.attack.extend_prune` — the paper's extend-and-prune:
+  candidates from the multiplications, re-ranked on the intermediate
+  additions, which are not shift invariant.
+* :mod:`repro.attack.sign_exp` — sign-bit and exponent DEMA.
+* :mod:`repro.attack.coefficient` — assembling one 64-bit coefficient.
+* :mod:`repro.attack.key_recovery` — FFT inversion, NTRU completion,
+  and signature forgery.
+* :mod:`repro.attack.pipeline` — the end-to-end campaign driver.
+"""
+
+from repro.attack.cpa import CpaResult, run_cpa, significance_threshold
+from repro.attack.config import AttackConfig
+from repro.attack.extend_prune import recover_mantissa, MantissaRecovery
+from repro.attack.sign_exp import recover_sign, recover_exponent
+from repro.attack.coefficient import recover_coefficient, CoefficientRecovery
+from repro.attack.key_recovery import recover_f, recover_full_key, KeyRecoveryResult
+from repro.attack.pipeline import full_attack, FullAttackReport
+from repro.attack.template import build_templates, template_scores, HwTemplates
+from repro.attack.second_order import second_order_cpa, centered_product
+from repro.attack.alignment import align_traces, align_traceset
+from repro.attack.incremental import IncrementalCpa
+from repro.attack.ml_profiled import MlpClassifier, ml_profile_step, ml_scores
+
+__all__ = [
+    "CpaResult",
+    "run_cpa",
+    "significance_threshold",
+    "AttackConfig",
+    "recover_mantissa",
+    "MantissaRecovery",
+    "recover_sign",
+    "recover_exponent",
+    "recover_coefficient",
+    "CoefficientRecovery",
+    "recover_f",
+    "recover_full_key",
+    "KeyRecoveryResult",
+    "full_attack",
+    "FullAttackReport",
+    "build_templates",
+    "template_scores",
+    "HwTemplates",
+    "second_order_cpa",
+    "centered_product",
+    "align_traces",
+    "align_traceset",
+    "IncrementalCpa",
+    "MlpClassifier",
+    "ml_profile_step",
+    "ml_scores",
+]

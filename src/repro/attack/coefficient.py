@@ -1,0 +1,76 @@
+"""Assembling one full 64-bit coefficient of FFT(f).
+
+"Combined version of the separately recovered mantissa, exponent and
+sign bits represents one full coefficient" (Section III-C). The three
+component attacks run on the same TraceSet; the result is the exact fpr
+bit pattern of the targeted secret double.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.config import AttackConfig
+from repro.attack.extend_prune import MantissaRecovery, recover_mantissa
+from repro.attack.sign_exp import ExponentRecovery, SignRecovery, recover_exponent, recover_sign
+from repro.fpr import emu
+from repro.leakage.traceset import TraceSet
+
+__all__ = ["CoefficientRecovery", "recover_coefficient"]
+
+
+@dataclass
+class CoefficientRecovery:
+    """One recovered secret double, with component diagnostics."""
+
+    target_index: int
+    pattern: int                 # assembled 64-bit fpr pattern
+    sign: SignRecovery
+    exponent: ExponentRecovery
+    mantissa: MantissaRecovery
+    true_pattern: int | None = None
+
+    @property
+    def value(self) -> float:
+        return emu.fpr_to_float(self.pattern)
+
+    @property
+    def correct(self) -> bool | None:
+        if self.true_pattern is None:
+            return None
+        return self.pattern == self.true_pattern
+
+    def candidate_patterns(self, k_exponents: int = 8) -> list[int]:
+        """Plausible full patterns: best sign/mantissa x top-k exponents."""
+        return [
+            emu.compose(self.sign.bit, e, self.mantissa.mantissa_field)
+            for e in self.exponent.top_candidates(k_exponents)
+        ]
+
+
+def recover_coefficient(
+    traceset: TraceSet, config: AttackConfig | None = None
+) -> CoefficientRecovery:
+    """Run the extend-and-prune mantissa, exponent, and sign attacks.
+
+    Mantissa first: its recovered significand lets the exponent attack
+    predict the output exponent (normalization carry included) exactly.
+    """
+    cfg = config or AttackConfig()
+    mantissa = recover_mantissa(traceset, cfg)
+    exponent = recover_exponent(
+        traceset,
+        cfg.use_both_segments,
+        cfg.exponent_guesses,
+        significand=mantissa.significand,
+    )
+    sign = recover_sign(traceset, cfg.use_both_segments)
+    pattern = emu.compose(sign.bit, exponent.biased_exponent, mantissa.mantissa_field)
+    return CoefficientRecovery(
+        target_index=traceset.target_index,
+        pattern=pattern,
+        sign=sign,
+        exponent=exponent,
+        mantissa=mantissa,
+        true_pattern=traceset.true_secret,
+    )

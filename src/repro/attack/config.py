@@ -1,0 +1,41 @@
+"""Tunable parameters of the attack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AttackConfig"]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Knobs for the extend-and-prune mantissa recovery.
+
+    ``window``/``beam`` control the LSB-to-MSB candidate ladder that
+    walks the 25-bit and 27-bit limb guess spaces (the paper enumerates
+    them exhaustively on a workstation; the ladder reaches the same
+    candidates with beam * 2^window hypotheses per stage). ``prune_keep``
+    is how many multiplication-phase survivors enter the addition-phase
+    pruning.
+
+    ``exponent_guesses`` defaults to the dynamic range an FFT(f)
+    coefficient can actually take: f has small integer coefficients
+    (|f_i| <= 127), so |FFT(f)_k| lies within a few dozen octaves of 1.
+    Exponent guesses far outside that band are aliases of in-band values
+    (their HW-vs-E_y profiles differ only by a constant over the narrow
+    observed exponent window) and are excluded as physically impossible.
+    """
+
+    window: int = 5
+    beam: int = 32
+    prune_keep: int = 32
+    use_both_segments: bool = True
+    exponent_guesses: tuple[int, int] = (963, 1084)  # biased-exponent range [lo, hi)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.window <= 16:
+            raise ValueError(f"window must be in 1..16, got {self.window}")
+        if self.beam < 1:
+            raise ValueError(f"beam must be >= 1, got {self.beam}")
+        if self.prune_keep < 1:
+            raise ValueError(f"prune_keep must be >= 1, got {self.prune_keep}")

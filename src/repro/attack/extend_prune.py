@@ -1,0 +1,240 @@
+"""The paper's extend-and-prune mantissa recovery (Section III-C).
+
+Extend phase: candidates for the secret 25-bit low limb D are obtained
+by attacking the partial products D*B and D*A (via the ladder when the
+space is too large to enumerate); this is "expected to generate false
+positives" — shift aliases of D correlate identically.
+
+Prune phase: the surviving candidates are re-ranked by attacking the
+*intermediate addition* s_lo = (D*B >> 25) + D*A. Addition is not shift
+invariant ("the same coefficients 1 vs 2 generate results having
+different Hamming weights based on the other input of the addition"),
+so the false positives die and the true D wins.
+
+The same two phases then recover the 27 unknown bits of the high limb C
+(its MSB is the implicit 1), pruning on s_mid = s_lo + C*B and
+s_hi = (s_mid >> 25) + C*A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.config import AttackConfig
+from repro.attack.cpa import CpaResult, run_cpa
+from repro.attack.hypotheses import hyp_s_hi, hyp_s_lo, hyp_s_mid, known_limbs
+from repro.attack.ladder import HIGH_LIMB_STEPS, LOW_LIMB_STEPS, LadderResult, ladder_limb
+from repro.attack.strawman import shift_aliases
+from repro.fpr.trace import LOW_BITS
+from repro.leakage.traceset import TraceSet
+
+__all__ = ["MantissaRecovery", "recover_mantissa", "prune_candidates", "refine_limb"]
+
+_HIGH_MSB = 1 << 27  # implicit leading 1 of the 28-bit high limb
+
+
+def _with_shift_aliases(candidates: np.ndarray, width: int) -> np.ndarray:
+    """Union of the candidates and their full shift-alias classes.
+
+    The extend phase ranks on multiplication outputs, whose Hamming
+    weights are shift invariant — a surviving candidate may therefore be
+    the true limb shifted by a few bits (the paper's false positives).
+    Expanding each survivor to its alias class guarantees the prune
+    phase (shift-*variant* additions) sees the true value.
+    """
+    out = set()
+    for c in candidates:
+        out.update(shift_aliases(int(c), width))
+    return np.array(sorted(out), dtype=np.uint64)
+
+
+@dataclass
+class PhaseDiagnostics:
+    """Extend + prune evidence for one limb."""
+
+    ladder: LadderResult
+    prune_results: list[CpaResult]
+    prune_scores: np.ndarray
+    candidates: np.ndarray       # candidate limbs entering the prune
+    best: int
+
+
+@dataclass
+class MantissaRecovery:
+    """Recovered 53-bit significand with per-phase diagnostics."""
+
+    low_limb: int                # D, 25 bits
+    high_limb: int               # C, 28 bits (MSB = 1)
+    low: PhaseDiagnostics
+    high: PhaseDiagnostics
+
+    @property
+    def significand(self) -> int:
+        return (self.high_limb << LOW_BITS) | self.low_limb
+
+    @property
+    def mantissa_field(self) -> int:
+        """The 52-bit mantissa field (significand minus the implicit 1)."""
+        return self.significand & ((1 << 52) - 1)
+
+
+def prune_candidates(
+    traceset: TraceSet,
+    candidates: np.ndarray,
+    hyp_builders: list,
+    step_labels: list[str],
+    use_both: bool,
+) -> tuple[np.ndarray, list[CpaResult]]:
+    """Rank limb candidates by CPA on the intermediate additions.
+
+    ``hyp_builders[i](y_lo, y_hi, candidates)`` predicts the addition
+    value attacked at ``step_labels[i]``. Scores sum over segments and
+    addition steps.
+    """
+    layout = traceset.layout
+    segments = traceset.segments if use_both else traceset.segments[:1]
+    total = np.zeros(len(candidates), dtype=np.float64)
+    results: list[CpaResult] = []
+    for seg in segments:
+        y_lo, y_hi = known_limbs(seg.known_y)
+        for builder, label in zip(hyp_builders, step_labels):
+            hyp = builder(y_lo, y_hi, candidates)
+            res = run_cpa(hyp, seg.traces[:, layout.slice_of(label)], candidates)
+            results.append(res)
+            total += res.scores
+    return total, results
+
+
+def refine_limb(
+    traceset: TraceSet,
+    initial: int,
+    total_bits: int,
+    hyp_builders: list,
+    step_labels: list[str],
+    use_both: bool,
+    fixed: int = 0,
+    window: int = 6,
+    stride: int = 3,
+    max_rounds: int = 16,
+) -> tuple[int, float]:
+    """Hill-climb a limb candidate on the addition-step correlations.
+
+    The intermediate additions carry the full limb value (no masking),
+    so their CPA scores have the highest SNR of the attack; sliding a
+    ``window``-bit substitution across the limb and keeping the best
+    variant repairs any window the extend phase mis-ranked. ``fixed``
+    marks bits that must not be touched (the high limb's implicit MSB).
+    """
+    best = int(initial) | fixed
+    best_score = -np.inf
+    for _ in range(max_rounds):
+        variants = {best}
+        for start in range(0, total_bits, stride):
+            wbits = min(window, total_bits - start)
+            mask = ((1 << wbits) - 1) << start
+            base = best & ~mask
+            for v in range(1 << wbits):
+                variants.add((base | (v << start)) | fixed)
+        cands = np.array(sorted(variants), dtype=np.uint64)
+        scores, _ = prune_candidates(traceset, cands, hyp_builders, step_labels, use_both)
+        top_idx = int(np.argmax(scores))
+        top, top_score = int(cands[top_idx]), float(scores[top_idx])
+        if top == best or top_score <= best_score + 1e-12:
+            best_score = max(best_score, top_score)
+            break
+        best, best_score = top, top_score
+    return best, best_score
+
+
+def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> MantissaRecovery:
+    """Full extend-and-prune recovery of one coefficient's significand."""
+    cfg = config or AttackConfig()
+
+    # ---- low limb: extend on D*B / D*A ---------------------------------
+    low_ladder = ladder_limb(
+        traceset,
+        LOW_LIMB_STEPS,
+        total_bits=LOW_BITS,
+        window=cfg.window,
+        beam=cfg.beam,
+        keep=cfg.prune_keep,
+        use_both_segments=cfg.use_both_segments,
+    )
+    low_cands = _with_shift_aliases(low_ladder.candidates, LOW_BITS)
+    # ---- low limb: prune on s_lo ----------------------------------------
+    low_scores, low_results = prune_candidates(
+        traceset,
+        low_cands,
+        [hyp_s_lo],
+        ["s_lo"],
+        cfg.use_both_segments,
+    )
+    low_best = int(low_cands[int(np.argmax(low_scores))])
+    low_best, _ = refine_limb(
+        traceset,
+        low_best,
+        LOW_BITS,
+        [hyp_s_lo],
+        ["s_lo"],
+        cfg.use_both_segments,
+    )
+    low_diag = PhaseDiagnostics(
+        ladder=low_ladder,
+        prune_results=low_results,
+        prune_scores=low_scores,
+        candidates=low_cands,
+        best=low_best,
+    )
+
+    # ---- high limb: extend on C*B / C*A ---------------------------------
+    high_ladder = ladder_limb(
+        traceset,
+        HIGH_LIMB_STEPS,
+        total_bits=27,
+        window=cfg.window,
+        beam=cfg.beam,
+        keep=cfg.prune_keep,
+        use_both_segments=cfg.use_both_segments,
+    )
+    high_cands = _with_shift_aliases(high_ladder.candidates, 27) | np.uint64(_HIGH_MSB)
+    high_cands = np.unique(high_cands)
+    # ---- high limb: prune on s_mid and s_hi ------------------------------
+    high_scores, high_results = prune_candidates(
+        traceset,
+        high_cands,
+        [
+            lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
+            lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
+        ],
+        ["s_mid", "s_hi"],
+        cfg.use_both_segments,
+    )
+    high_best = int(high_cands[int(np.argmax(high_scores))])
+    high_best, _ = refine_limb(
+        traceset,
+        high_best,
+        27,
+        [
+            lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
+            lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
+        ],
+        ["s_mid", "s_hi"],
+        cfg.use_both_segments,
+        fixed=_HIGH_MSB,
+    )
+    high_diag = PhaseDiagnostics(
+        ladder=high_ladder,
+        prune_results=high_results,
+        prune_scores=high_scores,
+        candidates=high_cands,
+        best=high_best,
+    )
+
+    return MantissaRecovery(
+        low_limb=low_best,
+        high_limb=high_best,
+        low=low_diag,
+        high=high_diag,
+    )

@@ -1,0 +1,185 @@
+"""Vectorized leakage predictions for key guesses.
+
+Every function returns a (D, G) Hamming-weight hypothesis matrix: the
+predicted HW of one architectural intermediate of the instrumented
+multiply (:mod:`repro.fpr.trace`), for each of D traces (rows, known
+operand varies) and G guesses (columns, secret candidate varies).
+
+Memory is bounded by chunking over guesses: a full (D, G) uint64
+intermediate matrix is never materialized beyond ``_CHUNK`` columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpr.trace import LOW_BITS
+from repro.utils.bits import hamming_weight_array
+
+__all__ = [
+    "known_limbs",
+    "known_exponent",
+    "known_sign",
+    "hyp_product",
+    "hyp_s_lo",
+    "hyp_s_mid",
+    "hyp_s_hi",
+    "hyp_exp_sum",
+    "hyp_exp_biased",
+    "hyp_exp_out",
+    "hyp_sign",
+]
+
+_U = np.uint64
+_MASK25 = _U((1 << LOW_BITS) - 1)
+_MANT_MASK = _U((1 << 52) - 1)
+_IMPLICIT = _U(1 << 52)
+_CHUNK = 256
+
+
+def known_limbs(y_patterns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(B, A): low-25 and high-28 significand limbs of the known operand."""
+    y = np.asarray(y_patterns, dtype=np.uint64)
+    my = (y & _MANT_MASK) | _IMPLICIT
+    return my & _MASK25, my >> _U(LOW_BITS)
+
+
+def known_exponent(y_patterns: np.ndarray) -> np.ndarray:
+    y = np.asarray(y_patterns, dtype=np.uint64)
+    return (y >> _U(52)) & _U(0x7FF)
+
+
+def known_sign(y_patterns: np.ndarray) -> np.ndarray:
+    y = np.asarray(y_patterns, dtype=np.uint64)
+    return y >> _U(63)
+
+
+def _hw_outer(known: np.ndarray, guesses: np.ndarray, fn) -> np.ndarray:
+    """HW(fn(known[:, None], guess[None, :])) computed in guess chunks."""
+    known = np.asarray(known, dtype=np.uint64)
+    guesses = np.asarray(guesses, dtype=np.uint64)
+    d, g = known.shape[0], guesses.shape[0]
+    out = np.empty((d, g), dtype=np.int8)
+    for lo in range(0, g, _CHUNK):
+        hi = min(lo + _CHUNK, g)
+        vals = fn(known[:, None], guesses[None, lo:hi])
+        out[:, lo:hi] = hamming_weight_array(vals).astype(np.int8)
+    return out
+
+
+def hyp_product(known_limb: np.ndarray, guesses: np.ndarray, mask_bits: int | None = None) -> np.ndarray:
+    """HW of (guess * known_limb), optionally masked to the low bits.
+
+    The extend phase of the attack: hypotheses on the partial products
+    p_ll = D*B, p_lh = D*A (low secret limb) or p_hl = C*B, p_hh = C*A
+    (high secret limb). ``mask_bits`` restricts the prediction to the low
+    bits, which depend only on the guessed low bits of the secret limb —
+    this is what makes the LSB-to-MSB ladder sound.
+    """
+    if mask_bits is not None:
+        m = _U((1 << mask_bits) - 1)
+        return _hw_outer(known_limb, guesses, lambda k, g: (k * g) & m)
+    return _hw_outer(known_limb, guesses, lambda k, g: k * g)
+
+
+def hyp_s_lo(y_lo: np.ndarray, y_hi: np.ndarray, d_candidates: np.ndarray) -> np.ndarray:
+    """HW of s_lo = (D*B >> 25) + D*A — the prune target for the low limb."""
+    return _hw_outer_pair(
+        y_lo, y_hi, d_candidates, lambda b, a, d: ((d * b) >> _U(LOW_BITS)) + d * a
+    )
+
+
+def hyp_s_mid(
+    y_lo: np.ndarray, y_hi: np.ndarray, d_low: int, c_candidates: np.ndarray
+) -> np.ndarray:
+    """HW of s_mid = s_lo + C*B, with the low limb D already recovered."""
+    d = _U(d_low)
+    return _hw_outer_pair(
+        y_lo,
+        y_hi,
+        c_candidates,
+        lambda b, a, c: ((d * b) >> _U(LOW_BITS)) + d * a + c * b,
+    )
+
+
+def hyp_s_hi(
+    y_lo: np.ndarray, y_hi: np.ndarray, d_low: int, c_candidates: np.ndarray
+) -> np.ndarray:
+    """HW of s_hi = (s_mid >> 25) + C*A (the full product's top bits)."""
+    d = _U(d_low)
+
+    def fn(b, a, c):
+        s_mid = ((d * b) >> _U(LOW_BITS)) + d * a + c * b
+        return (s_mid >> _U(LOW_BITS)) + c * a
+
+    return _hw_outer_pair(y_lo, y_hi, c_candidates, fn)
+
+
+def _hw_outer_pair(k1: np.ndarray, k2: np.ndarray, guesses: np.ndarray, fn) -> np.ndarray:
+    """Chunked HW for predictors needing two known arrays."""
+    k1 = np.asarray(k1, dtype=np.uint64)
+    k2 = np.asarray(k2, dtype=np.uint64)
+    guesses = np.asarray(guesses, dtype=np.uint64)
+    d, g = k1.shape[0], guesses.shape[0]
+    out = np.empty((d, g), dtype=np.int8)
+    for lo in range(0, g, _CHUNK):
+        hi = min(lo + _CHUNK, g)
+        vals = fn(k1[:, None], k2[:, None], guesses[None, lo:hi])
+        out[:, lo:hi] = hamming_weight_array(vals).astype(np.int8)
+    return out
+
+
+def hyp_exp_sum(y_patterns: np.ndarray, guesses: np.ndarray) -> np.ndarray:
+    """HW of the raw biased exponent sum E_x + E_y for guessed E_x."""
+    ey = known_exponent(y_patterns)
+    return _hw_outer(ey, guesses, lambda k, g: k + g)
+
+
+def hyp_exp_biased(y_patterns: np.ndarray, guesses: np.ndarray) -> np.ndarray:
+    """HW of the 32-bit two's-complement word (E_x + E_y - 2100).
+
+    The rebias pushes the sum into the negative range, where increments
+    flip long carry chains; unlike the raw sum, the resulting HW-vs-E_y
+    profiles of two guesses are generally not offset by a constant, so
+    this intermediate disambiguates the tie classes of ``hyp_exp_sum``.
+    """
+    from repro.fpr.trace import EXP_REBIAS
+
+    ey = known_exponent(y_patterns)
+    rebias = _U(EXP_REBIAS)
+    m32 = _U(0xFFFFFFFF)
+    return _hw_outer(ey, guesses, lambda k, g: (k + g - rebias) & m32)
+
+
+def hyp_exp_out(y_patterns: np.ndarray, guesses: np.ndarray, significand: int) -> np.ndarray:
+    """HW of the result's biased exponent for guessed E_x.
+
+    With the 53-bit significand already recovered, the full product —
+    and hence its normalization/rounding carry — is exactly predictable:
+    the hypothesis builds x = (E_x_guess, significand), multiplies by the
+    known operand in IEEE-754, and reads off the exponent field.
+    """
+    if not 1 << 52 <= significand < 1 << 53:
+        raise ValueError(f"significand out of range: {significand:#x}")
+    y = np.asarray(y_patterns, dtype=np.uint64)
+    guesses = np.asarray(guesses, dtype=np.uint64)
+    mant = _U(significand) & _MANT_MASK
+    x_pats = ((guesses << _U(52)) | mant).view(np.float64)
+    y_f = y.view(np.float64)
+    d, g = y.shape[0], guesses.shape[0]
+    out = np.empty((d, g), dtype=np.int8)
+    for lo in range(0, g, _CHUNK):
+        hi = min(lo + _CHUNK, g)
+        # Extreme wrong guesses overflow to inf — a legal (useless)
+        # hypothesis for those columns, so silence the FP warning.
+        with np.errstate(over="ignore", under="ignore"):
+            prod = y_f[:, None] * x_pats[None, lo:hi]
+        exp_field = (prod.view(np.uint64) >> _U(52)) & _U(0x7FF)
+        out[:, lo:hi] = hamming_weight_array(exp_field).astype(np.int8)
+    return out
+
+
+def hyp_sign(y_patterns: np.ndarray) -> np.ndarray:
+    """(D, 2) hypothesis for the result sign: guess s_x in {0, 1}."""
+    sy = known_sign(y_patterns)
+    return _hw_outer(sy, np.array([0, 1], dtype=np.uint64), lambda k, g: k ^ g)

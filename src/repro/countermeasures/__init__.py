@@ -1,0 +1,24 @@
+"""Countermeasures from the paper's Discussion (Section V-B).
+
+"The most popular techniques for side-channel mitigation is hiding and
+masking." Neither existed for FALCON at publication time; this package
+models both on the attacked multiplication so their effect on the attack
+can be quantified (benchmarks/bench_countermeasures.py):
+
+* :mod:`repro.countermeasures.masking` — ideal first-order masking:
+  every mantissa-datapath intermediate is blinded by a fresh uniform
+  mask per execution, so no single sample's expectation depends on the
+  secret. First-order CPA collapses to noise.
+* :mod:`repro.countermeasures.shuffling` — hiding by operation
+  shuffling: the four partial products (and their accumulations) execute
+  in a random order, spreading each intermediate's leakage over several
+  time samples.
+
+Both are exposed as ``value_transform`` hooks for
+:class:`repro.leakage.capture.CaptureCampaign`.
+"""
+
+from repro.countermeasures.masking import MaskingTransform, capture_masked_shares
+from repro.countermeasures.shuffling import ShufflingTransform
+
+__all__ = ["MaskingTransform", "capture_masked_shares", "ShufflingTransform"]

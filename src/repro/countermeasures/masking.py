@@ -1,0 +1,114 @@
+"""Ideal first-order Boolean masking of the mantissa datapath.
+
+A masked implementation never holds a secret-dependent value in the
+clear: each intermediate v is represented as (v XOR m, m) with m fresh
+and uniform per execution. We model the ideal case — the device leaks
+the masked share only (leaking both shares at separate samples would
+re-enable second-order attacks; that extension is deliberately left as
+a hook, ``leak_masks=True``).
+
+The sign/exponent steps can be masked the same way; the default list
+covers every step the paper's attack targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fpr.trace import MUL_STEP_LABELS, MUL_STEP_WIDTHS
+
+__all__ = ["MaskingTransform", "DEFAULT_MASKED_STEPS"]
+
+#: Every step carrying secret mantissa/exponent/sign material.
+DEFAULT_MASKED_STEPS = (
+    "load_x_lo",
+    "load_x_hi",
+    "p_ll",
+    "p_lh",
+    "s_lo",
+    "p_hl",
+    "s_mid",
+    "p_hh",
+    "s_hi",
+    "sticky",
+    "mant_out",
+    "exp_sum",
+    "exp_biased",
+    "exp_out",
+    "sign_out",
+    "result",
+)
+
+
+@dataclass
+class MaskingTransform:
+    """``value_transform`` hook implementing first-order masking."""
+
+    masked_steps: tuple[str, ...] = DEFAULT_MASKED_STEPS
+    leak_masks: bool = False   # ideal masking: the mask share is not observed
+
+    _indices: list[tuple[int, int]] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for label in self.masked_steps:
+            if label not in MUL_STEP_LABELS:
+                raise ValueError(f"unknown step label {label!r}")
+            self._indices.append((MUL_STEP_LABELS.index(label), MUL_STEP_WIDTHS[label]))
+
+    def __call__(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = values.copy()
+        d = out.shape[0]
+        for col, width in self._indices:
+            masks = _random_masks(rng, d, width)
+            out[:, col] = out[:, col] ^ masks
+        return out
+
+
+def _random_masks(rng: np.random.Generator, n: int, width: int) -> np.ndarray:
+    masks = rng.integers(0, 1 << min(width, 63), size=n, dtype=np.int64).astype(np.uint64)
+    if width >= 64:
+        masks |= rng.integers(0, 2, size=n, dtype=np.int64).astype(np.uint64) << np.uint64(63)
+    return masks
+
+
+def capture_masked_shares(
+    sk,
+    target_index: int,
+    step: str,
+    n_traces: int = 10_000,
+    device=None,
+    seed: int = 2021,
+    segment: int = 0,
+):
+    """Capture a masked device that leaks *both* shares of one step.
+
+    A real masked implementation manipulates (v XOR m) and m in separate
+    cycles; an oscilloscope sees both. Returns
+    ``(share_masked, share_mask, known_y, true_secret)`` where the two
+    share arrays are (D,) sample columns — the input of the
+    second-order attack (:mod:`repro.attack.second_order`).
+    """
+    import numpy as np
+
+    from repro.fpr.trace import MUL_STEP_LABELS, MUL_STEP_WIDTHS
+    from repro.leakage.capture import CaptureCampaign
+    from repro.leakage.device import DeviceModel
+    from repro.leakage.synth import mul_step_values
+
+    if step not in MUL_STEP_LABELS:
+        raise ValueError(f"unknown step label {step!r}")
+    dev = device if device is not None else DeviceModel()
+    campaign = CaptureCampaign(sk=sk, n_traces=n_traces, device=dev, seed=seed)
+    ts = campaign.capture(target_index)
+    seg = ts.segments[segment]
+    values = mul_step_values(ts.true_secret, seg.known_y)
+    col = MUL_STEP_LABELS.index(step)
+    width = MUL_STEP_WIDTHS[step]
+    rng = np.random.default_rng((dev.seed, seed, target_index, col))
+    masks = _random_masks(rng, len(seg.known_y), width)
+    masked_vals = values[:, col] ^ masks
+    share_masked = dev.emit(masked_vals.reshape(-1, 1), rng)[:, 0]
+    share_mask = dev.emit(masks.reshape(-1, 1), rng)[:, 0]
+    return share_masked, share_mask, seg.known_y, ts.true_secret

@@ -1,0 +1,20 @@
+"""Shared experiment-scale constants.
+
+The paper runs FALCON-512 with ~10k EM measurements per coefficient on
+an ARM Cortex-M4. The default laptop-scale experiments here use a
+smaller ring so the full pipeline (n coefficients x 4 component attacks)
+finishes in minutes on one core; the code paths are identical for 512.
+"""
+
+__all__ = ["PAPER_N", "PAPER_N_TRACES", "DEFAULT_N", "DEFAULT_N_TRACES", "BENCH_SEED"]
+
+#: The paper's configuration.
+PAPER_N = 512
+PAPER_N_TRACES = 10_000
+
+#: Laptop-scale defaults used by tests, examples and benchmarks.
+DEFAULT_N = 16
+DEFAULT_N_TRACES = 10_000
+
+#: Deterministic seed shared by the benchmark harness.
+BENCH_SEED = b"falcon-down-repro"

@@ -1,0 +1,36 @@
+"""A complete from-scratch implementation of the FALCON signature scheme.
+
+This is the substrate the attacked computation lives in: key generation
+(NTRUGen with the tower-of-rings NTRUSolve), the ffLDL* Falcon tree, fast
+Fourier sampling with SamplerZ, SHAKE-256 hash-to-point, signature
+compression, signing and NTT-based verification.
+
+The implementation follows the FALCON specification (round 3). It is not
+constant time — this repository *simulates* the physical leakage channel
+explicitly (:mod:`repro.leakage`), so host-level timing is irrelevant.
+
+Quickstart::
+
+    from repro.falcon import FalconParams, keygen, sign, verify
+
+    params = FalconParams.get(64)          # toy ring; 512/1024 also work
+    sk, pk = keygen(params, seed=b"demo")
+    sig = sign(sk, b"message")
+    assert verify(pk, b"message", sig)
+"""
+
+from repro.falcon.params import FalconParams, Q
+from repro.falcon.keygen import keygen, SecretKey, PublicKey
+from repro.falcon.sign import sign, Signature
+from repro.falcon.verify import verify
+
+__all__ = [
+    "FalconParams",
+    "Q",
+    "keygen",
+    "SecretKey",
+    "PublicKey",
+    "sign",
+    "Signature",
+    "verify",
+]

@@ -1,0 +1,186 @@
+"""Wire-format encodings from the FALCON specification (Section 3.11).
+
+* Public keys: a header byte 0x00 | logn, then the n coefficients of h
+  packed as 14-bit big-endian fields.
+* Private keys: a header byte 0x50 | logn, then f, g, F packed as
+  fixed-width signed two's-complement fields; the widths depend on n
+  exactly as in the spec (f, g: 8 bits at n = 512, wider for small n;
+  F always 8 bits). G is not stored — it is recomputed from the NTRU
+  equation G = (q + g F) / f over the ring, which this module does on
+  decode.
+
+These encoders make stored keys interoperable-shaped (byte-for-byte
+layout of the reference implementation for the supported header/field
+widths) and exercise the same "recompute G" path an embedded decoder
+uses.
+"""
+
+from __future__ import annotations
+
+from repro.falcon.keygen import PublicKey, SecretKey, derive_secret_key
+from repro.falcon.params import FalconParams
+from repro.math import fft, poly
+
+__all__ = ["encode_public_key", "decode_public_key", "encode_secret_key", "decode_secret_key", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Malformed key encoding."""
+
+
+#: Spec Table 3.2: bit width of f and g coefficients per logn.
+_FG_BITS = {1: 8, 2: 8, 3: 8, 4: 8, 5: 8, 6: 7, 7: 7, 8: 6, 9: 6, 10: 5}
+_F_BITS = 8          # F (and G) always fit signed 8 bits
+_H_BITS = 14         # q = 12289 < 2^14
+
+
+class _BitPacker:
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+        self._out = bytearray()
+
+    def push(self, value: int, nbits: int) -> None:
+        if not 0 <= value < 1 << nbits:
+            raise CodecError(f"value {value} does not fit {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+    def finish(self) -> bytes:
+        if self._nbits:
+            self._out.append((self._acc << (8 - self._nbits)) & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+        return bytes(self._out)
+
+
+class _BitUnpacker:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def pull(self, nbits: int) -> int:
+        out = 0
+        for _ in range(nbits):
+            if self._pos >= 8 * len(self._data):
+                raise CodecError("truncated key encoding")
+            byte = self._data[self._pos >> 3]
+            out = (out << 1) | ((byte >> (7 - (self._pos & 7))) & 1)
+            self._pos += 1
+        return out
+
+    def padding_is_zero(self) -> bool:
+        while self._pos < 8 * len(self._data):
+            if self.pull(1):
+                return False
+        return True
+
+
+def _logn(n: int) -> int:
+    return n.bit_length() - 1
+
+
+def encode_public_key(pk: PublicKey) -> bytes:
+    """Header 0x00|logn then 14-bit packed h."""
+    packer = _BitPacker()
+    for coeff in pk.h:
+        if not 0 <= coeff < pk.params.q:
+            raise CodecError(f"h coefficient {coeff} out of range")
+        packer.push(coeff, _H_BITS)
+    return bytes([0x00 | _logn(pk.params.n)]) + packer.finish()
+
+
+def decode_public_key(data: bytes) -> PublicKey:
+    if not data:
+        raise CodecError("empty public key")
+    head = data[0]
+    if head & 0xF0 != 0x00:
+        raise CodecError(f"bad public key header {head:#04x}")
+    n = 1 << (head & 0x0F)
+    params = FalconParams.get(n)
+    expected = 1 + (n * _H_BITS + 7) // 8
+    if len(data) != expected:
+        raise CodecError(f"public key must be {expected} bytes, got {len(data)}")
+    unpacker = _BitUnpacker(data[1:])
+    h = [unpacker.pull(_H_BITS) for _ in range(n)]
+    if any(v >= params.q for v in h):
+        raise CodecError("h coefficient exceeds q")
+    if not unpacker.padding_is_zero():
+        raise CodecError("non-zero padding in public key")
+    return PublicKey(params=params, h=h)
+
+
+def _push_signed(packer: _BitPacker, coeffs: list[int], nbits: int) -> None:
+    lo, hi = -(1 << (nbits - 1)) + 1, (1 << (nbits - 1)) - 1
+    for c in coeffs:
+        if not lo <= c <= hi:
+            raise CodecError(f"coefficient {c} does not fit signed {nbits} bits")
+        packer.push(c & ((1 << nbits) - 1), nbits)
+
+
+def _pull_signed(unpacker: _BitUnpacker, n: int, nbits: int) -> list[int]:
+    out = []
+    sign_bit = 1 << (nbits - 1)
+    for _ in range(n):
+        v = unpacker.pull(nbits)
+        if v & sign_bit:
+            v -= 1 << nbits
+        if v == -(1 << (nbits - 1)):
+            raise CodecError("non-canonical minimum-value coefficient")
+        out.append(v)
+    return out
+
+
+def encode_secret_key(sk: SecretKey) -> bytes:
+    """Header 0x50|logn then fixed-width f, g, F (G is recomputed)."""
+    logn = _logn(sk.params.n)
+    fg_bits = _FG_BITS[logn]
+    packer = _BitPacker()
+    _push_signed(packer, sk.f, fg_bits)
+    _push_signed(packer, sk.g, fg_bits)
+    _push_signed(packer, sk.big_f, _F_BITS)
+    return bytes([0x50 | logn]) + packer.finish()
+
+
+def decode_secret_key(data: bytes) -> SecretKey:
+    """Decode and rebuild the full key, recomputing G then the tree."""
+    if not data:
+        raise CodecError("empty secret key")
+    head = data[0]
+    if head & 0xF0 != 0x50:
+        raise CodecError(f"bad secret key header {head:#04x}")
+    logn = head & 0x0F
+    n = 1 << logn
+    params = FalconParams.get(n)
+    fg_bits = _FG_BITS[logn]
+    total_bits = 2 * n * fg_bits + n * _F_BITS
+    expected = 1 + (total_bits + 7) // 8
+    if len(data) != expected:
+        raise CodecError(f"secret key must be {expected} bytes, got {len(data)}")
+    unpacker = _BitUnpacker(data[1:])
+    f = _pull_signed(unpacker, n, fg_bits)
+    g = _pull_signed(unpacker, n, fg_bits)
+    big_f = _pull_signed(unpacker, n, _F_BITS)
+    if not unpacker.padding_is_zero():
+        raise CodecError("non-zero padding in secret key")
+    big_g = _recompute_big_g(f, g, big_f, params.q)
+    return derive_secret_key(params, f, g, big_f, big_g)
+
+
+def _recompute_big_g(f: list[int], g: list[int], big_f: list[int], q: int) -> list[int]:
+    """G = (q + g F) / f in Q[x]/(x^n + 1), known to be integral.
+
+    Computed exactly: solve f * G = q + g F via the FFT for the values
+    and verify with integer arithmetic.
+    """
+    n = len(f)
+    rhs = poly.add(poly.constant(q, n), poly.mul(g, big_f))
+    f_fft = fft.fft([float(c) for c in f])
+    rhs_fft = fft.fft([float(c) for c in rhs])
+    big_g = [int(round(v)) for v in fft.ifft(rhs_fft / f_fft)]
+    # exact verification (floats only guided the rounding)
+    if poly.sub(poly.mul(f, big_g), rhs) != [0] * n:
+        raise CodecError("secret key fails the NTRU equation (corrupt encoding)")
+    return big_g

@@ -1,0 +1,111 @@
+"""Signature compression (spec Algorithms 17/18).
+
+Each coefficient of s2 is encoded as: 1 sign bit, the 7 low bits of |s|,
+then |s| >> 7 in unary (that many 0 bits followed by a terminating 1).
+The bitstring is padded with zeros to exactly ``slen`` bits; decompression
+rejects overlong values, a minus-zero encoding, and non-zero padding, so
+the encoding is canonical (one valid bitstring per vector).
+"""
+
+from __future__ import annotations
+
+__all__ = ["compress", "decompress", "CompressError"]
+
+_LOW_BITS = 7
+_MAX_UNARY = (1 << 12) >> _LOW_BITS  # |s| < 2048 in valid signatures
+
+
+class CompressError(ValueError):
+    """Signature does not fit the bit budget or is malformed."""
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self.bits: list[int] = []
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append ``nbits`` of ``value``, MSB first."""
+        for i in reversed(range(nbits)):
+            self.bits.append((value >> i) & 1)
+
+    def to_bytes(self, total_bits: int) -> bytes:
+        if len(self.bits) > total_bits:
+            raise CompressError(f"signature needs {len(self.bits)} bits > budget {total_bits}")
+        padded = self.bits + [0] * (total_bits - len(self.bits))
+        out = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for b in padded[i : i + 8]:
+                byte = (byte << 1) | b
+            if i + 8 > len(padded):
+                byte <<= i + 8 - len(padded)
+            out.append(byte)
+        return bytes(out)
+
+
+class _BitReader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read(self, nbits: int) -> int:
+        out = 0
+        for _ in range(nbits):
+            if self.pos >= 8 * len(self.data):
+                raise CompressError("ran out of signature bits")
+            byte = self.data[self.pos >> 3]
+            out = (out << 1) | ((byte >> (7 - (self.pos & 7))) & 1)
+            self.pos += 1
+        return out
+
+    def remaining_zero(self) -> bool:
+        while self.pos < 8 * len(self.data):
+            if self.read(1):
+                return False
+        return True
+
+
+def compress(s: list[int], slen_bits: int) -> bytes:
+    """Encode the coefficient vector into exactly slen_bits (zero padded).
+
+    Raises CompressError when the vector does not fit — FALCON's signing
+    loop treats that as a resample event (Algorithm 10 line 11).
+    """
+    w = _BitWriter()
+    for coeff in s:
+        sign = 1 if coeff < 0 else 0
+        mag = -coeff if coeff < 0 else coeff
+        if mag >= 1 << 12:
+            raise CompressError(f"coefficient {coeff} out of compressible range")
+        w.write(sign, 1)
+        w.write(mag & ((1 << _LOW_BITS) - 1), _LOW_BITS)
+        w.write(1, (mag >> _LOW_BITS) + 1)  # unary: zeros would be write(0,k) then 1
+    return w.to_bytes(slen_bits)
+
+
+# The unary part above needs zeros then a one; _BitWriter.write(1, k+1)
+# writes exactly k zero bits followed by a single one bit (the value 1 in
+# k+1 bits, MSB first), which is the spec encoding.
+
+
+def decompress(data: bytes, slen_bits: int, n: int) -> list[int]:
+    """Inverse of :func:`compress`; raises CompressError on malformed input."""
+    if 8 * len(data) < slen_bits:
+        raise CompressError(f"expected at least {slen_bits} bits, got {8 * len(data)}")
+    r = _BitReader(data)
+    out: list[int] = []
+    for _ in range(n):
+        sign = r.read(1)
+        mag = r.read(_LOW_BITS)
+        hi = 0
+        while r.read(1) == 0:
+            hi += 1
+            if hi > _MAX_UNARY:
+                raise CompressError("unary run exceeds valid coefficient range")
+        mag |= hi << _LOW_BITS
+        if sign and mag == 0:
+            raise CompressError("non-canonical minus-zero coefficient")
+        out.append(-mag if sign else mag)
+    if not r.remaining_zero():
+        raise CompressError("non-zero padding after last coefficient")
+    return out

@@ -1,0 +1,130 @@
+"""The FALCON tree (ffLDL*) and fast Fourier sampling (ffSampling).
+
+The secret key's second component is a binary tree T obtained by the
+recursive LDL* decomposition of the Gram matrix G = B_hat x B_hat* in the
+FFT domain (spec Algorithm 9), with every leaf then normalized to
+sigma / sqrt(leaf) (Algorithm 1, lines 6-8). Signing draws a lattice
+point close to the target t by recursing down that tree and calling
+SamplerZ at the leaves (Algorithm 11).
+
+The recursion bottoms out at ring degree 2, where a polynomial's FFT is
+the single complex value z0 + i z1: the two integer coefficients are the
+real and imaginary parts and are sampled directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.math import fft
+
+__all__ = ["LdlLeaf", "LdlNode", "ffldl", "normalize_tree", "ffsampling", "gram_from_basis", "tree_depth"]
+
+SamplerFn = Callable[[float, float], int]  # (center, sigma) -> integer
+
+
+@dataclass
+class LdlLeaf:
+    """A leaf of the FALCON tree: after normalization, a sampler sigma."""
+
+    value: float
+
+
+@dataclass
+class LdlNode:
+    """Internal node: l10 (FFT array) plus the two child trees."""
+
+    l10: np.ndarray
+    left: "TreeT"
+    right: "TreeT"
+
+
+TreeT = Union[LdlLeaf, LdlNode]
+
+
+def gram_from_basis(
+    b00: np.ndarray, b01: np.ndarray, b10: np.ndarray, b11: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Entries (g00, g01, g11) of G = B B* for a 2x2 FFT-domain basis.
+
+    g10 is adj(g01) and is never materialized. g00 and g11 are
+    self-adjoint (real-valued in the FFT domain).
+    """
+    g00 = b00 * np.conj(b00) + b01 * np.conj(b01)
+    g01 = b00 * np.conj(b10) + b01 * np.conj(b11)
+    g11 = b10 * np.conj(b10) + b11 * np.conj(b11)
+    return g00, g01, g11
+
+
+def _ldl(g00: np.ndarray, g01: np.ndarray, g11: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pointwise LDL* of [[g00, g01], [adj(g01), g11]].
+
+    Returns (l10, d00, d11) with G = [[1,0],[l10,1]] diag(d00, d11) [[1, adj(l10)],[0,1]].
+    """
+    d00 = g00
+    l10 = np.conj(g01) / g00
+    d11 = g11 - l10 * np.conj(l10) * g00
+    return l10, d00, d11
+
+
+def ffldl(g00: np.ndarray, g01: np.ndarray, g11: np.ndarray) -> LdlNode:
+    """Recursive ffLDL* of a self-adjoint 2x2 Gram in the FFT domain."""
+    l10, d00, d11 = _ldl(g00, g01, g11)
+    if len(g00) == 1:
+        # Ring degree 2: children are real scalars (Gram determinant parts).
+        return LdlNode(l10=l10, left=LdlLeaf(float(d00[0].real)), right=LdlLeaf(float(d11[0].real)))
+    d00_0, d00_1 = fft.split_fft(d00)
+    d11_0, d11_1 = fft.split_fft(d11)
+    left = ffldl(d00_0, d00_1, d00_0)
+    right = ffldl(d11_0, d11_1, d11_0)
+    return LdlNode(l10=l10, left=left, right=right)
+
+
+def normalize_tree(tree: TreeT, sigma: float) -> None:
+    """Replace every leaf value d with sigma / sqrt(d), in place."""
+    if isinstance(tree, LdlLeaf):
+        if tree.value <= 0:
+            raise ValueError(f"non-positive leaf in FALCON tree: {tree.value}")
+        tree.value = sigma / np.sqrt(tree.value)
+        return
+    normalize_tree(tree.left, sigma)
+    normalize_tree(tree.right, sigma)
+
+
+def tree_depth(tree: TreeT) -> int:
+    if isinstance(tree, LdlLeaf):
+        return 0
+    return 1 + max(tree_depth(tree.left), tree_depth(tree.right))
+
+
+def ffsampling(
+    t0: np.ndarray, t1: np.ndarray, tree: LdlNode, sampler: SamplerFn
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fast Fourier nearest-plane sampling (spec Algorithm 11).
+
+    ``t0``/``t1`` are FFT-domain targets; ``sampler(center, sigma)`` draws
+    one integer from D_{Z, center, sigma}. Returns (z0, z1) in the FFT
+    domain with integer preimages.
+    """
+    if len(t0) == 1:
+        sig1 = tree.right.value
+        z1r = sampler(float(t1[0].real), sig1)
+        z1i = sampler(float(t1[0].imag), sig1)
+        z1 = np.array([complex(z1r, z1i)], dtype=np.complex128)
+        t0b = t0 + (t1 - z1) * tree.l10
+        sig0 = tree.left.value
+        z0r = sampler(float(t0b[0].real), sig0)
+        z0i = sampler(float(t0b[0].imag), sig0)
+        z0 = np.array([complex(z0r, z0i)], dtype=np.complex128)
+        return z0, z1
+    t1_0, t1_1 = fft.split_fft(t1)
+    z1_0, z1_1 = ffsampling(t1_0, t1_1, tree.right, sampler)
+    z1 = fft.merge_fft(z1_0, z1_1)
+    t0b = t0 + (t1 - z1) * tree.l10
+    t0_0, t0_1 = fft.split_fft(t0b)
+    z0_0, z0_1 = ffsampling(t0_0, t0_1, tree.left, sampler)
+    z0 = fft.merge_fft(z0_0, z0_1)
+    return z0, z1

@@ -1,0 +1,35 @@
+"""HashToPoint: map (salt || message) to a polynomial c in Z_q[x]/(x^n+1).
+
+SHAKE-256 output is consumed 16 bits at a time (big-endian, as in the
+reference code) and rejected above k*q with k = floor(2^16 / q) = 5, so
+accepted values reduce uniformly mod q (spec Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hash_to_point"]
+
+
+def hash_to_point(data: bytes, q: int, n: int) -> list[int]:
+    """The polynomial c = HashToPoint(data, q, n)."""
+    if not 1 <= q <= 1 << 16:
+        raise ValueError(f"q must fit 16 bits, got {q}")
+    k = (1 << 16) // q
+    limit = k * q
+    shake = hashlib.shake_256(data)
+    # Squeeze generously and extend on the (rare) rejection-heavy runs.
+    out: list[int] = []
+    chunk_len = 2 * (3 * n + 16)
+    offset = 0
+    buf = shake.digest(chunk_len)
+    while len(out) < n:
+        if offset + 2 > len(buf):
+            chunk_len *= 2
+            buf = shake.digest(chunk_len)
+        t = (buf[offset] << 8) | buf[offset + 1]
+        offset += 2
+        if t < limit:
+            out.append(t % q)
+    return out

@@ -1,0 +1,66 @@
+"""Key serialization.
+
+Secret keys are stored as the four NTRU polynomials (the FFT basis and
+the FALCON tree are deterministic derivations and are rebuilt on load);
+public keys as h. The format is a small JSON document — the goal is a
+stable, auditable artifact for the experiment pipeline, not wire-format
+compatibility with the reference C encoding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.falcon.keygen import PublicKey, SecretKey, derive_secret_key
+from repro.falcon.params import FalconParams
+
+__all__ = [
+    "secret_key_to_json",
+    "secret_key_from_json",
+    "public_key_to_json",
+    "public_key_from_json",
+]
+
+_SK_KIND = "falcon-secret-key"
+_PK_KIND = "falcon-public-key"
+
+
+def secret_key_to_json(sk: SecretKey) -> str:
+    return json.dumps(
+        {
+            "kind": _SK_KIND,
+            "n": sk.params.n,
+            "f": sk.f,
+            "g": sk.g,
+            "F": sk.big_f,
+            "G": sk.big_g,
+            "h": sk.h,
+        }
+    )
+
+
+def secret_key_from_json(doc: str) -> SecretKey:
+    data = json.loads(doc)
+    if data.get("kind") != _SK_KIND:
+        raise ValueError(f"not a secret key document: kind={data.get('kind')!r}")
+    params = FalconParams.get(int(data["n"]))
+    return derive_secret_key(
+        params,
+        [int(v) for v in data["f"]],
+        [int(v) for v in data["g"]],
+        [int(v) for v in data["F"]],
+        [int(v) for v in data["G"]],
+        h=[int(v) for v in data["h"]],
+    )
+
+
+def public_key_to_json(pk: PublicKey) -> str:
+    return json.dumps({"kind": _PK_KIND, "n": pk.params.n, "h": pk.h})
+
+
+def public_key_from_json(doc: str) -> PublicKey:
+    data = json.loads(doc)
+    if data.get("kind") != _PK_KIND:
+        raise ValueError(f"not a public key document: kind={data.get('kind')!r}")
+    params = FalconParams.get(int(data["n"]))
+    return PublicKey(params=params, h=[int(v) for v in data["h"]])

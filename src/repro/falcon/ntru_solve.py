@@ -1,0 +1,112 @@
+"""NTRUSolve: find F, G with f G - g F = q in Z[x]/(x^n + 1).
+
+The tower-of-rings algorithm of the FALCON specification (and of
+Pornin-Prest): descend by field norms to n = 1, solve the scalar Bezout
+equation there, lift back up, and length-reduce (F, G) against (f, g)
+with Babai's round-off in the FFT domain at every level.
+
+Coefficients grow to thousands of bits during the descent, so everything
+here is exact big-int arithmetic (:mod:`repro.math.poly`); only the Babai
+quotient is computed in floating point, on block-scaled copies, and then
+applied exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.math import fft, poly
+
+__all__ = ["NtruSolveError", "ntru_solve", "xgcd", "reduce_fg"]
+
+
+class NtruSolveError(ValueError):
+    """The NTRU equation has no solution for this (f, g) — resample."""
+
+
+def xgcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended gcd: returns (d, u, v) with u*a + v*b = d = gcd(a, b)."""
+    old_r, r = a, b
+    old_u, u = 1, 0
+    old_v, v = 0, 1
+    while r:
+        qt = old_r // r
+        old_r, r = r, old_r - qt * r
+        old_u, u = u, old_u - qt * u
+        old_v, v = v, old_v - qt * v
+    if old_r < 0:
+        old_r, old_u, old_v = -old_r, -old_u, -old_v
+    return old_r, old_u, old_v
+
+
+def _max_bitlength(*polys: list[int]) -> int:
+    return max((abs(c).bit_length() for f in polys for c in f), default=0)
+
+
+def _scaled_fft(f: list[int], shift: int) -> np.ndarray:
+    """FFT of f with every coefficient shifted right by ``shift`` bits."""
+    if shift <= 0:
+        return fft.fft([float(c) for c in f])
+    return fft.fft([float(c >> shift) for c in f])
+
+
+def reduce_fg(
+    f: list[int], g: list[int], big_f: list[int], big_g: list[int]
+) -> tuple[list[int], list[int]]:
+    """Babai round-off: shrink (F, G) by integer multiples of (f, g).
+
+    Repeatedly computes k = round((F f* + G g*) / (f f* + g g*)) on
+    block-scaled floating-point copies and subtracts k * (f, g) * 2^shift
+    exactly, until the quotient vanishes.
+    """
+    lfg = max(_max_bitlength(f, g), 53)
+    shift_fg = lfg - 53
+    fa = _scaled_fft(f, shift_fg)
+    ga = _scaled_fft(g, shift_fg)
+    denom = fa * np.conj(fa) + ga * np.conj(ga)
+    if np.any(np.abs(denom) < 1e-300):
+        raise NtruSolveError("degenerate (f, g): Babai denominator vanishes")
+
+    big_f = list(big_f)
+    big_g = list(big_g)
+    for _ in range(10_000):
+        lFG = max(_max_bitlength(big_f, big_g), 53)
+        shift_big = lFG - 53
+        Fa = _scaled_fft(big_f, shift_big)
+        Ga = _scaled_fft(big_g, shift_big)
+        k_fft = (Fa * np.conj(fa) + Ga * np.conj(ga)) / denom
+        extra = shift_big - shift_fg
+        if extra < 0:
+            # (F, G) is already shorter than (f, g); the true quotient is
+            # the computed one scaled down by 2^-extra, which rounds to 0.
+            k_fft = k_fft * (2.0 ** extra)
+        k = [int(round(c)) for c in fft.ifft(k_fft)]
+        if all(c == 0 for c in k):
+            return big_f, big_g
+        kf = poly.mul(k, f)
+        kg = poly.mul(k, g)
+        if extra > 0:
+            kf = [c << extra for c in kf]
+            kg = [c << extra for c in kg]
+        big_f = poly.sub(big_f, kf)
+        big_g = poly.sub(big_g, kg)
+    raise NtruSolveError("Babai reduction did not converge")
+
+
+def ntru_solve(f: list[int], g: list[int], q: int) -> tuple[list[int], list[int]]:
+    """Solve f G - g F = q mod (x^n + 1); raise NtruSolveError if impossible."""
+    n = poly.check_ring(f)
+    if len(g) != n:
+        raise ValueError(f"degree mismatch: {n} vs {len(g)}")
+    if n == 1:
+        d, u, v = xgcd(f[0], g[0])
+        if d != 1:
+            raise NtruSolveError(f"gcd(f(1-dim), g) = {d} != 1")
+        # u f + v g = 1  =>  f (u q) - g (-v q) = q
+        return [-v * q], [u * q]
+    fp = poly.field_norm(f)
+    gp = poly.field_norm(g)
+    big_fp, big_gp = ntru_solve(fp, gp, q)
+    big_f = poly.mul(poly.lift(big_fp), poly.galois_conjugate(g))
+    big_g = poly.mul(poly.lift(big_gp), poly.galois_conjugate(f))
+    return reduce_fg(f, g, big_f, big_g)

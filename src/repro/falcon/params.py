@@ -1,0 +1,92 @@
+"""FALCON parameter sets.
+
+The standard sets are FALCON-512 and FALCON-1024; smaller power-of-two
+rings (n = 8 .. 256) are supported for tests and laptop-scale experiments
+exactly as in the reference Python implementation of FALCON. The standard
+deviation of the signature sampler follows the specification:
+
+    sigma(n) = sigmin(n) * 1.17 * sqrt(q)
+
+where sigmin(n) is the smoothing-parameter factor. We recover the spec's
+epsilon implicitly by fitting the closed form
+
+    sigmin(n) = (1/pi) * sqrt( ln(8n * (1 + sqrt(alpha * n))) / 2 )
+
+to the published FALCON-512 constant; the same alpha then reproduces the
+published FALCON-1024 constant to 13 significant digits, which validates
+the fit. The squared signature bound is beta^2 = floor((1.1 * sigma *
+sqrt(2n))^2), also per the specification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Q", "FalconParams", "SIGMA_MAX", "SUPPORTED_N"]
+
+#: The FALCON modulus (fixed for every parameter set).
+Q = 12289
+
+#: Upper bound on the Gaussian widths fed to SamplerZ (spec: sigma_max).
+SIGMA_MAX = 1.8205
+
+#: Fitted so that sigmin(512) equals the spec constant 1.2778336969128337;
+#: sigmin(1024) then matches the spec's 1.298280334344292 to 13 digits.
+_ALPHA = 1.1529215045594085e18
+
+SUPPORTED_N = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Signature byte lengths: 512/1024 from the specification, smaller rings
+#: sized as in the reference Python implementation (generous for toys).
+_SIG_BYTELEN = {8: 52, 16: 63, 32: 82, 64: 122, 128: 200, 256: 356, 512: 666, 1024: 1280}
+
+_SALT_LEN = 40  # 320-bit salt r
+_HEAD_LEN = 1   # header byte
+
+
+def _sigmin(n: int) -> float:
+    return (1.0 / math.pi) * math.sqrt(0.5 * math.log(8 * n * (1 + math.sqrt(_ALPHA * n))))
+
+
+@dataclass(frozen=True)
+class FalconParams:
+    """One FALCON parameter set (immutable)."""
+
+    n: int              # ring degree (power of two)
+    q: int              # modulus, always 12289
+    sigma: float        # signature sampler standard deviation
+    sigmin: float       # lower bound fed to SamplerZ
+    sig_bound: int      # beta^2: max squared norm of (s1, s2)
+    sig_bytelen: int    # total encoded signature length in bytes
+
+    @classmethod
+    def get(cls, n: int) -> "FalconParams":
+        """The parameter set for ring degree ``n``."""
+        if n not in SUPPORTED_N:
+            raise ValueError(f"unsupported ring degree {n}; choose from {SUPPORTED_N}")
+        sigmin = _sigmin(n)
+        sigma = sigmin * 1.17 * math.sqrt(Q)
+        bound = int((1.1 * sigma * math.sqrt(2 * n)) ** 2)
+        return cls(
+            n=n,
+            q=Q,
+            sigma=sigma,
+            sigmin=sigmin,
+            sig_bound=bound,
+            sig_bytelen=_SIG_BYTELEN[n],
+        )
+
+    @property
+    def sigma_fg(self) -> float:
+        """Std-dev for the keygen polynomials f, g: 1.17 * sqrt(q / 2n)."""
+        return 1.17 * math.sqrt(self.q / (2 * self.n))
+
+    @property
+    def salt_len(self) -> int:
+        return _SALT_LEN
+
+    @property
+    def compressed_sig_bits(self) -> int:
+        """Bit budget for the compressed s2: 8*sig_bytelen - 328 (spec)."""
+        return 8 * (self.sig_bytelen - _SALT_LEN - _HEAD_LEN)

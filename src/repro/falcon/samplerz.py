@@ -1,0 +1,104 @@
+"""SamplerZ: FALCON's discrete Gaussian sampler over the integers.
+
+Two interchangeable implementations:
+
+* :func:`samplerz` — the specification's structure (Algorithm 12-14):
+  a half-Gaussian base sampler driven by a reverse cumulative
+  distribution table (RCDT) at sigma_max = 1.8205, a random sign flip,
+  and a Bernoulli rejection with probability ccs * exp(-x).
+  The RCDT is recomputed at import time to 72 fractional bits with
+  :mod:`mpmath`, and the Bernoulli trial uses the host's double-precision
+  ``exp`` instead of the spec's fixed-point polynomial — statistically
+  equivalent (relative error < 2^-52 vs the spec's 2^-45 target), though
+  not bit-compatible with the spec's test vectors (our RNG differs
+  anyway; the distribution is cross-checked against
+  :func:`repro.math.gaussian.sample_dgauss` with chi-square tests).
+
+* :func:`samplerz_simple` — plain rejection sampling, used as the
+  statistical reference in tests.
+
+Both draw randomness from the ``rng`` objects of :mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.falcon.params import SIGMA_MAX
+from repro.math.gaussian import sample_dgauss
+from repro.utils.rng import ChaCha20Prng, SystemRng
+
+__all__ = ["RCDT", "base_sampler", "samplerz", "samplerz_simple", "MAX_SIGMA"]
+
+MAX_SIGMA = SIGMA_MAX
+_INV_2SIGMA2_MAX = 1.0 / (2.0 * SIGMA_MAX * SIGMA_MAX)
+_RCDT_BITS = 72
+
+
+def _build_rcdt() -> tuple[int, ...]:
+    """RCDT[i] = round(2^72 * P(z0 > i)) for the half-Gaussian at sigma_max.
+
+    The half-Gaussian support is z0 >= 0 with P(z0 = z) proportional to
+    exp(-z^2 / (2 sigma_max^2)); 18 entries suffice (beyond that the
+    probability mass is below 2^-72).
+    """
+    import mpmath
+
+    mpmath.mp.dps = 60
+    sig = mpmath.mpf(str(SIGMA_MAX))
+    rho = [mpmath.e ** (-(mpmath.mpf(z) ** 2) / (2 * sig * sig)) for z in range(64)]
+    total = sum(rho)
+    scale = mpmath.mpf(2) ** _RCDT_BITS
+    out = []
+    tail = total
+    for z in range(64):
+        tail -= rho[z]
+        v = int(mpmath.nint(scale * tail / total))
+        if v == 0:
+            break
+        out.append(v)
+    return tuple(out)
+
+
+RCDT: tuple[int, ...] = _build_rcdt()
+
+
+def base_sampler(rng: ChaCha20Prng | SystemRng) -> int:
+    """Sample z0 >= 0 from the half-Gaussian at sigma_max (Algorithm 12)."""
+    u = int.from_bytes(rng.randombytes(_RCDT_BITS // 8), "little")
+    z0 = 0
+    for threshold in RCDT:
+        z0 += u < threshold
+    return z0
+
+
+def _ber_exp(x: float, ccs: float, rng: ChaCha20Prng | SystemRng) -> bool:
+    """Bernoulli trial with success probability ccs * exp(-x), x >= 0."""
+    return rng.uniform() < ccs * math.exp(-x)
+
+
+def samplerz(mu: float, sigma: float, sigmin: float, rng: ChaCha20Prng | SystemRng) -> int:
+    """Sample from D_{Z, mu, sigma} (Algorithm 14 structure).
+
+    ``sigmin <= sigma <= sigma_max`` as guaranteed by FALCON's normalized
+    tree; ``ccs = sigmin / sigma`` rescales the acceptance probability so
+    the iteration count is key independent in the real implementation.
+    """
+    if not sigmin <= sigma <= SIGMA_MAX + 1e-9:
+        raise ValueError(f"sigma {sigma} outside [{sigmin}, {SIGMA_MAX}]")
+    s = math.floor(mu)
+    r = mu - s
+    dss = 1.0 / (2.0 * sigma * sigma)
+    ccs = sigmin / sigma
+    while True:
+        z0 = base_sampler(rng)
+        b = rng.randombytes(1)[0] & 1
+        z = b + (2 * b - 1) * z0
+        x = ((z - r) ** 2) * dss - z0 * z0 * _INV_2SIGMA2_MAX
+        if _ber_exp(x, ccs, rng):
+            return z + s
+
+
+def samplerz_simple(mu: float, sigma: float, rng: ChaCha20Prng | SystemRng) -> int:
+    """Reference rejection sampler with the same signature (for tests)."""
+    return sample_dgauss(mu, sigma, rng)

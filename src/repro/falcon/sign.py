@@ -1,0 +1,98 @@
+"""FALCON signature generation (spec Algorithm 10).
+
+The message is hashed to c with a fresh 320-bit salt, the target
+t = (-1/q FFT(c) (*) FFT(F), 1/q FFT(c) (*) FFT(f)) is built, ffSampling
+draws z close to t, and s = (t - z) B_hat yields the short pair
+(s1, s2) with s1 + s2 h = c mod q. s2 is compressed into the signature;
+the loop resamples until the norm bound and the bit budget are met.
+
+The first step — the coefficient-wise product FFT(c) (*) FFT(f) — is the
+computation the paper attacks; :mod:`repro.leakage.capture` replays
+exactly this code path under the instrumented float multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.falcon import samplerz as _samplerz
+from repro.falcon.compress import CompressError, compress
+from repro.falcon.ffsampling import ffsampling
+from repro.falcon.hash_to_point import hash_to_point
+from repro.falcon.keygen import SecretKey
+from repro.math import fft
+from repro.utils.rng import ChaCha20Prng, SystemRng
+
+__all__ = ["Signature", "sign", "sign_target", "SignError"]
+
+
+class SignError(RuntimeError):
+    """Signing failed to produce a short-enough signature (should not happen)."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A FALCON signature: the salt r and the compressed s2."""
+
+    salt: bytes
+    s2_compressed: bytes
+
+    def encoded(self) -> bytes:
+        """Header byte || salt || compressed s2 (spec wire format shape)."""
+        return bytes([0x30]) + self.salt + self.s2_compressed
+
+
+def sign_target(sk: SecretKey, c: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """The ffSampling target t for hashed message c (Algorithm 10 line 3).
+
+    t0 = -FFT(c) (*) FFT(F) / q,  t1 = FFT(c) (*) FFT(f) / q.
+    The product FFT(c) (*) FFT(f) inside t1 is the attacked computation.
+    """
+    q = sk.params.q
+    c_fft = fft.fft(c)
+    f_fft = fft.fft(sk.f)
+    big_f_fft = fft.fft(sk.big_f)
+    t0 = -(c_fft * big_f_fft) / q
+    t1 = (c_fft * f_fft) / q
+    return t0, t1
+
+
+def sign(
+    sk: SecretKey,
+    message: bytes,
+    seed: bytes | int | str | None = None,
+    max_attempts: int = 64,
+) -> Signature:
+    """Sign ``message`` with ``sk`` (deterministic when ``seed`` is given)."""
+    rng: ChaCha20Prng | SystemRng
+    rng = ChaCha20Prng(seed) if seed is not None else SystemRng()
+    params = sk.params
+    b00, b01, b10, b11 = sk.b_hat
+
+    def sampler(center: float, sigma: float) -> int:
+        return _samplerz.samplerz(center, sigma, params.sigmin, rng)
+
+    for _ in range(max_attempts):
+        salt = rng.randombytes(params.salt_len)
+        c = hash_to_point(salt + message, params.q, params.n)
+        t0, t1 = sign_target(sk, c)
+        for _ in range(max_attempts):
+            z0, z1 = ffsampling(t0, t1, sk.tree, sampler)
+            # s = (t - z) B_hat, rows [[g, -f], [G, -F]]
+            d0 = t0 - z0
+            d1 = t1 - z1
+            s0_fft = d0 * b00 + d1 * b10
+            s1_fft = d0 * b01 + d1 * b11
+            s0 = [int(round(v)) for v in fft.ifft(s0_fft)]
+            s1 = [int(round(v)) for v in fft.ifft(s1_fft)]
+            norm_sq = sum(v * v for v in s0) + sum(v * v for v in s1)
+            if norm_sq > params.sig_bound:
+                continue
+            try:
+                s2_bytes = compress(s1, params.compressed_sig_bits)
+            except CompressError:
+                continue
+            return Signature(salt=salt, s2_compressed=s2_bytes)
+    raise SignError(f"no short signature after {max_attempts} attempts")

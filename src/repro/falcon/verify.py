@@ -1,0 +1,47 @@
+"""FALCON signature verification (spec Algorithm 16).
+
+Given (r, s2): recompute c = HashToPoint(r || m), recover
+s1 = c - s2 h mod q with coefficients centered in (-q/2, q/2], and accept
+iff ||(s1, s2)||^2 <= beta^2. All arithmetic is integer mod q via the NTT
+substrate — verification never touches floating point.
+"""
+
+from __future__ import annotations
+
+from repro.falcon.compress import CompressError, decompress
+from repro.falcon.hash_to_point import hash_to_point
+from repro.falcon.keygen import PublicKey
+from repro.falcon.sign import Signature
+from repro.math import ntt
+
+__all__ = ["verify", "recover_s1"]
+
+
+def _center(x: int, q: int) -> int:
+    """Representative of x mod q in (-q/2, q/2]."""
+    x %= q
+    if x > q // 2:
+        x -= q
+    return x
+
+
+def recover_s1(pk: PublicKey, c: list[int], s2: list[int]) -> list[int]:
+    """s1 = c - s2 h mod q, centered."""
+    q = pk.params.q
+    s2h = ntt.mul_ntt([v % q for v in s2], pk.h, q)
+    return [_center(ci - vi, q) for ci, vi in zip(c, s2h)]
+
+
+def verify(pk: PublicKey, message: bytes, sig: Signature) -> bool:
+    """True iff ``sig`` is a valid signature on ``message`` under ``pk``."""
+    params = pk.params
+    if len(sig.salt) != params.salt_len:
+        return False
+    try:
+        s2 = decompress(sig.s2_compressed, params.compressed_sig_bits, params.n)
+    except CompressError:
+        return False
+    c = hash_to_point(sig.salt + message, params.q, params.n)
+    s1 = recover_s1(pk, c, s2)
+    norm_sq = sum(v * v for v in s1) + sum(v * v for v in s2)
+    return norm_sq <= params.sig_bound

@@ -1,0 +1,48 @@
+"""Emulation of FALCON's custom 64-bit floating-point type (``fpr``).
+
+FALCON approximates IEEE-754 double precision with its own constant-time
+software implementation (``fpr.c``, the FALCON_FPEMU path): 1 sign bit,
+11 exponent bits, 52 mantissa bits, round-to-nearest-even, and subnormal
+results flushed to zero. The multiplication splits each 53-bit significand
+into a 25-bit low limb and a 28-bit high limb and accumulates the four
+schoolbook partial products — precisely the intermediates the paper's
+extend-and-prune attack keys on.
+
+* :mod:`repro.fpr.emu` — the arithmetic itself, bit-exact against host
+  IEEE-754 doubles (validated by property tests).
+* :mod:`repro.fpr.trace` — the same multiplication, instrumented to emit
+  every architectural intermediate in execution order for the leakage
+  simulator.
+"""
+
+from repro.fpr.emu import (
+    fpr_add,
+    fpr_div,
+    fpr_mul,
+    fpr_neg,
+    fpr_of,
+    fpr_sqrt,
+    fpr_sub,
+    fpr_to_float,
+    fpr_from_float,
+    decompose,
+    compose,
+)
+from repro.fpr.trace import FprMulTrace, fpr_mul_trace, MUL_STEP_LABELS
+
+__all__ = [
+    "fpr_add",
+    "fpr_sub",
+    "fpr_mul",
+    "fpr_div",
+    "fpr_sqrt",
+    "fpr_neg",
+    "fpr_of",
+    "fpr_to_float",
+    "fpr_from_float",
+    "decompose",
+    "compose",
+    "FprMulTrace",
+    "fpr_mul_trace",
+    "MUL_STEP_LABELS",
+]

@@ -1,0 +1,304 @@
+"""Bit-level emulation of FALCON's 64-bit floating-point arithmetic.
+
+An ``fpr`` value is a 64-bit pattern held in a Python int:
+
+    bit 63      sign s
+    bits 52-62  biased exponent E (bias 1023)
+    bits 0-51   mantissa fraction m
+
+representing (-1)^s * (2^52 + m) * 2^(E - 1075) for 0 < E < 2047.
+
+Semantics follow FALCON's ``fpr.c`` (FALCON_FPEMU):
+
+* round-to-nearest, ties-to-even, computed with exact integer arithmetic;
+* results whose exponent underflows the normal range are flushed to +/-0
+  (FALCON never produces subnormals in normal operation);
+* no NaNs/infinities are ever produced by FALCON; on overflow we saturate
+  to the IEEE infinity pattern so misuse is at least visible.
+
+For every input that is a normal double (or zero), each operation here is
+bit-identical to the host's IEEE-754 double operation — the property-based
+test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "SIGN_BIT",
+    "EXP_BITS",
+    "MANT_BITS",
+    "BIAS",
+    "fpr_from_float",
+    "fpr_to_float",
+    "decompose",
+    "compose",
+    "is_zero",
+    "fpr_of",
+    "fpr_neg",
+    "fpr_abs",
+    "fpr_half",
+    "fpr_double",
+    "fpr_add",
+    "fpr_sub",
+    "fpr_mul",
+    "fpr_div",
+    "fpr_sqrt",
+    "fpr_rint",
+    "fpr_floor",
+    "fpr_trunc",
+    "fpr_lt",
+]
+
+EXP_BITS = 11
+MANT_BITS = 52
+BIAS = 1023
+SIGN_BIT = 1 << 63
+_EXP_MASK = (1 << EXP_BITS) - 1
+_MANT_MASK = (1 << MANT_BITS) - 1
+_IMPLICIT = 1 << MANT_BITS
+_INF = 0x7FF << MANT_BITS
+
+
+def fpr_from_float(x: float) -> int:
+    """Bit pattern of a host double."""
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def fpr_to_float(x: int) -> float:
+    """Host double from a bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", x & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def decompose(x: int) -> tuple[int, int, int]:
+    """Raw (sign, biased exponent, mantissa fraction) fields."""
+    return (x >> 63) & 1, (x >> MANT_BITS) & _EXP_MASK, x & _MANT_MASK
+
+
+def compose(sign: int, biased_exp: int, mant: int) -> int:
+    """Pack raw fields back into a bit pattern."""
+    if sign not in (0, 1):
+        raise ValueError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= biased_exp <= _EXP_MASK:
+        raise ValueError(f"biased exponent out of range: {biased_exp}")
+    if not 0 <= mant <= _MANT_MASK:
+        raise ValueError(f"mantissa out of range: {mant}")
+    return (sign << 63) | (biased_exp << MANT_BITS) | mant
+
+
+def is_zero(x: int) -> bool:
+    return (x & ~SIGN_BIT) == 0
+
+
+def _unpack_normal(x: int) -> tuple[int, int, int]:
+    """(sign, significand in [2^52, 2^53), exponent e with value = sig*2^e).
+
+    Caller must ensure x is a nonzero normal (FALCON never holds
+    subnormals; we treat them as invalid input).
+    """
+    s, be, m = decompose(x)
+    if be == 0:
+        raise ValueError("subnormal input: FALCON's fpr never holds subnormals")
+    if be == _EXP_MASK:
+        raise ValueError("non-finite input: FALCON's fpr never holds inf/NaN")
+    return s, _IMPLICIT | m, be - BIAS - MANT_BITS
+
+
+def _round_pack(sign: int, sig: int, exp: int) -> int:
+    """Round value = sig * 2^exp (sig > 0, exact) to an fpr, RNE.
+
+    Normal results only; underflow flushes to signed zero, overflow
+    saturates to infinity.
+    """
+    nbits = sig.bit_length()
+    drop = nbits - (MANT_BITS + 1)
+    if drop > 0:
+        keep = sig >> drop
+        rem = sig & ((1 << drop) - 1)
+        half = 1 << (drop - 1)
+        if rem > half or (rem == half and keep & 1):
+            keep += 1
+            if keep >> (MANT_BITS + 1):
+                keep >>= 1
+                drop += 1
+        sig = keep
+        exp += drop
+    elif drop < 0:
+        sig <<= -drop
+        exp += drop
+    # value = sig * 2^exp with sig in [2^52, 2^53)
+    biased = exp + MANT_BITS + BIAS
+    if biased >= _EXP_MASK:
+        return (sign << 63) | _INF
+    if biased <= 0:
+        return sign << 63
+    return compose(sign, biased, sig & _MANT_MASK)
+
+
+def fpr_of(i: int) -> int:
+    """Exact conversion from an integer (|i| < 2^53, as in FALCON)."""
+    if i == 0:
+        return 0
+    sign = 1 if i < 0 else 0
+    mag = -i if i < 0 else i
+    if mag >= 1 << 53:
+        raise ValueError(f"integer too large for exact fpr conversion: {i}")
+    return _round_pack(sign, mag, 0)
+
+
+def fpr_neg(x: int) -> int:
+    return x ^ SIGN_BIT
+
+
+def fpr_abs(x: int) -> int:
+    return x & ~SIGN_BIT
+
+
+def fpr_half(x: int) -> int:
+    """x / 2 (exponent decrement; flush to zero on underflow)."""
+    if is_zero(x):
+        return x
+    s, sig, e = _unpack_normal(x)
+    return _round_pack(s, sig, e - 1)
+
+
+def fpr_double(x: int) -> int:
+    """x * 2 (exponent increment)."""
+    if is_zero(x):
+        return x
+    s, sig, e = _unpack_normal(x)
+    return _round_pack(s, sig, e + 1)
+
+
+def fpr_add(x: int, y: int) -> int:
+    """Exact-arithmetic IEEE-754 addition with RNE."""
+    if is_zero(x) and is_zero(y):
+        # IEEE: (+0) + (-0) = +0 under RNE; equal signs keep the sign.
+        return x if x == y else 0
+    if is_zero(x):
+        return y
+    if is_zero(y):
+        return x
+    sx, mx, ex = _unpack_normal(x)
+    sy, my, ey = _unpack_normal(y)
+    e0 = min(ex, ey)
+    vx = (mx << (ex - e0)) * (-1 if sx else 1)
+    vy = (my << (ey - e0)) * (-1 if sy else 1)
+    v = vx + vy
+    if v == 0:
+        return 0  # exact cancellation is +0 under RNE
+    sign = 1 if v < 0 else 0
+    return _round_pack(sign, abs(v), e0)
+
+
+def fpr_sub(x: int, y: int) -> int:
+    return fpr_add(x, fpr_neg(y))
+
+
+def fpr_mul(x: int, y: int) -> int:
+    """Exact-arithmetic IEEE-754 multiplication with RNE.
+
+    This is the reference result; the limb-level execution (the attack
+    target) lives in :mod:`repro.fpr.trace` and is asserted to reconstruct
+    the same pattern.
+    """
+    if is_zero(x) or is_zero(y):
+        return ((x ^ y) & SIGN_BIT)
+    sx, mx, ex = _unpack_normal(x)
+    sy, my, ey = _unpack_normal(y)
+    return _round_pack(sx ^ sy, mx * my, ex + ey)
+
+
+def fpr_div(x: int, y: int) -> int:
+    """Exact-quotient IEEE-754 division with RNE (y must be nonzero)."""
+    if is_zero(y):
+        raise ZeroDivisionError("fpr division by zero")
+    if is_zero(x):
+        return (x ^ y) & SIGN_BIT
+    sx, mx, ex = _unpack_normal(x)
+    sy, my, ey = _unpack_normal(y)
+    # 56 guard bits make the quotient wide enough that RNE on (q, sticky)
+    # equals RNE on the exact quotient.
+    shift = 56
+    q, rem = divmod(mx << shift, my)
+    if rem:
+        q |= 1  # fold the sticky into the lowest guard bit
+    return _round_pack(sx ^ sy, q, ex - ey - shift)
+
+
+def fpr_sqrt(x: int) -> int:
+    """IEEE-754 square root with RNE (x must be non-negative)."""
+    if is_zero(x):
+        return x
+    s, m, e = _unpack_normal(x)
+    if s:
+        raise ValueError("fpr_sqrt of a negative value")
+    # Make the exponent even, then sqrt(m * 2^e) = sqrt(m) * 2^(e/2).
+    if e & 1:
+        m <<= 1
+        e -= 1
+    # 2*54 guard bits; r has ~80 bits, plenty above the 53 we keep.
+    v = m << 108
+    r = _isqrt(v)
+    if r * r != v:
+        r |= 1  # sticky: the true root is strictly between r and r+1
+    return _round_pack(0, r, e // 2 - 54)
+
+
+def _isqrt(v: int) -> int:
+    import math
+
+    return math.isqrt(v)
+
+
+def fpr_rint(x: int) -> int:
+    """Round to nearest integer, ties to even (returns a Python int)."""
+    if is_zero(x):
+        return 0
+    s, m, e = _unpack_normal(x)
+    if e >= 0:
+        mag = m << e
+    else:
+        shift = -e
+        if shift > 54 + MANT_BITS:
+            return 0
+        keep = m >> shift
+        rem = m & ((1 << shift) - 1)
+        half = 1 << (shift - 1)
+        if rem > half or (rem == half and keep & 1):
+            keep += 1
+        mag = keep
+    return -mag if s else mag
+
+
+def fpr_floor(x: int) -> int:
+    """Largest integer <= x (returns a Python int)."""
+    if is_zero(x):
+        return 0
+    s, m, e = _unpack_normal(x)
+    if e >= 0:
+        mag = m << e
+        return -mag if s else mag
+    shift = -e
+    if shift > 54 + MANT_BITS:
+        return -1 if s else 0
+    keep = m >> shift
+    rem = m & ((1 << shift) - 1)
+    if s:
+        return -(keep + (1 if rem else 0))
+    return keep
+
+
+def fpr_trunc(x: int) -> int:
+    """Round toward zero (returns a Python int)."""
+    if is_zero(x):
+        return 0
+    s, m, e = _unpack_normal(x)
+    mag = m << e if e >= 0 else (m >> min(-e, 54 + MANT_BITS))
+    return -mag if s else mag
+
+
+def fpr_lt(x: int, y: int) -> bool:
+    """Signed comparison x < y on bit patterns."""
+    return fpr_to_float(x) < fpr_to_float(y)

@@ -1,0 +1,276 @@
+"""Instrumented execution of FALCON's floating-point multiplication.
+
+``fpr.c`` (FALCON_FPEMU) multiplies two 53-bit significands by splitting
+each into a 25-bit low limb and a 28-bit high limb and accumulating the
+four schoolbook partial products; the dropped low bits feed a sticky bit
+for round-to-nearest-even, the exponents are added (plus the
+normalization carry) and the sign is the XOR of the operand signs.
+
+:func:`fpr_mul_trace` executes precisely that sequence and records every
+architectural intermediate in order. The leakage simulator
+(:mod:`repro.leakage.synth`) turns each recorded value into trace samples;
+the attack (:mod:`repro.attack`) predicts the same values for key guesses.
+
+Naming matches the paper's Figure 2: for a secret coefficient ``x`` and a
+known coefficient ``y``,
+
+    D = x_lo (25 secret bits)       B = y_lo (25 known bits)
+    C = x_hi (28 bits, MSB fixed 1) A = y_hi (28 known bits)
+
+The "extend" phase attacks the products ``p_ll = D*B`` / ``p_lh = D*A``
+(and ``p_hl = C*B`` / ``p_hh = C*A`` for the high limb); the "prune" phase
+attacks the intermediate additions ``s_lo``/``s_mid``/``s_hi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpr import emu
+
+__all__ = [
+    "MUL_STEP_LABELS",
+    "MUL_STEP_WIDTHS",
+    "ADD_STEP_LABELS",
+    "ADD_STEP_WIDTHS",
+    "FprMulTrace",
+    "FprAddTrace",
+    "fpr_mul_trace",
+    "fpr_add_trace",
+    "mul_limbs",
+]
+
+LOW_BITS = 25
+HIGH_BITS = 28
+_MASK25 = (1 << LOW_BITS) - 1
+
+#: Architectural intermediates of one fpr multiplication, in execution order.
+MUL_STEP_LABELS = (
+    "load_x_lo",   # D: secret low limb
+    "load_x_hi",   # C: secret high limb (MSB always 1)
+    "load_y_lo",   # B: known low limb
+    "load_y_hi",   # A: known high limb
+    "p_ll",        # D*B
+    "p_lh",        # D*A
+    "s_lo",        # (p_ll >> 25) + p_lh     <- prune target, low limb
+    "p_hl",        # C*B
+    "s_mid",       # s_lo + p_hl             <- prune target, high limb
+    "p_hh",        # C*A
+    "s_hi",        # (s_mid >> 25) + p_hh  == full product >> 50
+    "sticky",      # dropped low bits (rounding sticky input)
+    "mant_out",    # rounded 52-bit mantissa field of the result
+    "exp_sum",     # raw biased exponent sum E_x + E_y
+    "exp_biased",  # (E_x + E_y - 2100) as a 32-bit two's-complement word
+    "exp_out",     # final biased exponent of the result
+    "sign_out",    # XOR of the operand sign bits
+    "result",      # full 64-bit output pattern
+)
+
+#: fpr.c re-biases the exponent sum before normalization; the constant
+#: folds the two IEEE biases and the product shift. The value is held in
+#: a signed 32-bit register, so its (usually negative) two's-complement
+#: pattern is what leaks — and its carry structure is what lets the
+#: exponent attack separate guesses whose raw sums only differ by a
+#: constant Hamming-weight offset.
+EXP_REBIAS = 2100
+
+#: Bit width of each step's value (upper bound; used by leakage scaling).
+MUL_STEP_WIDTHS = {
+    "load_x_lo": 25,
+    "load_x_hi": 28,
+    "load_y_lo": 25,
+    "load_y_hi": 28,
+    "p_ll": 50,
+    "p_lh": 53,
+    "s_lo": 54,
+    "p_hl": 53,
+    "s_mid": 55,
+    "p_hh": 56,
+    "s_hi": 56,
+    "sticky": 50,
+    "mant_out": 52,
+    "exp_sum": 12,
+    "exp_biased": 32,
+    "exp_out": 11,
+    "sign_out": 1,
+    "result": 64,
+}
+
+
+#: Architectural intermediates of one fpr addition, in execution order.
+#: The softfloat compares magnitudes, aligns the smaller significand to
+#: the larger exponent, adds or subtracts, renormalizes and rounds.
+ADD_STEP_LABELS = (
+    "exp_diff",      # |E_big - E_small| (alignment shift amount)
+    "mant_big",      # significand of the larger-magnitude operand
+    "mant_aligned",  # smaller significand shifted right by exp_diff
+    "mant_sum",      # raw sum/difference of the significands
+    "add_mant_out",  # rounded mantissa field of the result
+    "add_exp_out",   # biased exponent of the result
+    "add_sign_out",  # sign of the result
+    "add_result",    # full 64-bit output pattern
+)
+
+ADD_STEP_WIDTHS = {
+    "exp_diff": 11,
+    "mant_big": 53,
+    "mant_aligned": 53,
+    "mant_sum": 54,
+    "add_mant_out": 52,
+    "add_exp_out": 11,
+    "add_sign_out": 1,
+    "add_result": 64,
+}
+
+
+@dataclass(frozen=True)
+class FprAddTrace:
+    """All intermediates of one instrumented fpr addition."""
+
+    x: int
+    y: int
+    result: int
+    steps: tuple[tuple[str, int], ...]
+
+    def value(self, label: str) -> int:
+        for lab, val in self.steps:
+            if lab == label:
+                return val
+        raise KeyError(f"no step named {label!r}")
+
+    @property
+    def values(self) -> list[int]:
+        return [val for _, val in self.steps]
+
+    @property
+    def labels(self) -> list[str]:
+        return [lab for lab, _ in self.steps]
+
+
+def fpr_add_trace(x: int, y: int) -> FprAddTrace:
+    """Add two fpr patterns, recording every intermediate.
+
+    Zero operands short-circuit (only the result step is emitted), as
+    in the hardware: nothing data dependent executes.
+    """
+    result = emu.fpr_add(x, y)
+    if emu.is_zero(x) or emu.is_zero(y):
+        return FprAddTrace(x=x, y=y, result=result, steps=(("add_result", result),))
+
+    # magnitude order: larger |value| has the larger abs bit pattern
+    if (x & ~(1 << 63)) >= (y & ~(1 << 63)):
+        big, small = x, y
+    else:
+        big, small = y, x
+    s_b, m_b, _ = emu._unpack_normal(big)
+    s_s, m_s, _ = emu._unpack_normal(small)
+    _, eb, _ = emu.decompose(big)
+    _, es, _ = emu.decompose(small)
+    exp_diff = eb - es
+    aligned = m_s >> min(exp_diff, 63)
+    mant_sum = m_b + aligned if s_b == s_s else m_b - aligned
+
+    sign_out, exp_out, mant_out = emu.decompose(result)
+    steps = (
+        ("exp_diff", exp_diff),
+        ("mant_big", m_b),
+        ("mant_aligned", aligned),
+        ("mant_sum", mant_sum),
+        ("add_mant_out", mant_out),
+        ("add_exp_out", exp_out),
+        ("add_sign_out", sign_out),
+        ("add_result", result),
+    )
+    return FprAddTrace(x=x, y=y, result=result, steps=steps)
+
+
+def mul_limbs(significand: int) -> tuple[int, int]:
+    """Split a 53-bit significand into (low 25 bits, high 28 bits)."""
+    if not 1 << 52 <= significand < 1 << 53:
+        raise ValueError(f"significand out of range: {significand:#x}")
+    return significand & _MASK25, significand >> LOW_BITS
+
+
+@dataclass(frozen=True)
+class FprMulTrace:
+    """All intermediates of one instrumented fpr multiplication."""
+
+    x: int          # secret operand bit pattern
+    y: int          # known operand bit pattern
+    result: int     # product bit pattern
+    steps: tuple[tuple[str, int], ...]  # (label, value) in execution order
+
+    def value(self, label: str) -> int:
+        for lab, val in self.steps:
+            if lab == label:
+                return val
+        raise KeyError(f"no step named {label!r}")
+
+    @property
+    def values(self) -> list[int]:
+        return [val for _, val in self.steps]
+
+    @property
+    def labels(self) -> list[str]:
+        return [lab for lab, _ in self.steps]
+
+
+def fpr_mul_trace(x: int, y: int) -> FprMulTrace:
+    """Multiply two fpr patterns, recording every intermediate.
+
+    ``x`` is the secret operand (a coefficient of FFT(f)); ``y`` is the
+    known operand (a coefficient of FFT(c)). Zero operands short-circuit
+    (FALCON's code does the same); the returned step list is then empty
+    except for the final result, and such traces are excluded from
+    attacks (a zero FFT(c) coefficient carries no information anyway).
+    """
+    result = emu.fpr_mul(x, y)
+    if emu.is_zero(x) or emu.is_zero(y):
+        return FprMulTrace(x=x, y=y, result=result, steps=(("result", result),))
+
+    sx, mx, _ = emu._unpack_normal(x)
+    sy, my, _ = emu._unpack_normal(y)
+    _, ex_b, _ = emu.decompose(x)
+    _, ey_b, _ = emu.decompose(y)
+
+    x_lo, x_hi = mul_limbs(mx)
+    y_lo, y_hi = mul_limbs(my)
+
+    p_ll = x_lo * y_lo
+    p_lh = x_lo * y_hi
+    s_lo = (p_ll >> LOW_BITS) + p_lh
+    p_hl = x_hi * y_lo
+    s_mid = s_lo + p_hl
+    p_hh = x_hi * y_hi
+    s_hi = (s_mid >> LOW_BITS) + p_hh
+    sticky = (p_ll & _MASK25) | ((s_mid & _MASK25) << LOW_BITS)
+
+    # Consistency with the exact product: s_hi is the top, sticky the rest.
+    assert s_hi == (mx * my) >> 50
+    assert sticky == (mx * my) & ((1 << 50) - 1)
+
+    sign_out, exp_out, mant_out = emu.decompose(result)
+    exp_sum = ex_b + ey_b
+    exp_biased = (exp_sum - EXP_REBIAS) & 0xFFFFFFFF
+
+    steps = (
+        ("load_x_lo", x_lo),
+        ("load_x_hi", x_hi),
+        ("load_y_lo", y_lo),
+        ("load_y_hi", y_hi),
+        ("p_ll", p_ll),
+        ("p_lh", p_lh),
+        ("s_lo", s_lo),
+        ("p_hl", p_hl),
+        ("s_mid", s_mid),
+        ("p_hh", p_hh),
+        ("s_hi", s_hi),
+        ("sticky", sticky),
+        ("mant_out", mant_out),
+        ("exp_sum", exp_sum),
+        ("exp_biased", exp_biased),
+        ("exp_out", exp_out),
+        ("sign_out", sx ^ sy),
+        ("result", result),
+    )
+    return FprMulTrace(x=x, y=y, result=result, steps=steps)

@@ -1,0 +1,185 @@
+"""Measurement campaigns against FALCON signing.
+
+Replays the attacked computation — the coefficient-wise product
+FFT(c) (*) FFT(f) at line 3 of the signing algorithm — for many random
+messages and records EM traces of the floating-point multiplications that
+involve one chosen secret double.
+
+FALCON's complex multiplication (FPC_MUL) of slot k computes four real
+products; the secret double Re(FFT(f)_k) is multiplied by the two known
+doubles Re(FFT(c)_k) and Im(FFT(c)_k) (and Im(FFT(f)_k) by the same
+pair), so every signing contributes two traces-worth of leakage per
+secret double. These form the two :class:`Segment` streams of a
+:class:`TraceSet`.
+
+Message modes:
+
+* ``"hash"`` — full fidelity: draw a salt, hash salt||message with
+  SHAKE-256 through HashToPoint, exactly like the signer.
+* ``"direct"`` — draw c uniformly from Z_q^n directly. HashToPoint's
+  output is i.i.d. uniform mod q, so this is the same distribution at a
+  fraction of the cost; campaigns of 10k+ traces use it by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.falcon.hash_to_point import hash_to_point
+from repro.falcon.keygen import SecretKey
+from repro.leakage.device import DeviceModel
+from repro.leakage.synth import mul_step_values, trace_layout
+from repro.leakage.traceset import Segment, TraceSet
+from repro.math import fft
+from repro.utils.rng import ChaCha20Prng
+
+__all__ = ["CaptureCampaign", "capture_coefficient", "fft_to_doubles", "doubles_to_fft"]
+
+
+def fft_to_doubles(f_fft: np.ndarray) -> np.ndarray:
+    """Interleave an (n/2,) complex FFT array into n real doubles.
+
+    Index 2k is Re(slot k), index 2k+1 is Im(slot k) — the order the
+    attack walks the secret doubles in.
+    """
+    out = np.empty(2 * len(f_fft), dtype=np.float64)
+    out[0::2] = f_fft.real
+    out[1::2] = f_fft.imag
+    return out
+
+
+def doubles_to_fft(doubles: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fft_to_doubles`."""
+    doubles = np.asarray(doubles, dtype=np.float64)
+    return doubles[0::2] + 1j * doubles[1::2]
+
+
+def _is_normal(patterns: np.ndarray) -> np.ndarray:
+    e = (patterns >> np.uint64(52)) & np.uint64(0x7FF)
+    return (e != 0) & (e != 0x7FF)
+
+
+@dataclass
+class CaptureCampaign:
+    """A reusable acquisition session against one secret key.
+
+    The known-message material (the matrix of FFT(c) values) is generated
+    once and shared by the per-coefficient trace sets, like a real bench
+    reusing one corpus of recorded signings.
+    """
+
+    sk: SecretKey
+    device: DeviceModel = field(default_factory=DeviceModel)
+    n_traces: int = 10_000
+    mode: str = "direct"          # "direct" | "hash"
+    seed: int = 2021
+    #: Optional hook transforming the (D, S) step-value matrix before the
+    #: device emits samples — how countermeasures (masking, shuffling)
+    #: are modeled (see :mod:`repro.countermeasures`).
+    value_transform: object = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("direct", "hash"):
+            raise ValueError(f"unknown capture mode {self.mode!r}")
+        self._c_fft: np.ndarray | None = None
+        self._secret_doubles: np.ndarray | None = None
+
+    # -- known-plaintext corpus -------------------------------------------
+
+    def _build_corpus(self) -> None:
+        params = self.sk.params
+        n = params.n
+        rng = ChaCha20Prng(("capture", self.seed, self.mode, n).__repr__())
+        c_fft = np.empty((self.n_traces, n // 2), dtype=np.complex128)
+        if self.mode == "hash":
+            for d in range(self.n_traces):
+                salt = rng.randombytes(params.salt_len)
+                msg = rng.randombytes(32)
+                c = hash_to_point(salt + msg, params.q, n)
+                c_fft[d] = fft.fft(c)
+        else:
+            q = params.q
+            np_rng = np.random.default_rng(self.seed)
+            cs = np_rng.integers(0, q, size=(self.n_traces, n))
+            for d in range(self.n_traces):
+                c_fft[d] = fft.fft(cs[d].astype(np.float64))
+        self._c_fft = c_fft
+        self._secret_doubles = fft_to_doubles(fft.fft(self.sk.f))
+
+    @property
+    def c_fft(self) -> np.ndarray:
+        if self._c_fft is None:
+            self._build_corpus()
+        return self._c_fft
+
+    @property
+    def secret_doubles(self) -> np.ndarray:
+        if self._secret_doubles is None:
+            self._build_corpus()
+        return self._secret_doubles
+
+    @property
+    def n_targets(self) -> int:
+        return self.sk.params.n
+
+    # -- acquisition -------------------------------------------------------
+
+    def capture(self, target_index: int) -> TraceSet:
+        """TraceSet for secret double ``target_index`` (0 .. n-1)."""
+        n = self.sk.params.n
+        if not 0 <= target_index < n:
+            raise ValueError(f"target_index must be in 0..{n - 1}, got {target_index}")
+        slot = target_index // 2
+        secret = float(self.secret_doubles[target_index])
+        secret_pattern = np.float64(secret).view(np.uint64)
+        if not _is_normal(np.array([secret_pattern], dtype=np.uint64))[0]:
+            raise ValueError(
+                f"secret double at index {target_index} is zero/non-normal; "
+                "it multiplies to zero and leaks nothing"
+            )
+        rng = np.random.default_rng((self.device.seed, self.seed, target_index))
+        segments = []
+        for name, known in (
+            ("x_re", np.ascontiguousarray(self.c_fft[:, slot].real)),
+            ("x_im", np.ascontiguousarray(self.c_fft[:, slot].imag)),
+        ):
+            patterns = known.view(np.uint64)
+            keep = _is_normal(patterns)
+            patterns = patterns[keep]
+            values = mul_step_values(int(secret_pattern), patterns)
+            if self.value_transform is not None:
+                values = self.value_transform(values, rng)
+            traces = self.device.emit(values, rng)
+            segments.append(Segment(known_y=patterns, traces=traces, name=name))
+        return TraceSet(
+            layout=trace_layout(self.device),
+            segments=segments,
+            target_index=target_index,
+            true_secret=int(secret_pattern),
+            meta={"n": n, "mode": self.mode, "slot": slot},
+        )
+
+    def capture_all(self) -> list[TraceSet]:
+        """One TraceSet per secret double (the full-key campaign)."""
+        return [self.capture(j) for j in range(self.n_targets)]
+
+
+def capture_coefficient(
+    sk: SecretKey,
+    target_index: int,
+    n_traces: int = 10_000,
+    device: DeviceModel | None = None,
+    mode: str = "direct",
+    seed: int = 2021,
+) -> TraceSet:
+    """Convenience wrapper: one-shot capture of a single secret double."""
+    campaign = CaptureCampaign(
+        sk=sk,
+        device=device if device is not None else DeviceModel(),
+        n_traces=n_traces,
+        mode=mode,
+        seed=seed,
+    )
+    return campaign.capture(target_index)

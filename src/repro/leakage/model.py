@@ -1,0 +1,61 @@
+"""Leakage models: how an intermediate value maps to emitted signal.
+
+The paper's distinguisher assumes Hamming-weight leakage (Brier et al.);
+:class:`HammingWeightModel` is therefore the default everywhere. The
+Hamming-distance and weighted-bit variants support robustness experiments
+(how the attack degrades when the device leaks differently from the
+model the attacker assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.bits import hamming_weight_array
+
+__all__ = ["HammingWeightModel", "HammingDistanceModel", "WeightedBitModel"]
+
+
+@dataclass(frozen=True)
+class HammingWeightModel:
+    """signal = HW(value)."""
+
+    def signal(self, values: np.ndarray) -> np.ndarray:
+        """Noise-free signal for an array of (<= 64-bit) intermediates."""
+        return hamming_weight_array(values).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class HammingDistanceModel:
+    """signal = HD(value, previous value on the same bus)."""
+
+    def signal(self, values: np.ndarray, previous: np.ndarray | None = None) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint64)
+        if previous is None:
+            previous = np.zeros_like(values)
+        return hamming_weight_array(values ^ np.asarray(previous, dtype=np.uint64)).astype(
+            np.float64
+        )
+
+
+@dataclass(frozen=True)
+class WeightedBitModel:
+    """signal = sum_i w_i * bit_i(value): unequal per-bit contributions.
+
+    ``weights`` has one entry per bit position (little-endian). Models
+    probes that couple more strongly to some lines than others.
+    """
+
+    weights: tuple[float, ...] = field(default_factory=lambda: tuple([1.0] * 64))
+
+    def signal(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint64)
+        out = np.zeros(values.shape, dtype=np.float64)
+        for i, w in enumerate(self.weights):
+            if w == 0.0:
+                continue
+            bit = (values >> np.uint64(i)) & np.uint64(1)
+            out += w * bit.astype(np.float64)
+        return out

@@ -1,0 +1,102 @@
+"""TraceSet: one acquisition campaign against one secret coefficient.
+
+A secret double (one of the 2 * (n/2) real values inside FFT(f)) is
+multiplied, in FALCON's FPC_MUL, by two known doubles per signing: the
+real and the imaginary part of the corresponding FFT(c) slot. A TraceSet
+stores one :class:`Segment` per such multiplication stream; attacks may
+consume any subset (two segments double the effective trace count, since
+both use the same secret with independent known inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.leakage.synth import TraceLayout
+
+__all__ = ["Segment", "TraceSet"]
+
+
+@dataclass
+class Segment:
+    """Traces for one multiplication stream: secret * known_i."""
+
+    known_y: np.ndarray          # (D,) uint64 fpr patterns of the known operand
+    traces: np.ndarray           # (D, T) float32 samples
+    name: str = "seg"
+
+    def __post_init__(self) -> None:
+        self.known_y = np.asarray(self.known_y, dtype=np.uint64)
+        self.traces = np.asarray(self.traces, dtype=np.float32)
+        if self.known_y.shape[0] != self.traces.shape[0]:
+            raise ValueError(
+                f"{self.known_y.shape[0]} known values vs {self.traces.shape[0]} traces"
+            )
+
+    @property
+    def n_traces(self) -> int:
+        return int(self.traces.shape[0])
+
+    def head(self, n: int) -> "Segment":
+        """The first n traces (for trace-count evolution studies)."""
+        return Segment(known_y=self.known_y[:n], traces=self.traces[:n], name=self.name)
+
+
+@dataclass
+class TraceSet:
+    """All acquisitions targeting one secret double."""
+
+    layout: TraceLayout
+    segments: list[Segment]
+    target_index: int = 0                 # which double inside FFT(f)
+    true_secret: int | None = None        # ground-truth fpr pattern (sims only)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_traces(self) -> int:
+        return sum(seg.n_traces for seg in self.segments)
+
+    def head(self, n: int) -> "TraceSet":
+        return TraceSet(
+            layout=self.layout,
+            segments=[seg.head(n) for seg in self.segments],
+            target_index=self.target_index,
+            true_secret=self.true_secret,
+            meta=dict(self.meta),
+        )
+
+    def save(self, path: str) -> None:
+        """Persist to an .npz archive."""
+        arrays: dict[str, np.ndarray] = {}
+        names = []
+        for i, seg in enumerate(self.segments):
+            arrays[f"known_{i}"] = seg.known_y
+            arrays[f"traces_{i}"] = seg.traces
+            names.append(seg.name)
+        arrays["seg_names"] = np.array(names)
+        arrays["spp"] = np.array([self.layout.samples_per_step])
+        arrays["target_index"] = np.array([self.target_index])
+        arrays["true_secret"] = np.array(
+            [self.true_secret if self.true_secret is not None else 0], dtype=np.uint64
+        )
+        arrays["has_secret"] = np.array([self.true_secret is not None])
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "TraceSet":
+        data = np.load(path, allow_pickle=False)
+        names = [str(s) for s in data["seg_names"]]
+        segments = [
+            Segment(known_y=data[f"known_{i}"], traces=data[f"traces_{i}"], name=names[i])
+            for i in range(len(names))
+        ]
+        layout = TraceLayout(samples_per_step=int(data["spp"][0]))
+        secret = int(data["true_secret"][0]) if bool(data["has_secret"][0]) else None
+        return cls(
+            layout=layout,
+            segments=segments,
+            target_index=int(data["target_index"][0]),
+            true_secret=secret,
+        )

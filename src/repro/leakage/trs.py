@@ -1,0 +1,174 @@
+"""Minimal Riscure TRS (trace set) file support.
+
+TRS is the de-facto interchange format of commercial side-channel
+benches (the paper's traces were captured with Riscure tooling). This
+module implements the TRS v1 container: a tag-length-value header
+(NT number of traces, NS samples per trace, SC sample coding, DS data
+bytes per trace, TB trace-block marker) followed by packed traces, each
+optionally prefixed by per-trace data bytes (we store the known-operand
+pattern there, which is exactly what a known-plaintext campaign needs).
+
+Supported sample codings: float32 (0x14) for writing; float32/int8/
+int16 for reading. Enough to round-trip this repository's trace sets
+and to ingest externally captured float traces.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TrsError", "write_trs", "read_trs", "TrsData"]
+
+_TAG_NT = 0x41  # number of traces
+_TAG_NS = 0x42  # samples per trace
+_TAG_SC = 0x43  # sample coding
+_TAG_DS = 0x44  # data bytes per trace
+_TAG_TS = 0x46  # title space (unused, accepted)
+_TAG_DESC = 0x47  # description
+_TAG_TB = 0x5F  # trace block marker (end of header)
+
+_CODING_FLOAT = 0x14
+_CODING_INT8 = 0x01
+_CODING_INT16 = 0x02
+
+_CODING_DTYPES = {
+    _CODING_FLOAT: np.dtype("<f4"),
+    _CODING_INT8: np.dtype("<i1"),
+    _CODING_INT16: np.dtype("<i2"),
+}
+
+
+class TrsError(ValueError):
+    """Malformed TRS container."""
+
+
+@dataclass
+class TrsData:
+    """Contents of a TRS file."""
+
+    traces: np.ndarray        # (NT, NS) float32
+    data: np.ndarray          # (NT, DS) uint8 per-trace data (DS may be 0)
+    description: str = ""
+
+
+def _encode_tlv(tag: int, payload: bytes) -> bytes:
+    length = len(payload)
+    if length < 0x80:
+        return bytes([tag, length]) + payload
+    nbytes = (length.bit_length() + 7) // 8
+    return bytes([tag, 0x80 | nbytes]) + length.to_bytes(nbytes, "little") + payload
+
+
+def write_trs(
+    path: str,
+    traces: np.ndarray,
+    data: np.ndarray | None = None,
+    description: str = "",
+) -> None:
+    """Write (D, T) float traces (+ optional (D, DS) per-trace data bytes)."""
+    traces = np.atleast_2d(np.asarray(traces, dtype=np.float32))
+    nt, ns = traces.shape
+    if data is None:
+        data = np.zeros((nt, 0), dtype=np.uint8)
+    data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+    if data.shape[0] != nt:
+        raise TrsError(f"{nt} traces vs {data.shape[0]} data rows")
+    ds = data.shape[1]
+    with open(path, "wb") as fh:
+        fh.write(_encode_tlv(_TAG_NT, struct.pack("<I", nt)))
+        fh.write(_encode_tlv(_TAG_NS, struct.pack("<I", ns)))
+        fh.write(_encode_tlv(_TAG_SC, bytes([_CODING_FLOAT])))
+        fh.write(_encode_tlv(_TAG_DS, struct.pack("<H", ds)))
+        if description:
+            fh.write(_encode_tlv(_TAG_DESC, description.encode()))
+        fh.write(bytes([_TAG_TB, 0x00]))
+        for d in range(nt):
+            fh.write(data[d].tobytes())
+            fh.write(traces[d].tobytes())
+
+
+def read_trs(path: str) -> TrsData:
+    """Read a TRS v1 file into float32 traces + raw per-trace data."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    pos = 0
+    nt = ns = None
+    ds = 0
+    coding = _CODING_FLOAT
+    description = ""
+    while pos < len(blob):
+        tag = blob[pos]
+        length = blob[pos + 1]
+        pos += 2
+        if length & 0x80:
+            nbytes = length & 0x7F
+            length = int.from_bytes(blob[pos : pos + nbytes], "little")
+            pos += nbytes
+        payload = blob[pos : pos + length]
+        pos += length
+        if tag == _TAG_TB:
+            break
+        if tag == _TAG_NT:
+            nt = struct.unpack("<I", payload)[0]
+        elif tag == _TAG_NS:
+            ns = struct.unpack("<I", payload)[0]
+        elif tag == _TAG_SC:
+            coding = payload[0]
+        elif tag == _TAG_DS:
+            ds = struct.unpack("<H", payload)[0]
+        elif tag == _TAG_DESC:
+            description = payload.decode(errors="replace")
+        # other tags are legal and ignored
+    else:
+        raise TrsError("no trace-block marker in header")
+    if nt is None or ns is None:
+        raise TrsError("header lacks NT/NS")
+    if coding not in _CODING_DTYPES:
+        raise TrsError(f"unsupported sample coding {coding:#04x}")
+    dtype = _CODING_DTYPES[coding]
+    stride = ds + ns * dtype.itemsize
+    body = blob[pos:]
+    if len(body) < nt * stride:
+        raise TrsError(f"body holds {len(body)} bytes, need {nt * stride}")
+    data = np.empty((nt, ds), dtype=np.uint8)
+    traces = np.empty((nt, ns), dtype=np.float32)
+    for d in range(nt):
+        row = body[d * stride : (d + 1) * stride]
+        if ds:
+            data[d] = np.frombuffer(row[:ds], dtype=np.uint8)
+        traces[d] = np.frombuffer(row[ds:], dtype=dtype).astype(np.float32)
+    return TrsData(traces=traces, data=data, description=description)
+
+
+def traceset_to_trs(traceset, path_prefix: str) -> list[str]:
+    """Export every segment of a TraceSet as `<prefix>_<segname>.trs`.
+
+    The known operand pattern is stored as 8 little-endian data bytes
+    per trace, so an external tool has the full known-plaintext context.
+    """
+    paths = []
+    for seg in traceset.segments:
+        data = seg.known_y.astype("<u8").view(np.uint8).reshape(-1, 8)
+        path = f"{path_prefix}_{seg.name}.trs"
+        write_trs(
+            path,
+            seg.traces,
+            data,
+            description=f"falcon-down target={traceset.target_index} seg={seg.name}",
+        )
+        paths.append(path)
+    return paths
+
+
+def trs_to_segment(path: str):
+    """Import a TRS file (with 8-byte known-operand data) as a Segment."""
+    from repro.leakage.traceset import Segment
+
+    trs = read_trs(path)
+    if trs.data.shape[1] != 8:
+        raise TrsError("expected 8 data bytes per trace (known operand pattern)")
+    known = np.ascontiguousarray(trs.data).view("<u8").reshape(-1)
+    return Segment(known_y=known.astype(np.uint64), traces=trs.traces)

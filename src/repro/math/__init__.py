@@ -1,0 +1,16 @@
+"""Mathematical substrate: polynomial rings, FFT, NTT, discrete Gaussians.
+
+Everything FALCON needs that is not floating-point emulation lives here:
+
+* :mod:`repro.math.poly` — exact integer arithmetic in Z[x]/(x^n + 1),
+  including the field norm and Galois conjugate used by NTRUSolve.
+* :mod:`repro.math.fft` — FALCON's FFT representation (n/2 complex slots)
+  with split/merge, as required by ffLDL*/ffSampling.
+* :mod:`repro.math.ntt` — number-theoretic transform mod q = 12289 used by
+  signature verification and by the NTT-vs-FFT leakage ablation.
+* :mod:`repro.math.gaussian` — discrete Gaussian reference samplers.
+"""
+
+from repro.math import fft, gaussian, ntt, poly
+
+__all__ = ["poly", "fft", "ntt", "gaussian"]

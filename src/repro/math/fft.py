@@ -1,0 +1,142 @@
+"""FALCON's FFT representation over the ring R[x]/(x^n + 1).
+
+A real polynomial f of (power-of-two) length n >= 2 is represented in the
+FFT domain by the n/2 complex values f(zeta_k), where
+
+    zeta_k = exp(i * pi * (2k + 1) / n),   k = 0 .. n/2 - 1
+
+are the roots of x^n + 1 in the upper half plane. The conjugate roots are
+implied because f is real: f(conj z) = conj f(z). This is exactly the
+layout of the reference implementation and of the FALCON specification,
+and it is what ffLDL* / ffSampling recurse over via split/merge.
+
+All arrays are ``numpy.complex128``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "roots",
+    "fft",
+    "ifft",
+    "split_fft",
+    "merge_fft",
+    "add_fft",
+    "sub_fft",
+    "mul_fft",
+    "div_fft",
+    "adj_fft",
+    "fft_ring_size",
+]
+
+
+@lru_cache(maxsize=32)
+def roots(n: int) -> np.ndarray:
+    """The stored roots zeta_k of x^n + 1, k = 0 .. n/2 - 1."""
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 2, got {n}")
+    k = np.arange(n // 2)
+    return np.exp(1j * np.pi * (2 * k + 1) / n)
+
+
+def fft_ring_size(f_fft: np.ndarray) -> int:
+    """Ring degree n for an FFT-domain array (n = 2 * len)."""
+    return 2 * len(f_fft)
+
+
+def fft(f) -> np.ndarray:
+    """Transform coefficients (length n >= 2) to the FFT domain."""
+    f = np.asarray(f, dtype=np.float64)
+    n = len(f)
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"length must be a power of two >= 2, got {n}")
+    if n == 2:
+        return np.array([f[0] + 1j * f[1]], dtype=np.complex128)
+    f0 = fft(f[0::2])
+    f1 = fft(f[1::2])
+    return merge_fft(f0, f1)
+
+
+def ifft(f_fft: np.ndarray) -> np.ndarray:
+    """Inverse transform back to real coefficients (length n)."""
+    f_fft = np.asarray(f_fft, dtype=np.complex128)
+    m = len(f_fft)
+    if m == 1:
+        return np.array([f_fft[0].real, f_fft[0].imag], dtype=np.float64)
+    f0, f1 = split_fft(f_fft)
+    c0 = ifft(f0)
+    c1 = ifft(f1)
+    out = np.empty(2 * m, dtype=np.float64)
+    out[0::2] = c0
+    out[1::2] = c1
+    return out
+
+
+def merge_fft(f0_fft: np.ndarray, f1_fft: np.ndarray) -> np.ndarray:
+    """Combine FFTs of the even/odd halves into the FFT of the parent.
+
+    If f(x) = f0(x^2) + x f1(x^2) with f0, f1 of ring size n/2, then for
+    each stored root zeta of x^n + 1:
+
+        f(zeta)  = f0(zeta^2) + zeta * f1(zeta^2)
+        f(-zeta) = f0(zeta^2) - zeta * f1(zeta^2)
+
+    and f(-zeta_k) = conj(f(zeta_{n/2-1-k})) because -zeta_k is the
+    conjugate of a stored root.
+    """
+    f0_fft = np.asarray(f0_fft, dtype=np.complex128)
+    f1_fft = np.asarray(f1_fft, dtype=np.complex128)
+    m = len(f0_fft)
+    if len(f1_fft) != m:
+        raise ValueError(f"half-size mismatch: {m} vs {len(f1_fft)}")
+    n = 4 * m
+    w = roots(n)[:m]
+    hi = f0_fft + w * f1_fft
+    lo = f0_fft - w * f1_fft
+    out = np.empty(2 * m, dtype=np.complex128)
+    out[:m] = hi
+    out[m:] = np.conj(lo[::-1])
+    return out
+
+
+def split_fft(f_fft: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`merge_fft` (FALCON's splitfft)."""
+    f_fft = np.asarray(f_fft, dtype=np.complex128)
+    m2 = len(f_fft)
+    if m2 < 2:
+        raise ValueError("cannot split below one complex slot")
+    m = m2 // 2
+    n = 2 * m2
+    w = roots(n)[:m]
+    u = f_fft[:m]
+    v = np.conj(f_fft[m:][::-1])
+    f0 = (u + v) / 2
+    f1 = (u - v) / (2 * w)
+    return f0, f1
+
+
+def add_fft(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.complex128) + np.asarray(b, dtype=np.complex128)
+
+
+def sub_fft(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.complex128) - np.asarray(b, dtype=np.complex128)
+
+
+def mul_fft(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pointwise product — polynomial multiplication in the ring."""
+    return np.asarray(a, dtype=np.complex128) * np.asarray(b, dtype=np.complex128)
+
+
+def div_fft(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pointwise quotient (caller guarantees b has no zero slot)."""
+    return np.asarray(a, dtype=np.complex128) / np.asarray(b, dtype=np.complex128)
+
+
+def adj_fft(a: np.ndarray) -> np.ndarray:
+    """Hermitian adjoint: complex conjugation in the FFT domain."""
+    return np.conj(np.asarray(a, dtype=np.complex128))

@@ -1,0 +1,161 @@
+"""Number-theoretic transform over Z_q[x]/(x^n + 1), q = 12289 by default.
+
+FALCON verifies signatures with integer arithmetic mod q, and the paper's
+Discussion V.C contrasts the side-channel behaviour of NTT-based schemes
+with FALCON's floating-point FFT. Both uses are served here:
+
+* :func:`ntt` / :func:`intt` — negacyclic NTT and inverse, used by
+  verification (`s1 = c - s2 h mod q`) and by fast mod-q polynomial ops.
+* :func:`ntt_with_trace` — the same forward transform, additionally
+  returning every butterfly output in execution order so the leakage
+  simulator can synthesize NTT traces for the NTT-vs-FFT ablation.
+
+q - 1 = 2^12 * 3, so primitive 2n-th roots of unity exist for all
+n <= 2048, which covers FALCON-1024.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "Q",
+    "find_primitive_root",
+    "psi_table",
+    "ntt",
+    "intt",
+    "ntt_with_trace",
+    "mul_ntt",
+]
+
+Q = 12289
+
+
+def _factorize(n: int) -> list[int]:
+    """Distinct prime factors by trial division (q is small)."""
+    out = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+@lru_cache(maxsize=8)
+def find_primitive_root(q: int) -> int:
+    """Smallest generator of the multiplicative group of Z_q (q prime)."""
+    factors = _factorize(q - 1)
+    for g in range(2, q):
+        if all(pow(g, (q - 1) // p, q) != 1 for p in factors):
+            return g
+    raise ValueError(f"no primitive root found for q={q}")
+
+
+@lru_cache(maxsize=32)
+def psi_table(n: int, q: int = Q) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Powers of a primitive 2n-th root psi and its inverse, mod q."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if (q - 1) % (2 * n) != 0:
+        raise ValueError(f"no 2n-th roots of unity mod {q} for n={n}")
+    g = find_primitive_root(q)
+    psi = pow(g, (q - 1) // (2 * n), q)
+    inv_psi = pow(psi, q - 2, q)
+    fwd = [1] * n
+    inv = [1] * n
+    for i in range(1, n):
+        fwd[i] = fwd[i - 1] * psi % q
+        inv[i] = inv[i - 1] * inv_psi % q
+    return tuple(fwd), tuple(inv)
+
+
+def _cyclic_ntt(a: list[int], q: int, omega: int, trace: list[int] | None) -> list[int]:
+    """Iterative radix-2 DIT cyclic NTT of power-of-two length."""
+    n = len(a)
+    a = list(a)
+    # bit-reversal permutation
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            a[i], a[j] = a[j], a[i]
+    length = 2
+    while length <= n:
+        w_len = pow(omega, n // length, q)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for k in range(start, start + half):
+                u = a[k]
+                v = a[k + half] * w % q
+                a[k] = (u + v) % q
+                a[k + half] = (u - v) % q
+                if trace is not None:
+                    trace.append(a[k])
+                    trace.append(a[k + half])
+                w = w * w_len % q
+        length <<= 1
+    return a
+
+
+def ntt(f: list[int], q: int = Q) -> list[int]:
+    """Negacyclic NTT: evaluations of f at the odd powers of psi."""
+    n = len(f)
+    fwd, _ = psi_table(n, q)
+    weighted = [f[i] % q * fwd[i] % q for i in range(n)]
+    omega = fwd[2 % n] if n > 1 else 1  # omega = psi^2
+    if n == 1:
+        return [f[0] % q]
+    return _cyclic_ntt(weighted, q, omega, None)
+
+
+def ntt_with_trace(f: list[int], q: int = Q) -> tuple[list[int], list[int]]:
+    """Forward NTT plus every butterfly output value, in execution order.
+
+    The returned trace values are the architectural intermediates a
+    power/EM probe would see on a sequential implementation; the leakage
+    simulator maps them through a Hamming-weight model.
+    """
+    n = len(f)
+    fwd, _ = psi_table(n, q)
+    trace: list[int] = []
+    weighted = []
+    for i in range(n):
+        w = f[i] % q * fwd[i] % q
+        weighted.append(w)
+        trace.append(w)
+    if n == 1:
+        return [f[0] % q], trace
+    omega = fwd[2 % n]
+    out = _cyclic_ntt(weighted, q, omega, trace)
+    return out, trace
+
+
+def intt(f_ntt: list[int], q: int = Q) -> list[int]:
+    """Inverse negacyclic NTT."""
+    n = len(f_ntt)
+    if n == 1:
+        return [f_ntt[0] % q]
+    fwd, inv = psi_table(n, q)
+    inv_omega = inv[2 % n]
+    a = _cyclic_ntt(list(f_ntt), q, inv_omega, None)
+    inv_n = pow(n, q - 2, q)
+    return [a[i] * inv_n % q * inv[i] % q for i in range(n)]
+
+
+def mul_ntt(f: list[int], g: list[int], q: int = Q) -> list[int]:
+    """Negacyclic polynomial product via the NTT."""
+    if len(f) != len(g):
+        raise ValueError(f"degree mismatch: {len(f)} vs {len(g)}")
+    fe = ntt(f, q)
+    ge = ntt(g, q)
+    return intt([a * b % q for a, b in zip(fe, ge)], q)

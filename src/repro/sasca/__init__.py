@@ -1,0 +1,28 @@
+"""Soft-analytical side-channel attack (SASCA) on an NTT — the paper's
+V-C comparator.
+
+Discussion V-C contrasts FALCON's ~10k-trace FFT attack with NTT-based
+schemes that "have shown to be vulnerable even with a single trace"
+(Pessl-Primas). The mechanism is implemented here from scratch: the
+NTT's butterfly network is a factor graph of modular linear constraints
+(u' = u + w*v, v' = u - w*v mod q); Hamming-weight leakage of *every*
+intermediate of one execution gives a prior on each variable; loopy
+belief propagation fuses the priors through the constraints until the
+input coefficients are pinned down exactly — from a single trace.
+
+The same approach is information-theoretically hopeless against
+FALCON's FFT: its 53-bit floating-point mantissas give HW priors of
+~5.7 bits over a 2^53 domain and the carries of IEEE arithmetic do not
+form low-degree modular constraints. That asymmetry is the quantitative
+content of V-C.
+
+* :mod:`repro.sasca.factor_graph` — generic BP over Z_q variables with
+  ternary linear factors (messages via cyclic (cross-)correlations).
+* :mod:`repro.sasca.ntt_attack` — the NTT instantiation: graph builder
+  mirroring the butterfly schedule, HW priors from one trace, recovery.
+"""
+
+from repro.sasca.factor_graph import FactorGraph, hw_prior
+from repro.sasca.ntt_attack import NttSasca, single_trace_attack
+
+__all__ = ["FactorGraph", "hw_prior", "NttSasca", "single_trace_attack"]

@@ -1,0 +1,159 @@
+"""Statistics shared by the CPA distinguisher and the analysis layer.
+
+The paper's distinguisher is the classic Pearson-correlation CPA of Brier
+et al. with a Hamming-weight leakage estimate, judged against a 99.99%
+confidence interval. The interval is the standard Fisher-z bound for the
+null hypothesis "true correlation is zero": with D traces, an observed
+sample correlation r is significant at level alpha when
+``|r| > tanh(z_alpha / sqrt(D - 3))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "pearson_corr",
+    "batched_pearson",
+    "fisher_z_threshold",
+    "normal_quantile",
+    "OnlineMoments",
+]
+
+
+def normal_quantile(p: float) -> float:
+    """Quantile (inverse CDF) of the standard normal distribution.
+
+    Uses Acklam's rational approximation (relative error < 1.15e-9),
+    which keeps the core library free of a SciPy dependency.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        return num / den
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        return -num / den
+    q = p - 0.5
+    r = q * q
+    num = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+    den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    return num / den
+
+
+def fisher_z_threshold(n_traces: int, confidence: float = 0.9999) -> float:
+    """Correlation magnitude needed for significance at ``confidence``.
+
+    This is the dashed-line bound drawn in the paper's Figure 4: under the
+    null (no leakage), atanh(r) is approximately normal with standard
+    deviation 1/sqrt(D - 3).
+    """
+    if n_traces <= 3:
+        return 1.0
+    z = normal_quantile(confidence)
+    return math.tanh(z / math.sqrt(n_traces - 3))
+
+
+def pearson_corr(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation between two 1-D arrays (0.0 when degenerate)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = math.sqrt(float(xc @ xc) * float(yc @ yc))
+    if denom == 0.0:
+        return 0.0
+    return float(xc @ yc) / denom
+
+
+def batched_pearson(hyps: np.ndarray, traces: np.ndarray) -> np.ndarray:
+    """Correlation of every hypothesis column with every trace sample.
+
+    Parameters
+    ----------
+    hyps:
+        (D, G) array: leakage estimate per trace for each of G guesses.
+    traces:
+        (D, T) array: measured traces, T samples each.
+
+    Returns
+    -------
+    (G, T) array of Pearson correlations; columns with zero variance on
+    either side produce 0.0 rather than NaN.
+    """
+    if hyps.ndim != 2 or traces.ndim != 2 or hyps.shape[0] != traces.shape[0]:
+        raise ValueError(
+            f"expected (D,G) and (D,T) with matching D, got {hyps.shape} and {traces.shape}"
+        )
+    # Raw-moment formulation: one float64 cast of the hypothesis matrix,
+    # no centered copies (the matrices here are 10k x thousands).
+    h = np.asarray(hyps, dtype=np.float64)
+    t = np.asarray(traces, dtype=np.float64)
+    d = h.shape[0]
+    sum_h = h.sum(axis=0)
+    sum_h2 = np.einsum("dg,dg->g", h, h)
+    sum_t = t.sum(axis=0)
+    sum_t2 = np.einsum("dt,dt->t", t, t)
+    sum_ht = h.T @ t
+    cov = sum_ht - np.outer(sum_h, sum_t) / d
+    var_h = np.maximum(sum_h2 - sum_h * sum_h / d, 0.0)
+    var_t = np.maximum(sum_t2 - sum_t * sum_t / d, 0.0)
+    denom = np.sqrt(np.outer(var_h, var_t))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = np.where(denom > 0, cov / np.where(denom > 0, denom, 1.0), 0.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+@dataclass
+class OnlineMoments:
+    """Welford accumulator for streaming mean/variance of trace batches."""
+
+    count: int = 0
+    _mean: np.ndarray | None = field(default=None, repr=False)
+    _m2: np.ndarray | None = field(default=None, repr=False)
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a (D, T) batch of rows into the accumulator."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        for row in batch:
+            self.count += 1
+            if self._mean is None:
+                self._mean = row.copy()
+                self._m2 = np.zeros_like(row)
+                continue
+            delta = row - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (row - self._mean)
+
+    @property
+    def mean(self) -> np.ndarray:
+        if self._mean is None:
+            raise ValueError("no data accumulated")
+        return self._mean
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Sample variance (ddof=1)."""
+        if self._m2 is None or self.count < 2:
+            raise ValueError("need at least two rows for a variance")
+        return self._m2 / (self.count - 1)

@@ -1,0 +1,133 @@
+"""Tests for confidence bounds, evolution analysis and figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Series,
+    ascii_plot,
+    confidence_bound,
+    correlation_evolution,
+    format_ranking,
+    format_table,
+    traces_needed_for,
+    traces_to_significance,
+    write_csv,
+)
+from repro.utils.bits import hamming_weight_array
+
+
+class TestConfidence:
+    def test_bound_matches_stats_module(self):
+        from repro.utils.stats import fisher_z_threshold
+
+        assert confidence_bound(5000) == fisher_z_threshold(5000)
+
+    def test_traces_needed_inverse_of_bound(self):
+        """traces_needed_for(r) traces make r exactly significant."""
+        for r in (0.05, 0.1, 0.3):
+            d = traces_needed_for(r)
+            assert confidence_bound(d) <= r
+            assert confidence_bound(max(d - 50, 4)) > r * 0.9
+
+    def test_paper_scale_prediction(self):
+        """A sign-bit correlation of ~0.04 needs ~9-10k traces (paper)."""
+        d = traces_needed_for(0.041)
+        assert 7000 < d < 11000
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            traces_needed_for(0.0)
+        with pytest.raises(ValueError):
+            traces_needed_for(1.0)
+
+
+class TestEvolution:
+    def _planted(self, d=4000, noise=4.0):
+        rng = np.random.default_rng(11)
+        known = rng.integers(1, 1 << 20, d).astype(np.uint64)
+        secret = 7
+        guesses = np.arange(1, 17, dtype=np.uint64)
+        hyp = hamming_weight_array(known[:, None] * guesses[None, :]).astype(np.int8)
+        leak = hamming_weight_array(known * np.uint64(secret)).astype(float)
+        samples = leak + rng.normal(0, noise, d)
+        return hyp, samples, guesses, secret
+
+    def test_correct_guess_crosses_and_stays(self):
+        hyp, samples, guesses, secret = self._planted()
+        evo = correlation_evolution(hyp, samples, guesses)
+        crossing = traces_to_significance(evo, secret)
+        assert crossing is not None
+        assert crossing < 4000
+
+    def test_thresholds_shrink(self):
+        hyp, samples, guesses, _ = self._planted()
+        evo = correlation_evolution(hyp, samples, guesses)
+        assert all(a >= b for a, b in zip(evo.thresholds, evo.thresholds[1:]))
+
+    def test_unknown_guess_rejected(self):
+        hyp, samples, guesses, _ = self._planted(d=500)
+        evo = correlation_evolution(hyp, samples, guesses)
+        with pytest.raises(ValueError):
+            traces_to_significance(evo, 999)
+
+    def test_custom_checkpoints(self):
+        hyp, samples, guesses, _ = self._planted(d=1000)
+        evo = correlation_evolution(hyp, samples, guesses, checkpoints=[100, 500, 1000])
+        assert list(evo.checkpoints) == [100, 500, 1000]
+        assert evo.corr.shape == (3, 16)
+
+    def test_never_significant_returns_none(self):
+        rng = np.random.default_rng(0)
+        hyp = rng.integers(0, 8, (500, 4)).astype(np.int8)
+        samples = rng.standard_normal(500)
+        evo = correlation_evolution(hyp, samples, np.arange(4), confidence=0.999999)
+        # with pure noise, at least one of the 4 guesses is typically
+        # not significant; check the API contract on one such guess
+        crossings = [evo.crossing_point(i) for i in range(4)]
+        assert None in crossings
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "---" in lines[1]
+
+    def test_format_ranking_marks_correct(self):
+        out = format_ranking([10, 20, 30], [0.1, 0.9, 0.5], correct=20, top=3)
+        lines = out.splitlines()
+        assert "<-- correct" in lines[0]
+        assert "0x14" in lines[0]
+
+
+class TestFigures:
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Series("bad", [1, 2], [1])
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "fig.csv")
+        write_csv(path, [Series("a", [1, 2], [3.0, 4.0])])
+        content = open(path).read().splitlines()
+        assert content[0] == "series,x,y"
+        assert content[1] == "a,1,3.0"
+
+    def test_ascii_plot_renders(self):
+        out = ascii_plot(
+            [Series("corr", [1, 10, 100], [0.1, 0.5, 0.9])],
+            title="demo",
+            x_label="traces",
+            y_label="corr",
+        )
+        assert "demo" in out
+        assert "corr" in out
+        assert "*" in out
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in ascii_plot([Series("e", [], [])])
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot([Series("c", [1, 2], [5.0, 5.0])])
+        assert "c" in out

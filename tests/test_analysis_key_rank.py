@@ -1,0 +1,64 @@
+"""Tests for full-key rank estimation (histogram convolution vs exact)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.key_rank import estimate_key_rank, exact_key_rank
+
+
+def random_case(n_coeffs, n_cands, advantage, seed):
+    """Scores where the true candidate leads by `advantage` on average."""
+    rng = np.random.default_rng(seed)
+    case = []
+    for j in range(n_coeffs):
+        scores = rng.normal(0, 1.0, n_cands)
+        idx = int(rng.integers(0, n_cands))
+        scores[idx] += advantage
+        case.append((scores, idx))
+    return case
+
+
+class TestExactRank:
+    def test_perfect_attack_rank_one(self):
+        case = random_case(4, 8, advantage=50.0, seed=0)
+        assert exact_key_rank(case) == 1
+
+    def test_uniform_scores_rank_maximal(self):
+        case = [(np.zeros(4), 0) for _ in range(3)]
+        assert exact_key_rank(case) == 4**3
+
+    def test_single_coefficient(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert exact_key_rank([(scores, 1)], beta=1.0) == 1
+        assert exact_key_rank([(scores, 2)], beta=1.0) == 2
+        assert exact_key_rank([(scores, 0)], beta=1.0) == 3
+
+
+class TestEstimatedRank:
+    @pytest.mark.parametrize("advantage", [3.0, 0.5, 0.0])
+    def test_brackets_exact_rank(self, advantage):
+        for seed in range(5):
+            case = random_case(4, 6, advantage, seed)
+            exact = exact_key_rank(case, beta=10.0)
+            est = estimate_key_rank(case, beta=10.0, n_bins=4096)
+            assert est.log2_rank_lower - 0.6 <= np.log2(exact) <= est.log2_rank_upper + 0.6, (
+                seed,
+                exact,
+                est,
+            )
+
+    def test_strong_attack_estimates_near_zero(self):
+        case = random_case(8, 16, advantage=40.0, seed=1)
+        est = estimate_key_rank(case)
+        assert est.log2_rank_upper < 2.0
+
+    def test_weak_attack_estimates_large(self):
+        case = [(np.zeros(16), 0) for _ in range(8)]
+        est = estimate_key_rank(case)
+        assert est.log2_rank_lower > 8 * 4 - 3  # ~16^8 combinations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_key_rank([])
+        with pytest.raises(ValueError):
+            estimate_key_rank([(np.zeros(4), 9)])

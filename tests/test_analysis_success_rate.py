@@ -1,0 +1,59 @@
+"""Tests for empirical success-rate / guessing-entropy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.success_rate import ComponentOutcome, SuccessCurve, success_curve
+from repro.attack.sign_exp import recover_sign
+from repro.falcon import FalconParams, keygen
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+@pytest.fixture(scope="module")
+def tracesets():
+    sk, _ = keygen(FalconParams.get(8), seed=b"sr")
+    camp = CaptureCampaign(sk=sk, n_traces=4000, device=DeviceModel(seed=3), seed=4)
+    return [camp.capture(j) for j in range(4)]
+
+
+def sign_attack(ts):
+    rec = recover_sign(ts)
+    truth = int(ts.true_secret >> 63)
+    return [rec.bit, 1 - rec.bit], truth
+
+
+class TestSuccessCurve:
+    def test_curve_structure(self, tracesets):
+        curve = success_curve(tracesets, sign_attack, [200, 1000, 4000])
+        assert list(curve.checkpoints) == [200, 1000, 4000]
+        assert len(curve.outcomes) == 3 * len(tracesets)
+
+    def test_success_rate_monotone_trend(self, tracesets):
+        curve = success_curve(tracesets, sign_attack, [100, 4000])
+        sr = curve.success_rate()
+        assert sr[-1] >= sr[0] - 0.26  # allow one flip of noise at tiny D
+        assert sr[-1] == 1.0  # sign always recovered at 4k traces
+
+    def test_guessing_entropy_bounds(self, tracesets):
+        curve = success_curve(tracesets, sign_attack, [4000])
+        ge = curve.guessing_entropy()
+        assert 0.0 <= ge[0] <= 1.0
+
+    def test_traces_for_success_rate(self, tracesets):
+        curve = success_curve(tracesets, sign_attack, [100, 500, 2000, 4000])
+        d = curve.traces_for_success_rate(1.0)
+        assert d is not None and d <= 4000
+
+    def test_order_k_success(self):
+        outcomes = [
+            ComponentOutcome(target_index=0, n_traces=10, rank=1),
+            ComponentOutcome(target_index=1, n_traces=10, rank=0),
+        ]
+        curve = SuccessCurve(checkpoints=np.array([10]), outcomes=outcomes)
+        assert curve.success_rate(order=1)[0] == 0.5
+        assert curve.success_rate(order=2)[0] == 1.0
+
+    def test_never_successful_returns_none(self):
+        outcomes = [ComponentOutcome(target_index=0, n_traces=10, rank=5)]
+        curve = SuccessCurve(checkpoints=np.array([10]), outcomes=outcomes)
+        assert curve.traces_for_success_rate(1.0) is None

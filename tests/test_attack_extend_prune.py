@@ -1,0 +1,165 @@
+"""Tests for the ladder, extend-and-prune and per-coefficient recovery.
+
+These are the paper's core claims, exercised on simulated traces:
+the multiplication phase produces shift-aliased candidates; the addition
+phase prunes them; the combination recovers sign, exponent, and the full
+52-bit mantissa of a FALCON FFT(f) coefficient.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.coefficient import recover_coefficient
+from repro.attack.config import AttackConfig
+from repro.attack.extend_prune import prune_candidates, recover_mantissa, refine_limb
+from repro.attack.hypotheses import hyp_s_lo
+from repro.attack.ladder import LOW_LIMB_STEPS, ladder_limb
+from repro.attack.sign_exp import recover_exponent, recover_sign
+from repro.falcon import FalconParams, keygen
+from repro.fpr.trace import LOW_BITS
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    sk, pk = keygen(FalconParams.get(8), seed=b"ep-tests")
+    return CaptureCampaign(sk=sk, n_traces=8000, device=DeviceModel(seed=5))
+
+
+@pytest.fixture(scope="module")
+def ts0(campaign):
+    return campaign.capture(0)
+
+
+def true_parts(ts):
+    sig = (ts.true_secret & ((1 << 52) - 1)) | (1 << 52)
+    return {
+        "sign": ts.true_secret >> 63,
+        "exp": (ts.true_secret >> 52) & 0x7FF,
+        "lo": sig & ((1 << LOW_BITS) - 1),
+        "hi": sig >> LOW_BITS,
+        "sig": sig,
+    }
+
+
+class TestAttackConfig:
+    def test_defaults_valid(self):
+        AttackConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackConfig(window=0)
+        with pytest.raises(ValueError):
+            AttackConfig(beam=0)
+        with pytest.raises(ValueError):
+            AttackConfig(prune_keep=0)
+
+
+class TestLadder:
+    def test_stages_cover_all_bits(self, ts0):
+        res = ladder_limb(ts0, LOW_LIMB_STEPS, total_bits=LOW_BITS, window=5, beam=16)
+        assert res.stages[-1].covered_bits == LOW_BITS
+        assert [s.covered_bits for s in res.stages] == [5, 10, 15, 20, 25]
+
+    def test_survivors_within_beam_plus_zero_extensions(self, ts0):
+        res = ladder_limb(ts0, LOW_LIMB_STEPS, total_bits=10, window=5, beam=8)
+        assert len(res.stages[0].survivors) <= 8 + 1
+
+    def test_true_limb_class_survives(self, ts0):
+        """The ladder must keep the true limb or one of its shift aliases."""
+        from repro.attack.strawman import shift_aliases
+
+        parts = true_parts(ts0)
+        res = ladder_limb(ts0, LOW_LIMB_STEPS, total_bits=LOW_BITS, window=5, beam=32)
+        survivors = set(int(c) for c in res.candidates)
+        alias_class = set()
+        for s in survivors:
+            alias_class.update(shift_aliases(s, LOW_BITS))
+        assert parts["lo"] in alias_class
+
+    def test_bad_total_bits(self, ts0):
+        with pytest.raises(ValueError):
+            ladder_limb(ts0, LOW_LIMB_STEPS, total_bits=0)
+
+
+class TestPrune:
+    def test_prune_ranks_truth_over_alias(self, ts0):
+        """Fig 4(d): the addition separates D from its shift aliases."""
+        parts = true_parts(ts0)
+        d = parts["lo"]
+        aliases = [d]
+        if d * 2 < 1 << LOW_BITS:
+            aliases.append(d * 2)
+        if d % 2 == 0:
+            aliases.append(d // 2)
+        cands = np.array(sorted(set(aliases)), dtype=np.uint64)
+        scores, results = prune_candidates(ts0, cands, [hyp_s_lo], ["s_lo"], True)
+        assert int(cands[int(np.argmax(scores))]) == d
+        assert len(results) == 2  # two segments, one step each
+
+    def test_refine_stays_at_truth(self, ts0):
+        parts = true_parts(ts0)
+        refined, _ = refine_limb(ts0, parts["lo"], LOW_BITS, [hyp_s_lo], ["s_lo"], True)
+        assert refined == parts["lo"]
+
+    def test_refine_repairs_single_window_error(self, ts0):
+        parts = true_parts(ts0)
+        corrupted = parts["lo"] ^ 0b11000  # flip two bits in one window
+        refined, _ = refine_limb(ts0, corrupted, LOW_BITS, [hyp_s_lo], ["s_lo"], True)
+        assert refined == parts["lo"]
+
+
+class TestMantissaRecovery:
+    def test_recovers_both_limbs(self, ts0):
+        parts = true_parts(ts0)
+        rec = recover_mantissa(ts0, AttackConfig())
+        assert rec.low_limb == parts["lo"]
+        assert rec.high_limb == parts["hi"]
+        assert rec.significand == parts["sig"]
+        assert rec.mantissa_field == parts["sig"] & ((1 << 52) - 1)
+
+    def test_diagnostics_exposed(self, ts0):
+        rec = recover_mantissa(ts0, AttackConfig())
+        assert len(rec.low.ladder.stages) == 5
+        assert len(rec.low.prune_results) >= 1
+        assert rec.high.best == rec.high_limb
+        assert rec.high_limb >> 27 == 1  # implicit MSB
+
+
+class TestSignExponent:
+    def test_sign_recovered(self, ts0):
+        parts = true_parts(ts0)
+        rec = recover_sign(ts0)
+        assert rec.bit == parts["sign"]
+        assert rec.score > 0
+
+    def test_exponent_recovered_or_top8(self, ts0):
+        parts = true_parts(ts0)
+        sig = parts["sig"]
+        rec = recover_exponent(ts0, significand=sig, guess_range=(963, 1084))
+        assert parts["exp"] in rec.top_candidates(8)
+
+    def test_exponent_ignores_impossible_range(self, ts0):
+        rec = recover_exponent(ts0, guess_range=(1000, 1050))
+        assert 1000 <= rec.biased_exponent < 1050
+
+
+class TestCoefficientRecovery:
+    def test_full_coefficient(self, ts0):
+        rec = recover_coefficient(ts0, AttackConfig())
+        parts = true_parts(ts0)
+        # mantissa and sign must be exact; the exponent may need the
+        # global repair, but must be in the candidate set
+        assert rec.mantissa.mantissa_field == ts0.true_secret & ((1 << 52) - 1)
+        assert rec.sign.bit == parts["sign"]
+        assert ts0.true_secret in rec.candidate_patterns(12)
+
+    def test_more_noise_needs_more_traces(self, campaign):
+        """With 10x the noise, 300 traces are not enough for the mantissa."""
+        sk = campaign.sk
+        noisy = CaptureCampaign(
+            sk=sk, n_traces=300, device=DeviceModel(noise_sigma=120.0, seed=6)
+        )
+        ts = noisy.capture(0)
+        rec = recover_mantissa(ts, AttackConfig())
+        assert rec.mantissa_field != ts.true_secret & ((1 << 52) - 1)

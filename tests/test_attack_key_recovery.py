@@ -1,0 +1,132 @@
+"""Tests for key reconstruction and forgery from recovered coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.attack.key_recovery import (
+    KeyRecoveryError,
+    recover_f,
+    recover_g_from_public,
+    repair_exponents,
+)
+from repro.falcon import FalconParams, keygen, verify
+from repro.leakage.capture import fft_to_doubles
+from repro.math import fft, poly
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(16), seed=b"kr")
+
+
+def true_patterns(sk):
+    doubles = fft_to_doubles(fft.fft(sk.f))
+    return [int(np.float64(v).view(np.uint64)) for v in doubles]
+
+
+class TestRecoverF:
+    def test_exact_patterns_invert(self, kp):
+        sk, _ = kp
+        assert recover_f(true_patterns(sk)) == sk.f
+
+    def test_corrupt_patterns_rejected(self, kp):
+        sk, _ = kp
+        pats = true_patterns(sk)
+        # force a huge exponent: the coefficient explodes, invFFT cannot
+        # be near-integral
+        pats[3] = (pats[3] & ~(0x7FF << 52)) | (1500 << 52)
+        with pytest.raises(KeyRecoveryError):
+            recover_f(pats)
+
+
+class TestRecoverG:
+    def test_recovers_true_g(self, kp):
+        sk, pk = kp
+        g = recover_g_from_public(sk.f, pk)
+        assert poly.mod_q(g, pk.params.q) == poly.mod_q(sk.g, pk.params.q)
+
+    def test_wrong_f_rejected(self, kp):
+        sk, pk = kp
+        wrong = list(sk.f)
+        wrong[0] += 1
+        with pytest.raises(KeyRecoveryError):
+            recover_g_from_public(wrong, pk)
+
+
+class TestRepairExponents:
+    def test_identity_when_top1_correct(self, kp):
+        sk, _ = kp
+        pats = true_patterns(sk)
+        cands = [[p, p ^ (3 << 52)] for p in pats]
+        assert repair_exponents(cands) == pats
+
+    def test_fixes_single_wrong_exponent(self, kp):
+        sk, _ = kp
+        pats = true_patterns(sk)
+        cands = [[p] for p in pats]
+        true5 = pats[5]
+        wrong5 = true5 ^ (1 << 54)  # exponent off by 4
+        cands[5] = [wrong5, true5]
+        repaired = repair_exponents(cands)
+        assert repaired[5] == true5
+        assert repaired == pats
+
+    def test_fixes_multiple_wrong_exponents(self, kp):
+        sk, _ = kp
+        pats = true_patterns(sk)
+        cands = [[p] for p in pats]
+        for j, delta in ((2, 1), (9, 2), (13, 5)):
+            true_p = pats[j]
+            wrong = ((true_p >> 52) + delta) << 52 | (true_p & ((1 << 52) - 1)) | (
+                true_p & (1 << 63)
+            )
+            cands[j] = [wrong, true_p]
+        repaired = repair_exponents(cands)
+        assert repaired == pats
+
+    def test_returns_best_effort_without_truth(self, kp):
+        """If the true pattern is absent, repair returns *some* choice."""
+        sk, _ = kp
+        pats = true_patterns(sk)
+        cands = [[p] for p in pats]
+        cands[0] = [pats[0] ^ (1 << 53)]  # truth not available
+        out = repair_exponents(cands)
+        assert len(out) == len(pats)
+
+
+@pytest.fixture(scope="module")
+def attack_report():
+    """One full end-to-end attack shared by the assertions below."""
+    from repro.attack import full_attack
+
+    sk, pk = keygen(FalconParams.get(8), seed=b"e2e-test")
+    report = full_attack(sk, pk, n_traces=6000, message=b"forged by test")
+    return sk, pk, report
+
+
+class TestEndToEnd:
+    def test_key_recovered(self, attack_report):
+        """The paper's headline claim at laptop scale (n=8, 6k traces)."""
+        sk, _, report = attack_report
+        assert report.key_correct, "secret key f not recovered"
+        assert report.key_recovery.f == sk.f
+        assert report.key_recovery.g == sk.g
+        assert report.n_coefficients == 8
+
+    def test_forgery_verifies(self, attack_report):
+        _, _, report = attack_report
+        assert report.forgery_verifies, "forged signature rejected"
+        assert "YES" in report.summary()
+
+    def test_recovered_key_signs_arbitrary_messages(self, attack_report):
+        from repro.falcon.sign import sign
+
+        _, pk, report = attack_report
+        sig = sign(report.key_recovery.recovered_sk, b"another message", seed=3)
+        assert verify(pk, b"another message", sig)
+
+    def test_ntru_equation_on_recovered_key(self, attack_report):
+        _, pk, report = attack_report
+        kr = report.key_recovery
+        lhs = poly.sub(poly.mul(kr.f, kr.big_g), poly.mul(kr.g, kr.big_f))
+        assert lhs == poly.constant(pk.params.q, pk.params.n)

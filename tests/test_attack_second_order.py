@@ -1,0 +1,83 @@
+"""Tests for the second-order attack against first-order masking."""
+
+import numpy as np
+import pytest
+
+from repro.attack.cpa import run_cpa
+from repro.attack.hypotheses import hyp_product, known_limbs
+from repro.attack.second_order import centered_product, second_order_cpa
+from repro.countermeasures.masking import capture_masked_shares
+from repro.falcon import FalconParams, keygen
+from repro.leakage import DeviceModel
+
+
+@pytest.fixture(scope="module")
+def shares():
+    sk, _ = keygen(FalconParams.get(8), seed=b"so")
+    return capture_masked_shares(
+        sk, 0, "p_ll", n_traces=20_000, device=DeviceModel(noise_sigma=3.0, seed=9)
+    )
+
+
+def _true_low(secret):
+    sig = (secret & ((1 << 52) - 1)) | (1 << 52)
+    return sig & ((1 << 25) - 1)
+
+
+class TestCenteredProduct:
+    def test_output_shape(self):
+        a = np.random.default_rng(0).standard_normal(100)
+        b = np.random.default_rng(1).standard_normal(100)
+        assert centered_product(a, b).shape == (100, 1)
+
+    def test_zero_mean(self):
+        rng = np.random.default_rng(2)
+        out = centered_product(rng.standard_normal(5000), rng.standard_normal(5000))
+        assert abs(float(out.mean())) < 0.05
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            centered_product(np.zeros(5), np.zeros(6))
+
+    def test_recovers_xor_dependence(self):
+        """E[(HW(v^m)-c)(HW(m)-c')] depends on HW(v): synthetic check."""
+        from repro.utils.bits import hamming_weight_array
+
+        rng = np.random.default_rng(3)
+        width = 16
+        m = rng.integers(0, 1 << width, 200_000).astype(np.uint64)
+        lo_means = []
+        for v in (0x0000, 0xFFFF):
+            t1 = hamming_weight_array(np.uint64(v) ^ m).astype(float)
+            t2 = hamming_weight_array(m).astype(float)
+            lo_means.append(float(centered_product(t1, t2).mean()))
+        # HW(v) = 0 gives positive covariance; HW(v) = width gives negative
+        assert lo_means[0] > 0.5
+        assert lo_means[1] < -0.5
+
+
+class TestSecondOrderCpa:
+    def test_first_order_fails(self, shares):
+        s1, _, known_y, secret = shares
+        y_lo, _ = known_limbs(known_y)
+        true_lo = _true_low(secret)
+        rng = np.random.default_rng(1)
+        cands = np.unique(
+            np.concatenate([[true_lo], rng.integers(1, 1 << 25, 40)]).astype(np.uint64)
+        )
+        hyp = hyp_product(y_lo, cands)
+        res = run_cpa(hyp, s1.reshape(-1, 1), cands)
+        assert res.scores.max() < 2 * res.threshold()
+
+    def test_second_order_succeeds(self, shares):
+        s1, s2, known_y, secret = shares
+        y_lo, _ = known_limbs(known_y)
+        true_lo = _true_low(secret)
+        rng = np.random.default_rng(1)
+        cands = np.unique(
+            np.concatenate([[true_lo], rng.integers(1, 1 << 25, 40)]).astype(np.uint64)
+        )
+        hyp = hyp_product(y_lo, cands)
+        res = second_order_cpa(s1, s2, hyp, cands)
+        assert res.best_guess == true_lo
+        assert float(res.scores[cands == true_lo][0]) > res.threshold()

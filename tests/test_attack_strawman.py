@@ -1,0 +1,73 @@
+"""Tests for the straightforward attack and its false positives (III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.strawman import shift_aliases, straightforward_mantissa_attack
+from repro.falcon import FalconParams, keygen
+from repro.fpr.trace import LOW_BITS
+from repro.leakage import capture_coefficient
+
+
+@pytest.fixture(scope="module")
+def traceset():
+    sk, _ = keygen(FalconParams.get(8), seed=b"strawman")
+    return capture_coefficient(sk, 0, n_traces=4000)
+
+
+class TestShiftAliases:
+    def test_value_first(self):
+        assert shift_aliases(12, 25)[0] == 12
+
+    def test_contains_all_shifts(self):
+        out = set(shift_aliases(0b1100, 6))
+        assert out == {0b1100, 0b110, 0b11, 0b11000, 0b110000}
+
+    def test_odd_value_only_left_shifts(self):
+        out = shift_aliases(0b101, 4)
+        assert set(out) == {0b101, 0b1010}
+
+    def test_zero(self):
+        assert shift_aliases(0, 25) == [0]
+
+    def test_all_within_width(self):
+        for v in (1, 77, 0x155555):
+            assert all(a < (1 << 25) for a in shift_aliases(v, 25))
+
+
+class TestStrawmanAttack:
+    def test_true_limb_among_tied_top(self, traceset):
+        """The correct guess reaches the top — but tied with aliases."""
+        sig = (traceset.true_secret & ((1 << 52) - 1)) | (1 << 52)
+        true_lo = sig & ((1 << LOW_BITS) - 1)
+        guesses = np.unique(
+            np.array(
+                shift_aliases(true_lo, LOW_BITS)
+                + list(np.random.default_rng(0).integers(1, 1 << LOW_BITS, 500)),
+                dtype=np.uint64,
+            )
+        )
+        res = straightforward_mantissa_attack(traceset, guesses, true_limb=true_lo)
+        assert res.correct_in_tie
+
+    def test_false_positives_are_exact_ties(self, traceset):
+        """Fig 4(c): alias correlations are *exactly* equal."""
+        sig = (traceset.true_secret & ((1 << 52) - 1)) | (1 << 52)
+        true_lo = sig & ((1 << LOW_BITS) - 1)
+        aliases = shift_aliases(true_lo, LOW_BITS)
+        if len(aliases) < 2:
+            pytest.skip("true limb is odd and at the top of the range: no aliases")
+        res = straightforward_mantissa_attack(
+            traceset, np.array(aliases, dtype=np.uint64), true_limb=true_lo
+        )
+        assert res.has_false_positives
+        assert set(int(g) for g in res.tied_top) == set(aliases)
+
+    def test_alias_hypotheses_identical(self, traceset):
+        """Root cause: HW(D*B) == HW(2D*B) for every trace."""
+        from repro.attack.hypotheses import hyp_product, known_limbs
+
+        y_lo, _ = known_limbs(traceset.segments[0].known_y)
+        d = 0x0012345
+        hyp = hyp_product(y_lo, np.array([d, 2 * d], dtype=np.uint64))
+        np.testing.assert_array_equal(hyp[:, 0], hyp[:, 1])

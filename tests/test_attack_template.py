@@ -1,0 +1,113 @@
+"""Tests for the profiled (template) attack extension (paper V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.cpa import run_cpa
+from repro.attack.hypotheses import hyp_s_lo, known_limbs
+from repro.attack.template import build_templates, profile_step, template_scores
+from repro.falcon import FalconParams, keygen
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sk, _ = keygen(FalconParams.get(8), seed=b"tpl")
+    profiling = CaptureCampaign(sk=sk, n_traces=4000, device=DeviceModel(seed=7), seed=5).capture(0)
+    attack = CaptureCampaign(sk=sk, n_traces=1200, device=DeviceModel(seed=8), seed=9).capture(0)
+    return sk, profiling, attack
+
+
+def true_low(ts):
+    sig = (ts.true_secret & ((1 << 52) - 1)) | (1 << 52)
+    return sig & ((1 << 25) - 1)
+
+
+class TestBuildTemplates:
+    def test_shapes(self, setup):
+        _, profiling, _ = setup
+        tpl = profile_step(profiling, "s_lo")
+        assert tpl.means.shape[0] == len(tpl.classes)
+        assert tpl.pooled_cov.shape == (tpl.n_samples, tpl.n_samples)
+        assert len(tpl.classes) > 10  # HW classes of a ~54-bit value
+
+    def test_means_monotone_in_hw(self, setup):
+        """With HW leakage, template means must increase with the class."""
+        _, profiling, _ = setup
+        tpl = profile_step(profiling, "s_lo")
+        mids = tpl.means[:, 0]
+        # allow noise: correlation of class value vs mean close to 1
+        corr = np.corrcoef(tpl.classes.astype(float), mids)[0, 1]
+        assert corr > 0.95
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_templates(np.zeros((10, 2)), np.zeros(9))
+
+    def test_min_class_size(self):
+        traces = np.random.default_rng(0).standard_normal((20, 1))
+        labels = np.array([1] * 19 + [50])
+        tpl = build_templates(traces, labels)
+        assert 50 not in tpl.classes
+
+    def test_all_classes_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_templates(np.zeros((3, 1)), np.array([1, 2, 3]))
+
+
+class TestTemplateMatching:
+    def _candidates(self, ts, k=50):
+        rng = np.random.default_rng(3)
+        return np.unique(
+            np.concatenate([[true_low(ts)], rng.integers(1, 1 << 25, k)]).astype(np.uint64)
+        )
+
+    def test_recovers_secret(self, setup):
+        _, profiling, attack = setup
+        tpl = profile_step(profiling, "s_lo")
+        seg = attack.segments[0]
+        y_lo, y_hi = known_limbs(seg.known_y)
+        cands = self._candidates(attack)
+        hyp = hyp_s_lo(y_lo, y_hi, cands)
+        res = template_scores(tpl, seg.traces[:, attack.layout.slice_of("s_lo")], hyp, cands)
+        assert res.best_guess == true_low(attack)
+
+    def test_beats_cpa_at_low_trace_count(self, setup):
+        """The paper's point: profiling lowers the measurement cost."""
+        _, profiling, attack = setup
+        small = attack.head(250)
+        tpl = profile_step(profiling, "s_lo")
+        seg = small.segments[0]
+        y_lo, y_hi = known_limbs(seg.known_y)
+        cands = self._candidates(small, k=120)
+        hyp = hyp_s_lo(y_lo, y_hi, cands)
+        window = seg.traces[:, small.layout.slice_of("s_lo")]
+        t_res = template_scores(tpl, window, hyp, cands)
+        c_res = run_cpa(hyp, window, cands)
+        t_rank = int(np.where(cands[t_res.ranking] == true_low(small))[0][0])
+        c_rank = int(np.where(cands[c_res.ranking] == true_low(small))[0][0])
+        assert t_rank <= c_rank
+
+    def test_hypothesis_shape_validated(self, setup):
+        _, profiling, attack = setup
+        tpl = profile_step(profiling, "s_lo")
+        with pytest.raises(ValueError):
+            template_scores(tpl, np.zeros((10, 1)), np.zeros((9, 2)), np.arange(2))
+
+    def test_unseen_class_floor(self, setup):
+        _, profiling, _ = setup
+        tpl = profile_step(profiling, "s_lo")
+        traces = np.zeros((2, tpl.n_samples))
+        ll = tpl.log_likelihood(traces, np.array([int(tpl.classes[0]), 999]))
+        assert np.isfinite(ll).all()
+
+    def test_profiling_requires_known_secret(self, setup):
+        _, profiling, _ = setup
+        profiling_blind = type(profiling)(
+            layout=profiling.layout,
+            segments=profiling.segments,
+            target_index=0,
+            true_secret=None,
+        )
+        with pytest.raises(ValueError):
+            profile_step(profiling_blind, "s_lo")

@@ -1,0 +1,63 @@
+"""Tests for the repro-falcon command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def keyfiles(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli")
+    sk = str(d / "sk.json")
+    pk = str(d / "pk.json")
+    rc = main(["keygen", "--n", "16", "--seed", "cli-test", "--sk", sk, "--pk", pk])
+    assert rc == 0
+    return d, sk, pk
+
+
+class TestCli:
+    def test_params(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out and "34034726" in out
+
+    def test_keygen_deterministic(self, tmp_path):
+        a_sk, a_pk = str(tmp_path / "a_sk"), str(tmp_path / "a_pk")
+        b_sk, b_pk = str(tmp_path / "b_sk"), str(tmp_path / "b_pk")
+        main(["keygen", "--n", "8", "--seed", "same", "--sk", a_sk, "--pk", a_pk])
+        main(["keygen", "--n", "8", "--seed", "same", "--sk", b_sk, "--pk", b_pk])
+        assert open(a_sk).read() == open(b_sk).read()
+        assert open(a_pk).read() == open(b_pk).read()
+
+    def test_sign_verify_roundtrip(self, keyfiles, capsys):
+        d, sk, pk = keyfiles
+        sig = str(d / "sig.hex")
+        assert main(["sign", "--sk", sk, "--message", "hello", "--out", sig]) == 0
+        assert main(["verify", "--pk", pk, "--message", "hello", "--sig", sig]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPT" in out
+
+    def test_verify_rejects_wrong_message(self, keyfiles, capsys):
+        d, sk, pk = keyfiles
+        sig = str(d / "sig2.hex")
+        main(["sign", "--sk", sk, "--message", "hello", "--out", sig])
+        assert main(["verify", "--pk", pk, "--message", "HELLO", "--sig", sig]) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_capture_and_attack_coefficient(self, keyfiles, capsys):
+        d, sk, _ = keyfiles
+        ts = str(d / "ts.npz")
+        rc = main([
+            "capture", "--sk", sk, "--target", "0", "--traces", "6000", "--out", ts,
+            "--trs-prefix", str(d / "coef"),
+        ])
+        assert rc == 0
+        rc = main(["attack-coefficient", "--traceset", ts])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered coefficient pattern" in out
+        assert (d / "coef_x_re.trs").exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,112 @@
+"""Tests for the masking and shuffling countermeasure models (V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.config import AttackConfig
+from repro.attack.sign_exp import recover_sign
+from repro.attack.strawman import straightforward_mantissa_attack
+from repro.countermeasures import MaskingTransform, ShufflingTransform
+from repro.countermeasures.masking import DEFAULT_MASKED_STEPS
+from repro.falcon import FalconParams, keygen
+from repro.fpr.trace import MUL_STEP_LABELS
+from repro.leakage import CaptureCampaign, DeviceModel
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(8), seed=b"cm")
+
+
+def capture(sk, transform, n=3000, seed=21):
+    camp = CaptureCampaign(
+        sk=sk,
+        n_traces=n,
+        device=DeviceModel(seed=seed),
+        value_transform=transform,
+    )
+    return camp.capture(0)
+
+
+class TestMaskingTransform:
+    def test_unknown_step_rejected(self):
+        with pytest.raises(ValueError):
+            MaskingTransform(masked_steps=("bogus",))
+
+    def test_masked_values_randomized(self):
+        xform = MaskingTransform()
+        values = np.full((100, len(MUL_STEP_LABELS)), 12345, dtype=np.uint64)
+        out = xform(values, np.random.default_rng(0))
+        col = MUL_STEP_LABELS.index("p_ll")
+        assert len(np.unique(out[:, col])) > 50  # same input, fresh masks
+
+    def test_unmasked_steps_untouched(self):
+        xform = MaskingTransform(masked_steps=("p_ll",))
+        values = np.full((10, len(MUL_STEP_LABELS)), 7, dtype=np.uint64)
+        out = xform(values, np.random.default_rng(0))
+        other = MUL_STEP_LABELS.index("load_y_lo")
+        np.testing.assert_array_equal(out[:, other], values[:, other])
+
+    def test_default_covers_all_secret_steps(self):
+        secret_bearing = {"p_ll", "p_lh", "s_lo", "p_hl", "s_mid", "p_hh", "s_hi",
+                          "mant_out", "exp_sum", "sign_out", "result"}
+        assert secret_bearing <= set(DEFAULT_MASKED_STEPS)
+
+    def test_masking_defeats_first_order_cpa(self, kp):
+        """The paper's suggested countermeasure: no first-order leak."""
+        sk, _ = kp
+        ts = capture(sk, MaskingTransform())
+        sig = (ts.true_secret & ((1 << 52) - 1)) | (1 << 52)
+        true_lo = sig & ((1 << 25) - 1)
+        rng = np.random.default_rng(1)
+        guesses = np.unique(
+            np.concatenate([[true_lo], rng.integers(1, 1 << 25, 200)]).astype(np.uint64)
+        )
+        res = straightforward_mantissa_attack(ts, guesses, true_limb=true_lo)
+        # the correct guess must NOT be significant anymore
+        assert res.cpa.scores.max() < 3 * res.cpa.threshold()
+
+    def test_masking_defeats_sign_attack(self, kp):
+        sk, _ = kp
+        ts = capture(sk, MaskingTransform(), seed=22)
+        rec = recover_sign(ts)
+        assert rec.score < 3 * 0.05  # no significant correlation either way
+
+
+class TestShufflingTransform:
+    def test_unknown_step_rejected(self):
+        with pytest.raises(ValueError):
+            ShufflingTransform(group=("p_ll", "bogus"))
+
+    def test_rows_are_permutations(self):
+        xform = ShufflingTransform()
+        values = np.zeros((50, len(MUL_STEP_LABELS)), dtype=np.uint64)
+        cols = [MUL_STEP_LABELS.index(lab) for lab in xform.group]
+        for i, c in enumerate(cols):
+            values[:, c] = i + 1
+        out = xform(values, np.random.default_rng(0))
+        for row in out[:, cols]:
+            assert sorted(row.tolist()) == [1, 2, 3, 4]
+
+    def test_shuffling_occurs(self):
+        xform = ShufflingTransform()
+        values = np.zeros((200, len(MUL_STEP_LABELS)), dtype=np.uint64)
+        cols = [MUL_STEP_LABELS.index(lab) for lab in xform.group]
+        for i, c in enumerate(cols):
+            values[:, c] = i + 1
+        out = xform(values, np.random.default_rng(0))
+        assert len(np.unique(out[:, cols], axis=0)) > 10
+
+    def test_shuffling_attenuates_cpa(self, kp):
+        """Hiding: the correct-guess correlation drops by about the
+        shuffle factor but does not vanish."""
+        sk, _ = kp
+        ts_plain = capture(sk, None, n=4000, seed=30)
+        ts_shuf = capture(sk, ShufflingTransform(), n=4000, seed=30)
+        sig = (ts_plain.true_secret & ((1 << 52) - 1)) | (1 << 52)
+        true_lo = sig & ((1 << 25) - 1)
+        guesses = np.array([true_lo], dtype=np.uint64)
+        plain = straightforward_mantissa_attack(ts_plain, guesses, true_limb=true_lo)
+        shuf = straightforward_mantissa_attack(ts_shuf, guesses, true_limb=true_lo)
+        assert shuf.cpa.scores[0] < plain.cpa.scores[0]
+        assert shuf.cpa.scores[0] > 0  # attenuated, not eliminated

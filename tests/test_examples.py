@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts run and make their claims."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["--n", "16"], capsys)
+    assert "ACCEPT" in out
+    assert "REJECT" in out
+    assert "round trip: OK" in out
+
+
+def test_trace_explorer(capsys):
+    out = run_example("trace_explorer.py", ["--spp", "3"], capsys)
+    assert "MANTISSA region starts" in out
+    assert "EXPONENT region starts" in out
+    assert "SIGN region starts" in out
+
+
+def test_ntt_vs_fft(capsys):
+    out = run_example("ntt_vs_fft.py", ["--traces", "4000"], capsys)
+    assert "FFT" in out and "NTT" in out
+    assert "significant after" in out
+
+
+@pytest.mark.slow
+def test_countermeasure_masking(capsys):
+    out = run_example("countermeasure_masking.py", ["--traces", "3000"], capsys)
+    assert "unprotected" in out
+    assert "LEAKS" in out
+    assert "protected (below bound)" in out

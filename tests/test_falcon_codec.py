@@ -1,0 +1,99 @@
+"""Tests for the spec wire-format key codec."""
+
+import pytest
+
+from repro.falcon import FalconParams, keygen, sign, verify
+from repro.falcon.codec import (
+    CodecError,
+    decode_public_key,
+    decode_secret_key,
+    encode_public_key,
+    encode_secret_key,
+)
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(64), seed=b"codec")
+
+
+class TestPublicKeyCodec:
+    def test_roundtrip(self, kp):
+        _, pk = kp
+        pk2 = decode_public_key(encode_public_key(pk))
+        assert pk2.h == pk.h
+        assert pk2.params.n == pk.params.n
+
+    def test_encoded_length(self, kp):
+        _, pk = kp
+        n = pk.params.n
+        assert len(encode_public_key(pk)) == 1 + (14 * n + 7) // 8
+
+    def test_falcon512_length_matches_spec(self):
+        """The spec's FALCON-512 public key is 897 bytes."""
+        sk, pk = keygen(FalconParams.get(512), seed=b"codec-512")
+        assert len(encode_public_key(pk)) == 897
+        # and the secret key is 1281 bytes (6-bit f/g, 8-bit F)
+        assert len(encode_secret_key(sk)) == 1281
+
+    def test_header_validation(self, kp):
+        _, pk = kp
+        blob = bytearray(encode_public_key(pk))
+        blob[0] = 0x70
+        with pytest.raises(CodecError):
+            decode_public_key(bytes(blob))
+
+    def test_truncation_rejected(self, kp):
+        _, pk = kp
+        blob = encode_public_key(pk)
+        with pytest.raises(CodecError):
+            decode_public_key(blob[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            decode_public_key(b"")
+
+    def test_out_of_range_coefficient_rejected(self, kp):
+        _, pk = kp
+        blob = bytearray(encode_public_key(pk))
+        blob[1] = 0xFF
+        blob[2] = 0xFF  # first 14-bit field becomes > q
+        with pytest.raises(CodecError):
+            decode_public_key(bytes(blob))
+
+
+class TestSecretKeyCodec:
+    def test_roundtrip_recomputes_g(self, kp):
+        sk, _ = kp
+        sk2 = decode_secret_key(encode_secret_key(sk))
+        assert sk2.f == sk.f
+        assert sk2.g == sk.g
+        assert sk2.big_f == sk.big_f
+        assert sk2.big_g == sk.big_g  # recomputed from the NTRU equation
+        assert sk2.h == sk.h
+
+    def test_decoded_key_signs(self, kp):
+        sk, pk = kp
+        sk2 = decode_secret_key(encode_secret_key(sk))
+        sig = sign(sk2, b"decoded key", seed=4)
+        assert verify(pk, b"decoded key", sig)
+
+    def test_header_validation(self, kp):
+        sk, _ = kp
+        blob = bytearray(encode_secret_key(sk))
+        blob[0] = 0x00
+        with pytest.raises(CodecError):
+            decode_secret_key(bytes(blob))
+
+    def test_corruption_detected_by_ntru_check(self, kp):
+        sk, _ = kp
+        blob = bytearray(encode_secret_key(sk))
+        blob[5] ^= 0x10  # corrupt an f coefficient
+        with pytest.raises(CodecError):
+            decode_secret_key(bytes(blob))
+
+    def test_wrong_length_rejected(self, kp):
+        sk, _ = kp
+        blob = encode_secret_key(sk)
+        with pytest.raises(CodecError):
+            decode_secret_key(blob + b"\x00")

@@ -1,0 +1,103 @@
+"""Tests for HashToPoint and signature compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.falcon.compress import CompressError, compress, decompress
+from repro.falcon.hash_to_point import hash_to_point
+
+Q = 12289
+
+
+class TestHashToPoint:
+    def test_deterministic(self):
+        assert hash_to_point(b"abc", Q, 64) == hash_to_point(b"abc", Q, 64)
+
+    def test_different_inputs_differ(self):
+        assert hash_to_point(b"abc", Q, 64) != hash_to_point(b"abd", Q, 64)
+
+    @pytest.mark.parametrize("n", [8, 64, 512, 1024])
+    def test_range_and_length(self, n):
+        c = hash_to_point(b"range", Q, n)
+        assert len(c) == n
+        assert all(0 <= v < Q for v in c)
+
+    def test_uniformity(self):
+        """Mean of many coefficients should approach (q-1)/2."""
+        vals = []
+        for i in range(40):
+            vals += hash_to_point(f"u{i}".encode(), Q, 64)
+        mean = sum(vals) / len(vals)
+        assert abs(mean - (Q - 1) / 2) < 150
+
+    def test_q_too_large(self):
+        with pytest.raises(ValueError):
+            hash_to_point(b"x", 1 << 17, 8)
+
+    def test_salt_prefix_matters(self):
+        """(salt || m) hashing: moving a byte across the boundary changes c."""
+        assert hash_to_point(b"ab" + b"c", Q, 16) == hash_to_point(b"abc", Q, 16)
+        # identical concatenation means the signer must bind salt length
+        # elsewhere (the fixed 40-byte salt does that).
+
+
+coeffs = st.lists(st.integers(-2047, 2047), min_size=8, max_size=8)
+
+
+class TestCompress:
+    BITS = 8 * 52 - 328  # FALCON-8 toy budget
+
+    @given(coeffs)
+    @settings(max_examples=200)
+    def test_roundtrip(self, s):
+        try:
+            blob = compress(s, self.BITS)
+        except CompressError:
+            return  # does not fit the budget: legal signer-side event
+        assert decompress(blob, self.BITS, 8) == s
+        assert len(blob) == (self.BITS + 7) // 8
+
+    def test_known_encoding_size(self):
+        blob = compress([0] * 8, self.BITS)
+        # each zero coefficient costs 1 sign + 7 low + 1 terminator = 9 bits
+        assert len(blob) == (self.BITS + 7) // 8
+
+    def test_too_large_coefficient_rejected(self):
+        with pytest.raises(CompressError):
+            compress([1 << 12] + [0] * 7, self.BITS)
+
+    def test_budget_overflow_rejected(self):
+        with pytest.raises(CompressError):
+            compress([2047] * 8, 80)
+
+    def test_minus_zero_rejected(self):
+        blob = bytearray(compress([0] * 8, self.BITS))
+        blob[0] |= 0x80  # set the first sign bit: -0 encoding
+        with pytest.raises(CompressError):
+            decompress(bytes(blob), self.BITS, 8)
+
+    def test_nonzero_padding_rejected(self):
+        blob = bytearray(compress([0] * 8, self.BITS))
+        blob[-1] |= 0x01
+        with pytest.raises(CompressError):
+            decompress(bytes(blob), self.BITS, 8)
+
+    def test_truncated_rejected(self):
+        blob = compress([5, -9, 100, -2047, 0, 1, 2, 3], self.BITS)
+        with pytest.raises(CompressError):
+            decompress(blob[:4], self.BITS, 8)
+
+    def test_unary_run_bounded(self):
+        # craft a bitstream that is all zeros: unary run never terminates
+        with pytest.raises(CompressError):
+            decompress(bytes(100), 800, 8)
+
+    @given(coeffs)
+    @settings(max_examples=100)
+    def test_canonicality(self, s):
+        """Exactly one valid encoding: re-encoding a decode is identity."""
+        try:
+            blob = compress(s, self.BITS)
+        except CompressError:
+            return
+        assert compress(decompress(blob, self.BITS, 8), self.BITS) == blob

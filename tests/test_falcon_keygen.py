@@ -1,0 +1,137 @@
+"""Tests for FALCON key generation (NTRUGen, tree construction, keys)."""
+
+import numpy as np
+import pytest
+
+from repro.falcon.ffsampling import LdlLeaf, LdlNode, tree_depth
+from repro.falcon.keygen import KeygenError, gs_norm_squared, keygen
+from repro.falcon.keys import (
+    public_key_from_json,
+    public_key_to_json,
+    secret_key_from_json,
+    secret_key_to_json,
+)
+from repro.falcon.params import FalconParams, Q
+from repro.math import poly
+
+
+@pytest.fixture(scope="module")
+def keypair16():
+    return keygen(FalconParams.get(16), seed=b"kg16")
+
+
+@pytest.fixture(scope="module")
+def keypair64():
+    return keygen(FalconParams.get(64), seed=b"kg64")
+
+
+class TestKeygen:
+    def test_deterministic(self):
+        sk1, _ = keygen(FalconParams.get(8), seed=b"det")
+        sk2, _ = keygen(FalconParams.get(8), seed=b"det")
+        assert sk1.f == sk2.f and sk1.g == sk2.g and sk1.big_f == sk2.big_f
+
+    def test_different_seeds(self):
+        sk1, _ = keygen(FalconParams.get(8), seed=b"s1")
+        sk2, _ = keygen(FalconParams.get(8), seed=b"s2")
+        assert sk1.f != sk2.f
+
+    @pytest.mark.parametrize("fixture", ["keypair16", "keypair64"])
+    def test_ntru_equation(self, fixture, request):
+        sk, _ = request.getfixturevalue(fixture)
+        n = sk.params.n
+        lhs = poly.sub(poly.mul(sk.f, sk.big_g), poly.mul(sk.g, sk.big_f))
+        assert lhs == poly.constant(Q, n)
+
+    @pytest.mark.parametrize("fixture", ["keypair16", "keypair64"])
+    def test_public_key_relation(self, fixture, request):
+        """h = g f^-1 <=> f h = g (mod q)."""
+        sk, pk = request.getfixturevalue(fixture)
+        fh = poly.mul_mod_q(sk.f, pk.h, Q)
+        assert fh == poly.mod_q(sk.g, Q)
+
+    def test_gs_norm_bound_enforced(self, keypair16):
+        sk, _ = request_get = keypair16
+        assert gs_norm_squared(sk.f, sk.g, Q) <= 1.17**2 * Q
+
+    def test_gs_norm_degenerate(self):
+        assert gs_norm_squared([0] * 8, [0] * 8, Q) == float("inf")
+
+    def test_max_attempts_exhausted(self):
+        with pytest.raises(KeygenError):
+            keygen(FalconParams.get(8), seed=b"never", max_attempts=0)
+
+
+class TestFalconTree:
+    def test_tree_depth(self, keypair16):
+        sk, _ = keypair16
+        # ffLDL halves the FFT arrays (n/2 slots) down to one slot, so the
+        # tree has log2(n) levels of internal nodes above the leaves.
+        assert tree_depth(sk.tree) == 4
+
+    def test_leaves_normalized_into_sampler_range(self, keypair16):
+        sk, _ = keypair16
+        sigmin, sigmax = sk.params.sigmin, 1.8205
+
+        def walk(t):
+            if isinstance(t, LdlLeaf):
+                assert sigmin - 1e-9 <= t.value <= sigmax + 1e-9
+                return
+            walk(t.left)
+            walk(t.right)
+
+        walk(sk.tree)
+
+    def test_b_hat_rows(self, keypair16):
+        """b_hat must be [[FFT(g), -FFT(f)], [FFT(G), -FFT(F)]]."""
+        from repro.math import fft
+
+        sk, _ = keypair16
+        b00, b01, b10, b11 = sk.b_hat
+        np.testing.assert_allclose(b00, fft.fft(sk.g))
+        np.testing.assert_allclose(b01, -fft.fft(sk.f))
+        np.testing.assert_allclose(b10, fft.fft(sk.big_g))
+        np.testing.assert_allclose(b11, -fft.fft(sk.big_f))
+
+    def test_gram_determinant_is_q_squared(self, keypair16):
+        """det(B) = fG - gF = q, so det(G) = q^2 at every FFT slot."""
+        from repro.falcon.ffsampling import gram_from_basis
+
+        sk, _ = keypair16
+        g00, g01, g11 = gram_from_basis(*sk.b_hat)
+        det = g00 * g11 - g01 * np.conj(g01)
+        np.testing.assert_allclose(det.real, float(Q) ** 2, rtol=1e-8)
+        np.testing.assert_allclose(det.imag, 0.0, atol=1e-4)
+
+
+class TestKeySerialization:
+    def test_secret_roundtrip(self, keypair16):
+        sk, _ = keypair16
+        sk2 = secret_key_from_json(secret_key_to_json(sk))
+        assert (sk2.f, sk2.g, sk2.big_f, sk2.big_g, sk2.h) == (
+            sk.f,
+            sk.g,
+            sk.big_f,
+            sk.big_g,
+            sk.h,
+        )
+
+    def test_public_roundtrip(self, keypair16):
+        _, pk = keypair16
+        pk2 = public_key_from_json(public_key_to_json(pk))
+        assert pk2.h == pk.h and pk2.params.n == pk.params.n
+
+    def test_wrong_kind_rejected(self, keypair16):
+        sk, pk = keypair16
+        with pytest.raises(ValueError):
+            secret_key_from_json(public_key_to_json(pk))
+        with pytest.raises(ValueError):
+            public_key_from_json(secret_key_to_json(sk))
+
+    def test_rebuilt_key_signs(self, keypair16):
+        from repro.falcon import sign, verify
+
+        sk, pk = keypair16
+        sk2 = secret_key_from_json(secret_key_to_json(sk))
+        sig = sign(sk2, b"serialized key signing", seed=5)
+        assert verify(pk, b"serialized key signing", sig)

@@ -1,0 +1,98 @@
+"""Tests for NTRUSolve: the key-generation equation f G - g F = q."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.falcon.ntru_solve import NtruSolveError, ntru_solve, reduce_fg, xgcd
+from repro.math import gaussian, poly
+from repro.utils.rng import ChaCha20Prng
+
+Q = 12289
+
+
+class TestXgcd:
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_bezout_identity(self, a, b):
+        d, u, v = xgcd(a, b)
+        assert u * a + v * b == d
+        if a or b:
+            assert d > 0
+            assert a % d == 0 and b % d == 0
+
+    def test_gcd_zero(self):
+        assert xgcd(0, 0)[0] == 0
+
+    def test_coprime(self):
+        d, u, v = xgcd(17, 31)
+        assert d == 1
+        assert (u * 17) % 31 == 1 % 31
+
+
+def sample_fg(n, seed):
+    rng = ChaCha20Prng(seed)
+    sigma = 1.17 * (Q / (2 * n)) ** 0.5
+    return (
+        gaussian.sample_poly_dgauss(n, sigma, rng),
+        gaussian.sample_poly_dgauss(n, sigma, rng),
+    )
+
+
+class TestNtruSolve:
+    def test_base_case(self):
+        big_f, big_g = ntru_solve([3], [5], Q)
+        assert 3 * big_g[0] - 5 * big_f[0] == Q
+
+    def test_base_case_gcd_failure(self):
+        with pytest.raises(NtruSolveError):
+            ntru_solve([4], [6], Q)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_equation_holds(self, n):
+        for attempt in range(10):
+            f, g = sample_fg(n, f"ntru-{n}-{attempt}".encode())
+            try:
+                big_f, big_g = ntru_solve(f, g, Q)
+            except NtruSolveError:
+                continue
+            lhs = poly.sub(poly.mul(f, big_g), poly.mul(g, big_f))
+            assert lhs == poly.constant(Q, n)
+            return
+        pytest.fail(f"no solvable (f, g) found in 10 attempts for n={n}")
+
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_solution_is_reduced(self, n):
+        """Babai reduction keeps F, G within a small factor of f, g scale."""
+        for attempt in range(10):
+            f, g = sample_fg(n, f"red-{n}-{attempt}".encode())
+            try:
+                big_f, big_g = ntru_solve(f, g, Q)
+            except NtruSolveError:
+                continue
+            scale = max(max(map(abs, f)), max(map(abs, g)))
+            big_scale = max(max(map(abs, big_f)), max(map(abs, big_g)))
+            # the reduced solution is O(q / ||(f,g)||): generous factor
+            assert big_scale < 500 * max(scale, 1)
+            return
+        pytest.fail("no solvable (f, g) found")
+
+    def test_degree_mismatch(self):
+        with pytest.raises(ValueError):
+            ntru_solve([1, 2], [1, 2, 3, 4], Q)
+
+
+class TestReduce:
+    def test_reduce_preserves_equation(self):
+        n = 8
+        f, g = sample_fg(n, b"reduce-eq")
+        try:
+            big_f, big_g = ntru_solve(f, g, Q)
+        except NtruSolveError:
+            pytest.skip("unsolvable sample")
+        # blow (F, G) up by a multiple of (f, g) and reduce back
+        k = [12345] + [0] * (n - 1)
+        big_f2 = poly.add(big_f, poly.mul(k, f))
+        big_g2 = poly.add(big_g, poly.mul(k, g))
+        red_f, red_g = reduce_fg(f, g, big_f2, big_g2)
+        lhs = poly.sub(poly.mul(f, red_g), poly.mul(g, red_f))
+        assert lhs == poly.constant(Q, n)
+        assert max(map(abs, red_f)) <= max(map(abs, big_f2))

@@ -1,0 +1,60 @@
+"""Tests for FALCON parameter sets."""
+
+import math
+
+import pytest
+
+from repro.falcon.params import SIGMA_MAX, SUPPORTED_N, FalconParams, Q
+
+
+class TestStandardSets:
+    def test_falcon_512_matches_spec(self):
+        p = FalconParams.get(512)
+        assert p.q == 12289
+        assert p.sigma == pytest.approx(165.736617183, abs=1e-6)
+        assert p.sigmin == pytest.approx(1.2778336969128337, abs=1e-10)
+        assert p.sig_bound == 34034726
+        assert p.sig_bytelen == 666
+
+    def test_falcon_1024_matches_spec(self):
+        p = FalconParams.get(1024)
+        assert p.sigma == pytest.approx(168.388571447, abs=1e-6)
+        assert p.sigmin == pytest.approx(1.298280334344292, abs=1e-9)
+        assert p.sig_bound == 70265242
+        assert p.sig_bytelen == 1280
+
+
+class TestDerivedQuantities:
+    @pytest.mark.parametrize("n", SUPPORTED_N)
+    def test_bound_formula(self, n):
+        p = FalconParams.get(n)
+        assert p.sig_bound == int((1.1 * p.sigma * math.sqrt(2 * n)) ** 2)
+
+    @pytest.mark.parametrize("n", SUPPORTED_N)
+    def test_sigma_in_sampler_range(self, n):
+        p = FalconParams.get(n)
+        assert 1.0 < p.sigmin < SIGMA_MAX
+        assert p.sigma == pytest.approx(p.sigmin * 1.17 * math.sqrt(Q))
+
+    def test_sigma_monotone_in_n(self):
+        sigmas = [FalconParams.get(n).sigma for n in SUPPORTED_N]
+        assert sigmas == sorted(sigmas)
+
+    def test_sigma_fg(self):
+        p = FalconParams.get(512)
+        assert p.sigma_fg == pytest.approx(1.17 * math.sqrt(Q / 1024))
+
+    def test_compressed_bits_budget(self):
+        p = FalconParams.get(512)
+        # spec: 8 * sbytelen - 328 bits for the compressed s2
+        assert p.compressed_sig_bits == 8 * 666 - 328
+
+    def test_unsupported_n_rejected(self):
+        for n in (0, 1, 7, 48, 2048):
+            with pytest.raises(ValueError):
+                FalconParams.get(n)
+
+    def test_frozen(self):
+        p = FalconParams.get(64)
+        with pytest.raises(Exception):
+            p.n = 128

@@ -1,0 +1,92 @@
+"""Statistical tests for SamplerZ (spec structure vs reference sampler)."""
+
+import math
+
+import pytest
+
+from repro.falcon.params import SIGMA_MAX
+from repro.falcon.samplerz import RCDT, base_sampler, samplerz, samplerz_simple
+from repro.math.gaussian import dgauss_pmf
+from repro.utils.rng import ChaCha20Prng
+
+
+class TestRcdt:
+    def test_monotone_decreasing(self):
+        assert all(a > b for a, b in zip(RCDT, RCDT[1:]))
+
+    def test_first_entry_probability(self):
+        """P(z0 = 0) = rho(0) / sum rho(z) ~ 0.3595 at sigma_max."""
+        p_ge_1 = RCDT[0] / 2**72
+        rho = [math.exp(-(z * z) / (2 * SIGMA_MAX**2)) for z in range(64)]
+        expected = 1 - rho[0] / sum(rho)
+        assert p_ge_1 == pytest.approx(expected, abs=1e-12)
+
+    def test_table_is_finite_and_positive(self):
+        assert 10 < len(RCDT) < 30
+        assert all(v > 0 for v in RCDT)
+
+    def test_base_sampler_distribution(self):
+        stats = pytest.importorskip("scipy.stats")
+        rng = ChaCha20Prng(b"base")
+        n = 8000
+        xs = [base_sampler(rng) for _ in range(n)]
+        assert min(xs) == 0
+        rho = [math.exp(-(z * z) / (2 * SIGMA_MAX**2)) for z in range(20)]
+        total = sum(rho)
+        support = range(0, 7)
+        observed = [sum(1 for x in xs if x == z) for z in support]
+        observed.append(n - sum(observed))
+        expected = [n * rho[z] / total for z in support]
+        expected.append(n - sum(expected))
+        chi2, p = stats.chisquare(observed, f_exp=expected)
+        assert p > 1e-4, f"base sampler off (chi2={chi2:.1f})"
+
+
+class TestSamplerZ:
+    SIGMIN = 1.2778336969128337
+
+    def test_deterministic(self):
+        a = [samplerz(0.3, 1.5, self.SIGMIN, ChaCha20Prng(b"z")) for _ in range(10)]
+        b = [samplerz(0.3, 1.5, self.SIGMIN, ChaCha20Prng(b"z")) for _ in range(10)]
+        assert a == b
+
+    def test_sigma_out_of_range(self):
+        rng = ChaCha20Prng(b"r")
+        with pytest.raises(ValueError):
+            samplerz(0.0, 5.0, self.SIGMIN, rng)
+        with pytest.raises(ValueError):
+            samplerz(0.0, 1.0, self.SIGMIN, rng)
+
+    @pytest.mark.parametrize("mu,sigma", [(0.0, 1.5), (3.7, 1.29), (-11.25, 1.8), (0.5, 1.4)])
+    def test_matches_reference_sampler(self, mu, sigma):
+        """Chi-square: spec-structure sampler vs exact rejection sampler pmf."""
+        stats = pytest.importorskip("scipy.stats")
+        rng = ChaCha20Prng(f"sz-{mu}-{sigma}".encode())
+        n = 5000
+        xs = [samplerz(mu, sigma, self.SIGMIN, rng) for _ in range(n)]
+        center = round(mu)
+        support = list(range(center - 5, center + 6))
+        observed = [sum(1 for x in xs if x == z) for z in support]
+        tail_obs = n - sum(observed)
+        expected = [n * dgauss_pmf(z, mu, sigma) for z in support]
+        tail_exp = n - sum(expected)
+        if tail_exp >= 5:
+            observed.append(tail_obs)
+            expected.append(tail_exp)
+        else:
+            observed[-1] += tail_obs
+            expected[-1] += tail_exp
+        chi2, p = stats.chisquare(observed, f_exp=expected)
+        assert p > 1e-4, f"samplerz deviates at mu={mu}, sigma={sigma} (chi2={chi2:.1f}, p={p:.1e})"
+
+    def test_mean_tracks_center(self):
+        rng = ChaCha20Prng(b"mean")
+        mu, sigma, n = 7.25, 1.6, 4000
+        xs = [samplerz(mu, sigma, self.SIGMIN, rng) for _ in range(n)]
+        assert sum(xs) / n == pytest.approx(mu, abs=5 * sigma / math.sqrt(n))
+
+    def test_simple_sampler_agrees(self):
+        rng = ChaCha20Prng(b"simple")
+        xs = [samplerz_simple(0.0, 1.7, rng) for _ in range(2000)]
+        mean = sum(xs) / len(xs)
+        assert abs(mean) < 0.2

@@ -1,0 +1,135 @@
+"""Integration tests: signing, verification, ffSampling statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.falcon import FalconParams, Signature, keygen, sign, verify
+from repro.falcon.ffsampling import ffsampling
+from repro.falcon.hash_to_point import hash_to_point
+from repro.falcon.sign import sign_target
+from repro.falcon.verify import recover_s1
+from repro.falcon.compress import decompress
+from repro.math import fft, ntt, poly
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(32), seed=b"sv32")
+
+
+class TestSignVerify:
+    def test_roundtrip(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"message", seed=1)
+        assert verify(pk, b"message", sig)
+
+    def test_wrong_message_rejected(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"message", seed=1)
+        assert not verify(pk, b"messagE", sig)
+
+    def test_wrong_key_rejected(self, kp):
+        sk, _ = kp
+        _, other_pk = keygen(FalconParams.get(32), seed=b"other")
+        sig = sign(sk, b"message", seed=1)
+        assert not verify(other_pk, b"message", sig)
+
+    def test_tampered_signature_rejected(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"m", seed=2)
+        flipped = bytes([sig.s2_compressed[0] ^ 0x40]) + sig.s2_compressed[1:]
+        assert not verify(pk, b"m", Signature(salt=sig.salt, s2_compressed=flipped))
+
+    def test_wrong_salt_length_rejected(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"m", seed=3)
+        assert not verify(pk, b"m", Signature(salt=sig.salt[:-1], s2_compressed=sig.s2_compressed))
+
+    def test_signature_randomized_without_seed(self, kp):
+        sk, pk = kp
+        s1 = sign(sk, b"m")
+        s2 = sign(sk, b"m")
+        assert s1.salt != s2.salt
+        assert verify(pk, b"m", s1) and verify(pk, b"m", s2)
+
+    def test_encoded_length(self, kp):
+        sk, _ = kp
+        sig = sign(sk, b"m", seed=4)
+        assert len(sig.encoded()) == sk.params.sig_bytelen
+
+    @pytest.mark.parametrize("n", [8, 16, 64, 128])
+    def test_all_ring_sizes(self, n):
+        sk, pk = keygen(FalconParams.get(n), seed=f"ring{n}".encode())
+        sig = sign(sk, b"multi-ring", seed=9)
+        assert verify(pk, b"multi-ring", sig)
+
+    def test_norm_within_bound(self, kp):
+        """Recompute ||(s1, s2)||^2 from the wire signature."""
+        sk, pk = kp
+        params = sk.params
+        sig = sign(sk, b"norm-check", seed=6)
+        s2 = decompress(sig.s2_compressed, params.compressed_sig_bits, params.n)
+        c = hash_to_point(sig.salt + b"norm-check", params.q, params.n)
+        s1 = recover_s1(pk, c, s2)
+        norm = sum(v * v for v in s1) + sum(v * v for v in s2)
+        assert 0 < norm <= params.sig_bound
+
+
+class TestLatticeIdentity:
+    def test_signature_solves_hash_equation(self, kp):
+        """s1 + s2 h = c (mod q) — the GPV identity the forgery relies on."""
+        sk, pk = kp
+        params = sk.params
+        sig = sign(sk, b"identity", seed=7)
+        s2 = decompress(sig.s2_compressed, params.compressed_sig_bits, params.n)
+        c = hash_to_point(sig.salt + b"identity", params.q, params.n)
+        s1 = recover_s1(pk, c, s2)
+        lhs = poly.mod_q(poly.add(s1, ntt.mul_ntt(s2, pk.h, params.q)), params.q)
+        assert lhs == c
+
+    def test_sign_target_identity(self, kp):
+        """t B = (c, 0): the target construction of Algorithm 10 line 3."""
+        sk, _ = kp
+        n, q = sk.params.n, sk.params.q
+        c = hash_to_point(b"target-check", q, n)
+        t0, t1 = sign_target(sk, c)
+        b00, b01, b10, b11 = sk.b_hat
+        first = fft.ifft(t0 * b00 + t1 * b10)
+        second = fft.ifft(t0 * b01 + t1 * b11)
+        np.testing.assert_allclose(first, np.array(c, dtype=float), atol=1e-4)
+        np.testing.assert_allclose(second, 0.0, atol=1e-4)
+
+
+class TestFfSamplingStatistics:
+    def test_sampled_point_is_integral(self, kp):
+        """z returned by ffSampling must invert to integer vectors."""
+        sk, _ = kp
+        from repro.falcon.samplerz import samplerz
+        from repro.utils.rng import ChaCha20Prng
+
+        rng = ChaCha20Prng(b"ffs")
+        c = hash_to_point(b"ffs", sk.params.q, sk.params.n)
+        t0, t1 = sign_target(sk, c)
+        z0, z1 = ffsampling(
+            t0, t1, sk.tree, lambda mu, s: samplerz(mu, s, sk.params.sigmin, rng)
+        )
+        for z in (z0, z1):
+            coeffs = fft.ifft(z)
+            np.testing.assert_allclose(coeffs, np.round(coeffs), atol=1e-6)
+
+    def test_signature_norm_concentration(self, kp):
+        """E||s||^2 ~ 2 n sigma^2 for the GPV sampler."""
+        sk, pk = kp
+        params = sk.params
+        norms = []
+        for i in range(12):
+            sig = sign(sk, f"conc{i}".encode(), seed=i)
+            s2 = decompress(sig.s2_compressed, params.compressed_sig_bits, params.n)
+            c = hash_to_point(sig.salt + f"conc{i}".encode(), params.q, params.n)
+            s1 = recover_s1(pk, c, s2)
+            norms.append(sum(v * v for v in s1) + sum(v * v for v in s2))
+        mean = sum(norms) / len(norms)
+        expected = 2 * params.n * params.sigma**2
+        assert 0.5 * expected < mean < 1.5 * expected

@@ -1,0 +1,78 @@
+"""Edge-case tests for signature verification."""
+
+import pytest
+
+from repro.falcon import FalconParams, Signature, keygen, sign, verify
+from repro.falcon.compress import compress
+from repro.falcon.hash_to_point import hash_to_point
+from repro.falcon.verify import recover_s1
+from repro.math import ntt, poly
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(16), seed=b"verify-edge")
+
+
+class TestVerifyEdges:
+    def test_empty_signature_rejected(self, kp):
+        _, pk = kp
+        sig = Signature(salt=bytes(40), s2_compressed=b"")
+        assert not verify(pk, b"m", sig)
+
+    def test_garbage_compressed_rejected(self, kp):
+        _, pk = kp
+        params = pk.params
+        blob_len = (params.compressed_sig_bits + 7) // 8
+        sig = Signature(salt=bytes(40), s2_compressed=b"\xff" * blob_len)
+        assert not verify(pk, b"m", sig)
+
+    def test_oversized_s2_rejected(self, kp):
+        """A decompressible s2 with a huge norm must fail the bound."""
+        _, pk = kp
+        params = pk.params
+        # 16 * 300^2 = 1.44M > beta^2 = 892k, and the encoding still
+        # fits the FALCON-16 bit budget exactly
+        big = [300] * params.n
+        blob = compress(big, params.compressed_sig_bits)
+        sig = Signature(salt=bytes(40), s2_compressed=blob)
+        assert not verify(pk, b"m", sig)
+
+    def test_zero_s2_usually_rejected(self, kp):
+        """s2 = 0 forces s1 = c, whose norm is far above the bound."""
+        _, pk = kp
+        params = pk.params
+        blob = compress([0] * params.n, params.compressed_sig_bits)
+        sig = Signature(salt=bytes(40), s2_compressed=blob)
+        assert not verify(pk, b"some message", sig)
+
+    def test_signature_not_transferable_across_messages(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"message A", seed=1)
+        assert verify(pk, b"message A", sig)
+        assert not verify(pk, b"message B", sig)
+
+    def test_salt_is_bound(self, kp):
+        sk, pk = kp
+        sig = sign(sk, b"m", seed=2)
+        flipped_salt = bytes([sig.salt[0] ^ 1]) + sig.salt[1:]
+        assert not verify(pk, b"m", Signature(salt=flipped_salt, s2_compressed=sig.s2_compressed))
+
+
+class TestRecoverS1:
+    def test_linear_identity(self, kp):
+        """recover_s1 must satisfy s1 + s2 h = c (mod q) by construction."""
+        _, pk = kp
+        q, n = pk.params.q, pk.params.n
+        c = hash_to_point(b"identity", q, n)
+        s2 = [3, -5] + [0] * (n - 2)
+        s1 = recover_s1(pk, c, s2)
+        lhs = poly.mod_q(poly.add(s1, ntt.mul_ntt([v % q for v in s2], pk.h, q)), q)
+        assert lhs == c
+
+    def test_centered_range(self, kp):
+        _, pk = kp
+        q, n = pk.params.q, pk.params.n
+        c = hash_to_point(b"center", q, n)
+        s1 = recover_s1(pk, c, [1] * n)
+        assert all(-q // 2 <= v <= q // 2 for v in s1)

@@ -1,0 +1,194 @@
+"""Bit-exactness tests for the fpr softfloat emulation.
+
+The reference semantics is the host's IEEE-754 double arithmetic
+(round-to-nearest-even): every operation must be bit-identical on normal
+inputs/outputs; subnormal results flush to zero (FALCON's fpr.c
+behaviour); overflow saturates to the infinity pattern.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.fpr import emu
+
+
+def normal_double(min_exp=-900, max_exp=900):
+    """Strategy for finite normal doubles with bounded exponent."""
+
+    def build(sign, exp, mant):
+        return struct.unpack(
+            "<d", struct.pack("<Q", (sign << 63) | ((exp + 1023) << 52) | mant)
+        )[0]
+
+    return st.builds(
+        build,
+        st.integers(0, 1),
+        st.integers(min_exp, max_exp),
+        st.integers(0, (1 << 52) - 1),
+    )
+
+
+def bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def is_normal_or_zero(x: float) -> bool:
+    if x == 0.0:
+        return True
+    e = (bits(x) >> 52) & 0x7FF
+    return 0 < e < 0x7FF
+
+
+class TestPackUnpack:
+    def test_roundtrip_known_values(self):
+        for v in (0.0, 1.0, -1.0, 0.5, 3.141592653589793, -1e300, 1e-300):
+            assert emu.fpr_to_float(emu.fpr_from_float(v)) == v
+
+    def test_decompose_compose(self):
+        x = bits(-2.5)
+        s, e, m = emu.decompose(x)
+        assert (s, e) == (1, 1024)
+        assert emu.compose(s, e, m) == x
+
+    def test_compose_validation(self):
+        with pytest.raises(ValueError):
+            emu.compose(2, 100, 0)
+        with pytest.raises(ValueError):
+            emu.compose(0, 2048, 0)
+        with pytest.raises(ValueError):
+            emu.compose(0, 100, 1 << 52)
+
+    def test_is_zero(self):
+        assert emu.is_zero(bits(0.0))
+        assert emu.is_zero(bits(-0.0))
+        assert not emu.is_zero(bits(1e-308))
+
+
+class TestConversions:
+    @given(st.integers(-(2**53) + 1, 2**53 - 1))
+    def test_fpr_of_exact(self, i):
+        assert emu.fpr_to_float(emu.fpr_of(i)) == float(i)
+
+    def test_fpr_of_too_large(self):
+        with pytest.raises(ValueError):
+            emu.fpr_of(1 << 53)
+
+    def test_fpr_of_zero(self):
+        assert emu.fpr_of(0) == 0
+
+
+class TestArithmeticBitExact:
+    @given(normal_double(), normal_double())
+    @settings(max_examples=500)
+    def test_mul(self, x, y):
+        ref = x * y
+        assume(is_normal_or_zero(ref) and math.isfinite(ref) and ref != 0.0)
+        assert emu.fpr_mul(bits(x), bits(y)) == bits(ref)
+
+    @given(normal_double(-60, 60), normal_double(-60, 60))
+    @settings(max_examples=500)
+    def test_add(self, x, y):
+        ref = x + y
+        assume(is_normal_or_zero(ref))
+        assert emu.fpr_add(bits(x), bits(y)) == bits(ref)
+
+    @given(normal_double(-60, 60), normal_double(-60, 60))
+    @settings(max_examples=300)
+    def test_sub(self, x, y):
+        ref = x - y
+        assume(is_normal_or_zero(ref))
+        assert emu.fpr_sub(bits(x), bits(y)) == bits(ref)
+
+    @given(normal_double(-200, 200), normal_double(-200, 200))
+    @settings(max_examples=500)
+    def test_div(self, x, y):
+        ref = x / y
+        assume(is_normal_or_zero(ref) and ref != 0.0)
+        assert emu.fpr_div(bits(x), bits(y)) == bits(ref)
+
+    @given(normal_double())
+    @settings(max_examples=500)
+    def test_sqrt(self, x):
+        assert emu.fpr_sqrt(bits(abs(x))) == bits(math.sqrt(abs(x)))
+
+    def test_mul_by_zero_sign(self):
+        assert emu.fpr_mul(bits(0.0), bits(-3.0)) == bits(-0.0)
+        assert emu.fpr_mul(bits(-0.0), bits(-3.0)) == bits(0.0)
+
+    def test_add_zeros(self):
+        assert emu.fpr_add(bits(0.0), bits(-0.0)) == bits(0.0)
+        assert emu.fpr_add(bits(-0.0), bits(-0.0)) == bits(-0.0)
+
+    def test_exact_cancellation_is_positive_zero(self):
+        assert emu.fpr_add(bits(1.5), bits(-1.5)) == bits(0.0)
+
+    def test_underflow_flushes_to_zero(self):
+        tiny = 2.0**-540
+        out = emu.fpr_mul(bits(tiny), bits(tiny))
+        assert emu.is_zero(out)
+
+    def test_overflow_saturates_to_inf(self):
+        big = 2.0**1000
+        out = emu.fpr_mul(bits(big), bits(big))
+        assert out == bits(math.inf)
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            emu.fpr_div(bits(1.0), bits(0.0))
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(ValueError):
+            emu.fpr_sqrt(bits(-1.0))
+
+    def test_subnormal_input_rejected(self):
+        with pytest.raises(ValueError):
+            emu.fpr_mul(bits(5e-324), bits(1.0))
+
+
+class TestRounding:
+    def test_round_to_nearest_even_tie(self):
+        # 2^52 + 0.5 ties -> rounds to even (2^52)
+        x = bits(float(2**52))
+        half = bits(0.5)
+        assert emu.fpr_add(x, half) == x
+        # (2^52 + 1) + 0.5 ties -> rounds up to even (2^52 + 2)
+        x1 = bits(float(2**52 + 1))
+        assert emu.fpr_add(x1, half) == bits(float(2**52 + 2))
+
+    @given(normal_double(-40, 40))
+    @settings(max_examples=300)
+    def test_rint_matches_host(self, x):
+        assume(abs(x) < 2**52)
+        # Python's round() is round-half-even, same as fpr_rint.
+        assert emu.fpr_rint(bits(x)) == round(x)
+
+    @given(normal_double(-40, 40))
+    @settings(max_examples=300)
+    def test_floor_trunc_match_host(self, x):
+        assume(abs(x) < 2**52)
+        assert emu.fpr_floor(bits(x)) == math.floor(x)
+        assert emu.fpr_trunc(bits(x)) == math.trunc(x)
+
+    def test_rint_far_below_one(self):
+        assert emu.fpr_rint(bits(1e-300)) == 0
+        assert emu.fpr_floor(bits(-1e-300)) == -1
+        assert emu.fpr_trunc(bits(-1e-300)) == 0
+
+
+class TestHelpers:
+    @given(normal_double(-100, 100))
+    @settings(max_examples=200)
+    def test_neg_abs_half_double(self, x):
+        b = bits(x)
+        assert emu.fpr_to_float(emu.fpr_neg(b)) == -x
+        assert emu.fpr_to_float(emu.fpr_abs(b)) == abs(x)
+        assert emu.fpr_to_float(emu.fpr_half(b)) == x / 2
+        assert emu.fpr_to_float(emu.fpr_double(b)) == x * 2
+
+    @given(normal_double(-50, 50), normal_double(-50, 50))
+    @settings(max_examples=200)
+    def test_lt_matches_host(self, x, y):
+        assert emu.fpr_lt(bits(x), bits(y)) == (x < y)

@@ -1,0 +1,84 @@
+"""Tests for the TRS trace container."""
+
+import numpy as np
+import pytest
+
+from repro.falcon import FalconParams, keygen
+from repro.leakage import capture_coefficient
+from repro.leakage.trs import TrsError, read_trs, traceset_to_trs, trs_to_segment, write_trs
+
+
+class TestTrsRoundtrip:
+    def test_traces_only(self, tmp_path):
+        path = str(tmp_path / "a.trs")
+        traces = np.random.default_rng(0).standard_normal((20, 7)).astype(np.float32)
+        write_trs(path, traces)
+        got = read_trs(path)
+        np.testing.assert_array_equal(got.traces, traces)
+        assert got.data.shape == (20, 0)
+
+    def test_with_data_and_description(self, tmp_path):
+        path = str(tmp_path / "b.trs")
+        traces = np.zeros((3, 4), dtype=np.float32)
+        data = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        write_trs(path, traces, data, description="demo set")
+        got = read_trs(path)
+        np.testing.assert_array_equal(got.data, data)
+        assert got.description == "demo set"
+
+    def test_data_row_mismatch_rejected(self, tmp_path):
+        with pytest.raises(TrsError):
+            write_trs(str(tmp_path / "c.trs"), np.zeros((3, 4)), np.zeros((2, 1)))
+
+    def test_large_header_field(self, tmp_path):
+        """Descriptions > 127 bytes use the long-length TLV form."""
+        path = str(tmp_path / "d.trs")
+        desc = "x" * 300
+        write_trs(path, np.zeros((1, 2), dtype=np.float32), description=desc)
+        assert read_trs(path).description == desc
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = str(tmp_path / "e.trs")
+        write_trs(path, np.zeros((4, 8), dtype=np.float32))
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-10])
+        with pytest.raises(TrsError):
+            read_trs(path)
+
+    def test_missing_trace_block_rejected(self, tmp_path):
+        path = str(tmp_path / "f.trs")
+        open(path, "wb").write(bytes([0x41, 0x04, 1, 0, 0, 0]))
+        with pytest.raises(TrsError):
+            read_trs(path)
+
+    def test_int8_coding_read(self, tmp_path):
+        """Externally produced int8 TRS files are readable."""
+        import struct
+
+        path = str(tmp_path / "g.trs")
+        samples = np.array([[1, -2, 3]], dtype=np.int8)
+        with open(path, "wb") as fh:
+            fh.write(bytes([0x41, 0x04]) + struct.pack("<I", 1))
+            fh.write(bytes([0x42, 0x04]) + struct.pack("<I", 3))
+            fh.write(bytes([0x43, 0x01, 0x01]))
+            fh.write(bytes([0x5F, 0x00]))
+            fh.write(samples.tobytes())
+        got = read_trs(path)
+        np.testing.assert_array_equal(got.traces, samples.astype(np.float32))
+
+
+class TestTraceSetExport:
+    def test_export_import(self, tmp_path):
+        sk, _ = keygen(FalconParams.get(8), seed=b"trs")
+        ts = capture_coefficient(sk, 0, n_traces=60)
+        paths = traceset_to_trs(ts, str(tmp_path / "coef0"))
+        assert len(paths) == 2
+        seg = trs_to_segment(paths[0])
+        np.testing.assert_array_equal(seg.known_y, ts.segments[0].known_y)
+        np.testing.assert_array_equal(seg.traces, ts.segments[0].traces)
+
+    def test_import_requires_operand_data(self, tmp_path):
+        path = str(tmp_path / "h.trs")
+        write_trs(path, np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(TrsError):
+            trs_to_segment(path)

@@ -1,0 +1,120 @@
+"""Tests for the FALCON FFT representation (split/merge, ring ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.math import fft, poly
+
+sizes = st.sampled_from([2, 4, 8, 16, 32, 64])
+
+
+def random_poly(n, seed):
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+class TestRoots:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 512])
+    def test_roots_satisfy_ring_equation(self, n):
+        z = fft.roots(n)
+        np.testing.assert_allclose(z**n, -1.0, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_roots_upper_half_plane(self, n):
+        assert np.all(fft.roots(n).imag > 0)
+
+    def test_bad_n_rejected(self):
+        for n in (0, 1, 3, 12):
+            with pytest.raises(ValueError):
+                fft.roots(n)
+
+
+class TestTransform:
+    @pytest.mark.parametrize("n", [2, 4, 8, 32, 256, 1024])
+    def test_roundtrip(self, n):
+        f = random_poly(n, n)
+        np.testing.assert_allclose(fft.ifft(fft.fft(f)), f, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_matches_direct_evaluation(self, n):
+        f = random_poly(n, n + 1)
+        direct = np.array([np.polyval(f[::-1], z) for z in fft.roots(n)])
+        np.testing.assert_allclose(fft.fft(f), direct, atol=1e-8)
+
+    def test_fft_of_constant(self):
+        out = fft.fft([3.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            fft.fft([1.0, 2.0, 3.0])
+
+    def test_linearity(self):
+        n = 16
+        f, g = random_poly(n, 1), random_poly(n, 2)
+        np.testing.assert_allclose(
+            fft.fft(2 * f + g), 2 * fft.fft(f) + fft.fft(g), atol=1e-9
+        )
+
+
+class TestSplitMerge:
+    @pytest.mark.parametrize("n", [4, 8, 64, 512])
+    def test_split_merge_roundtrip(self, n):
+        F = fft.fft(random_poly(n, n + 7))
+        f0, f1 = fft.split_fft(F)
+        np.testing.assert_allclose(fft.merge_fft(f0, f1), F, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_split_matches_coefficient_split(self, n):
+        """split_fft(FFT(f)) == (FFT(f_even), FFT(f_odd))."""
+        f = random_poly(n, n + 13)
+        f0, f1 = fft.split_fft(fft.fft(f))
+        np.testing.assert_allclose(f0, fft.fft(f[0::2]), atol=1e-9)
+        np.testing.assert_allclose(f1, fft.fft(f[1::2]), atol=1e-9)
+
+    def test_split_of_single_slot_rejected(self):
+        with pytest.raises(ValueError):
+            fft.split_fft(np.array([1 + 1j]))
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            fft.merge_fft(np.ones(2, dtype=complex), np.ones(3, dtype=complex))
+
+
+class TestRingOps:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_mul_fft_is_negacyclic_product(self, n):
+        rng = np.random.default_rng(n)
+        a = list(rng.integers(-30, 30, n))
+        b = list(rng.integers(-30, 30, n))
+        via_fft = fft.ifft(fft.mul_fft(fft.fft(a), fft.fft(b)))
+        np.testing.assert_allclose(via_fft, poly.mul(a, b), atol=1e-6)
+
+    def test_div_inverts_mul(self):
+        n = 32
+        a = fft.fft(random_poly(n, 3))
+        b = fft.fft(random_poly(n, 4) + 5.0)  # keep away from zero slots
+        np.testing.assert_allclose(fft.div_fft(fft.mul_fft(a, b), b), a, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_adj_fft_matches_adjoint_poly(self, n):
+        rng = np.random.default_rng(n + 5)
+        f = list(rng.integers(-20, 20, n))
+        np.testing.assert_allclose(
+            fft.adj_fft(fft.fft(f)), fft.fft(poly.adjoint(f)), atol=1e-9
+        )
+
+    def test_self_adjoint_is_real(self):
+        """f * adj(f) has a real-valued FFT — the ffLDL precondition."""
+        n = 32
+        F = fft.fft(random_poly(n, 9))
+        prod = fft.mul_fft(F, fft.adj_fft(F))
+        np.testing.assert_allclose(prod.imag, 0.0, atol=1e-9)
+        assert np.all(prod.real >= 0)
+
+    def test_parseval(self):
+        """sum |FFT slots|^2 * (2/n) == squared coefficient norm."""
+        n = 64
+        f = random_poly(n, 11)
+        F = fft.fft(f)
+        assert (2.0 / n) * np.sum(np.abs(F) ** 2) == pytest.approx(float(f @ f))

@@ -1,0 +1,69 @@
+"""Statistical tests for the discrete Gaussian reference sampler."""
+
+import math
+
+import pytest
+
+from repro.math.gaussian import dgauss_pmf, sample_dgauss, sample_poly_dgauss
+from repro.utils.rng import ChaCha20Prng
+
+
+class TestPmf:
+    def test_normalized(self):
+        total = sum(dgauss_pmf(z, 0.0, 2.0) for z in range(-30, 31))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric_around_integer_center(self):
+        for z in range(1, 10):
+            assert dgauss_pmf(z, 0.0, 3.0) == pytest.approx(dgauss_pmf(-z, 0.0, 3.0))
+
+    def test_mode_at_center(self):
+        assert dgauss_pmf(0, 0.0, 1.5) > dgauss_pmf(1, 0.0, 1.5)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            dgauss_pmf(0, 0.0, 0.0)
+
+
+class TestSampler:
+    def test_deterministic_with_seed(self):
+        a = [sample_dgauss(0.0, 2.0, ChaCha20Prng(b"s")) for _ in range(20)]
+        b = [sample_dgauss(0.0, 2.0, ChaCha20Prng(b"s")) for _ in range(20)]
+        assert a == b
+
+    def test_moments(self):
+        rng = ChaCha20Prng(b"moments")
+        mu, sigma, n = 3.7, 1.8, 4000
+        xs = [sample_dgauss(mu, sigma, rng) for _ in range(n)]
+        mean = sum(xs) / n
+        var = sum((x - mean) ** 2 for x in xs) / n
+        assert mean == pytest.approx(mu, abs=5 * sigma / math.sqrt(n))
+        assert var == pytest.approx(sigma * sigma, rel=0.2)
+
+    def test_chi_square_against_pmf(self):
+        stats = pytest.importorskip("scipy.stats")
+        rng = ChaCha20Prng(b"chi2")
+        sigma, n = 2.0, 6000
+        xs = [sample_dgauss(0.0, sigma, rng) for _ in range(n)]
+        support = list(range(-6, 7))
+        observed = [sum(1 for x in xs if x == z) for z in support]
+        observed.append(n - sum(observed))  # tail bucket
+        expected = [n * dgauss_pmf(z, 0.0, sigma) for z in support]
+        expected.append(n - sum(expected))
+        # merge the tiny tail bucket into the last support bin if needed
+        if expected[-1] < 5:
+            expected[-2] += expected[-1]
+            observed[-2] += observed[-1]
+            expected.pop()
+            observed.pop()
+        chi2, p = stats.chisquare(observed, f_exp=expected)
+        assert p > 1e-4, f"sampler deviates from pmf (chi2={chi2:.1f}, p={p:.2e})"
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            sample_dgauss(0.0, -1.0, ChaCha20Prng(b"x"))
+
+    def test_poly_sampler_shape(self):
+        out = sample_poly_dgauss(64, 4.0, ChaCha20Prng(b"p"))
+        assert len(out) == 64
+        assert all(isinstance(v, int) for v in out)

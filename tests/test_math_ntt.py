@@ -1,0 +1,94 @@
+"""Tests for the NTT over Z_q used by verification and the NTT ablation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.math import ntt, poly
+
+Q = ntt.Q
+
+
+def rand_poly(n, seed):
+    import random
+
+    r = random.Random(seed)
+    return [r.randrange(Q) for _ in range(n)]
+
+
+class TestPrimitiveRoot:
+    def test_q_root_generates_group(self):
+        g = ntt.find_primitive_root(Q)
+        assert pow(g, Q - 1, Q) == 1
+        for p in (2, 3):  # q - 1 = 2^12 * 3
+            assert pow(g, (Q - 1) // p, Q) != 1
+
+    def test_small_prime(self):
+        assert ntt.find_primitive_root(7) in (3, 5)
+
+
+class TestPsiTable:
+    @pytest.mark.parametrize("n", [2, 8, 512, 1024])
+    def test_psi_is_2n_th_root(self, n):
+        fwd, inv = ntt.psi_table(n)
+        psi = fwd[1] if n > 1 else 1
+        assert pow(psi, 2 * n, Q) == 1
+        assert pow(psi, n, Q) == Q - 1  # psi^n = -1: negacyclic root
+        assert psi * inv[1] % Q == 1
+
+    def test_unsupported_n(self):
+        with pytest.raises(ValueError):
+            ntt.psi_table(3)
+        with pytest.raises(ValueError):
+            ntt.psi_table(4096)  # no 8192th roots mod 12289
+
+
+class TestTransform:
+    @pytest.mark.parametrize("n", [1, 2, 4, 32, 512, 1024])
+    def test_roundtrip(self, n):
+        f = rand_poly(n, n)
+        assert ntt.intt(ntt.ntt(f), Q) == f
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_matches_direct_evaluation(self, n):
+        """NTT(f)[j] must be an evaluation of f at a root of x^n + 1."""
+        f = rand_poly(n, n + 3)
+        evals = set(ntt.ntt(f))
+        fwd, _ = ntt.psi_table(n)
+        direct = set()
+        for k in range(2 * n):
+            root = pow(fwd[1], 2 * k + 1, Q)
+            if pow(root, n, Q) == Q - 1:
+                direct.add(sum(c * pow(root, i, Q) for i, c in enumerate(f)) % Q)
+        assert evals <= direct
+
+    @pytest.mark.parametrize("n", [4, 32, 256])
+    def test_mul_ntt_matches_schoolbook(self, n):
+        a, b = rand_poly(n, 1), rand_poly(n, 2)
+        assert ntt.mul_ntt(a, b) == poly.mod_q(poly.mul(a, b), Q)
+
+    def test_mul_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ntt.mul_ntt([1, 2], [1, 2, 3, 4])
+
+    @given(st.integers(0, Q - 1), st.integers(0, Q - 1))
+    @settings(max_examples=20)
+    def test_constant_multiplication(self, a, b):
+        out = ntt.mul_ntt([a, 0, 0, 0], [b, 0, 0, 0])
+        assert out == [a * b % Q, 0, 0, 0]
+
+
+class TestTraceInstrumentation:
+    def test_trace_output_matches_plain(self):
+        f = rand_poly(64, 9)
+        out, trace = ntt.ntt_with_trace(f)
+        assert out == ntt.ntt(f)
+
+    def test_trace_length(self):
+        """n weighted loads + n*log2(n) butterfly outputs."""
+        n = 64
+        _, trace = ntt.ntt_with_trace(rand_poly(n, 10))
+        assert len(trace) == n + n * 6
+
+    def test_trace_values_in_field(self):
+        _, trace = ntt.ntt_with_trace(rand_poly(32, 11))
+        assert all(0 <= v < Q for v in trace)

@@ -1,0 +1,27 @@
+"""Negative control: the full attack must FAIL against a masked device.
+
+If the pipeline "recovered" a key from a first-order-masked device, the
+leakage simulation or the attack would be broken (e.g. exploiting
+simulator artifacts instead of the modeled physics). This test pins the
+masked outcome down as a clean failure report, not a crash.
+"""
+
+import pytest
+
+from repro.attack import full_attack
+from repro.countermeasures import MaskingTransform
+from repro.falcon import FalconParams, keygen
+
+
+@pytest.mark.slow
+def test_full_attack_fails_against_masked_device():
+    sk, pk = keygen(FalconParams.get(8), seed=b"masked-victim")
+    report = full_attack(
+        sk,
+        pk,
+        n_traces=3000,
+        value_transform=MaskingTransform(),
+    )
+    assert not report.key_correct
+    assert not report.forgery_verifies
+    assert "no" in report.summary()

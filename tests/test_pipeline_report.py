@@ -1,0 +1,62 @@
+"""Tests for the attack pipeline report and the top-level package API."""
+
+import pytest
+
+import repro
+from repro.attack.pipeline import FullAttackReport
+from repro.attack.key_recovery import KeyRecoveryResult
+
+
+class TestPackageApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_defaults_exposed(self):
+        assert repro.PAPER_N == 512
+        assert repro.PAPER_N_TRACES == 10_000
+        assert repro.DEFAULT_N in (8, 16)
+
+    def test_public_names_importable(self):
+        from repro.attack import (  # noqa: F401
+            AttackConfig,
+            CpaResult,
+            full_attack,
+            recover_coefficient,
+            recover_mantissa,
+            run_cpa,
+        )
+        from repro.falcon import FalconParams, keygen, sign, verify  # noqa: F401
+        from repro.leakage import CaptureCampaign, DeviceModel, TraceSet  # noqa: F401
+
+
+class TestReportFormatting:
+    def _fake_report(self, key_correct=True, forgery=True):
+        kr = KeyRecoveryResult(
+            f=[1], g=[2], big_f=[3], big_g=[4], recovered_sk=None, coefficients=[]
+        )
+        return FullAttackReport(
+            n=8,
+            n_traces=10_000,
+            key_recovery=kr,
+            key_correct=key_correct,
+            forgery_verifies=forgery,
+            forged_message=b"msg",
+            elapsed_seconds=12.5,
+        )
+
+    def test_summary_success(self):
+        s = self._fake_report().summary()
+        assert "FALCON-8" in s
+        assert "10000 measurements" in s
+        assert "f recovered: YES" in s
+        assert "verifies: YES" in s
+
+    def test_summary_failure(self):
+        s = self._fake_report(key_correct=False, forgery=False).summary()
+        assert "f recovered: no" in s
+        assert "verifies: no" in s
+
+    def test_counts(self):
+        r = self._fake_report()
+        assert r.n_coefficients == 0
+        assert r.n_correct_coefficients == 0

@@ -1,0 +1,121 @@
+"""Tests for the SASCA substrate (factor graph BP + single-trace NTT)."""
+
+import numpy as np
+import pytest
+
+from repro.math import ntt
+from repro.sasca import FactorGraph, NttSasca, hw_prior, single_trace_attack
+
+Q = 257
+
+
+class TestHwPrior:
+    def test_normalized(self):
+        p = hw_prior(3.0, Q, noise_sigma=1.0)
+        assert p.shape == (Q,)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_peaks_at_matching_hw(self):
+        p = hw_prior(1.0, Q, noise_sigma=0.3)
+        best = int(np.argmax(p))
+        assert bin(best).count("1") == 1
+
+    def test_low_noise_concentrates(self):
+        loose = hw_prior(4.0, Q, noise_sigma=3.0)
+        tight = hw_prior(4.0, Q, noise_sigma=0.3)
+        assert tight.max() > loose.max()
+
+
+class TestFactorGraphBasics:
+    def test_linear_factor_exact_inference(self):
+        """c = a + 2b with a, c pinned must determine b."""
+        g = FactorGraph(q=Q, n_variables=3)
+        delta_a = np.zeros(Q)
+        delta_a[10] = 1.0
+        delta_c = np.zeros(Q)
+        delta_c[(10 + 2 * 77) % Q] = 1.0
+        g.set_prior(0, delta_a)
+        g.set_prior(2, delta_c)
+        g.add_linear_factor(0, 1, 2, 2)
+        marg = g.run(iterations=6)
+        assert int(marg[1].argmax()) == 77
+
+    def test_butterfly_factor_exact_inference(self):
+        """Pinning u and v determines both butterfly outputs."""
+        g = FactorGraph(q=Q, n_variables=4)
+        u_val, v_val, w = 100, 33, 5
+        for var, val in ((0, u_val), (1, v_val)):
+            d = np.zeros(Q)
+            d[val] = 1.0
+            g.set_prior(var, d)
+        g.add_butterfly_factor(0, 1, 2, 3, w)
+        marg = g.run(iterations=6)
+        assert int(marg[2].argmax()) == (u_val + w * v_val) % Q
+        assert int(marg[3].argmax()) == (u_val - w * v_val) % Q
+
+    def test_butterfly_inverse_inference(self):
+        """Pinning both outputs determines both inputs."""
+        g = FactorGraph(q=Q, n_variables=4)
+        u_val, v_val, w = 9, 200, 11
+        up = (u_val + w * v_val) % Q
+        vp = (u_val - w * v_val) % Q
+        for var, val in ((2, up), (3, vp)):
+            d = np.zeros(Q)
+            d[val] = 1.0
+            g.set_prior(var, d)
+        g.add_butterfly_factor(0, 1, 2, 3, w)
+        marg = g.run(iterations=6)
+        assert int(marg[0].argmax()) == u_val
+        assert int(marg[1].argmax()) == v_val
+
+    def test_validation(self):
+        g = FactorGraph(q=Q, n_variables=2)
+        with pytest.raises(ValueError):
+            g.add_linear_factor(0, 1, 5, 1)
+        with pytest.raises(ValueError):
+            g.set_prior(0, np.zeros(Q))
+        with pytest.raises(ValueError):
+            g.set_prior(0, np.ones(3))
+        with pytest.raises(ValueError):
+            FactorGraph(q=1, n_variables=1)
+
+
+class TestNttSasca:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NttSasca(n=16, q=Q)
+
+    @pytest.fixture(scope="class")
+    def secret(self):
+        return list(np.random.default_rng(0).integers(0, Q, 16))
+
+    def test_graph_reproduces_ntt(self, model, secret):
+        assert model.output(secret) == ntt.ntt(secret, Q)
+
+    def test_single_trace_recovery_low_noise(self, secret):
+        res = single_trace_attack(secret, q=Q, noise_sigma=0.4, seed=1, iterations=20)
+        assert res.success
+        assert res.n_correct == 16
+
+    def test_single_trace_fails_high_noise(self, secret):
+        res = single_trace_attack(secret, q=Q, noise_sigma=4.0, seed=1, iterations=10)
+        assert not res.success
+
+    def test_multi_trace_fusion_extends_noise_range(self, model, secret):
+        sigma = 1.0
+        rng = np.random.default_rng(7)
+        traces = model.leak_many(secret, 8, sigma, rng)
+        rec, _ = model.attack(traces, sigma, iterations=25)
+        assert np.array_equal(rec, np.array(secret) % Q)
+
+    def test_trace_length_validated(self, model):
+        with pytest.raises(ValueError):
+            model.attack(np.zeros(5), noise_sigma=1.0)
+
+    def test_input_length_validated(self, model):
+        with pytest.raises(ValueError):
+            model.execute([1, 2, 3])
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            NttSasca(n=3, q=Q)

@@ -1,0 +1,123 @@
+"""Tests for the statistics underlying the CPA distinguisher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.stats import (
+    OnlineMoments,
+    batched_pearson,
+    fisher_z_threshold,
+    normal_quantile,
+    pearson_corr,
+)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert abs(normal_quantile(0.5)) < 1e-9
+
+    def test_symmetry(self):
+        assert normal_quantile(0.975) == pytest.approx(-normal_quantile(0.025), abs=1e-9)
+
+    def test_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.9999) == pytest.approx(3.719016, abs=1e-4)
+
+    def test_against_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        for p in (0.001, 0.01, 0.3, 0.7, 0.99, 0.9999, 0.999999):
+            assert normal_quantile(p) == pytest.approx(stats.norm.ppf(p), abs=1e-7)
+
+    def test_domain(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                normal_quantile(bad)
+
+
+class TestFisherThreshold:
+    def test_decreases_with_traces(self):
+        t = [fisher_z_threshold(d) for d in (100, 1000, 10000)]
+        assert t[0] > t[1] > t[2]
+
+    def test_tiny_sample_saturates(self):
+        assert fisher_z_threshold(3) == 1.0
+
+    def test_paper_scale(self):
+        """At 10k traces the 99.99% bound sits around 0.037 (Fig. 4 dashes)."""
+        assert 0.03 < fisher_z_threshold(10_000, 0.9999) < 0.045
+
+    def test_null_false_positive_rate(self):
+        """Under no leakage, crossings happen at roughly the nominal rate."""
+        rng = np.random.default_rng(7)
+        d, trials = 500, 2000
+        thr = fisher_z_threshold(d, 0.99)
+        hits = 0
+        x = rng.standard_normal((trials, d))
+        y = rng.standard_normal((trials, d))
+        for i in range(trials):
+            if abs(pearson_corr(x[i], y[i])) > thr:
+                hits += 1
+        # two-sided: nominal 2% of 2000 = 40; allow generous slack
+        assert hits < 100
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_corr(x, 3 * x + 1) == pytest.approx(1.0)
+        assert pearson_corr(x, -x) == pytest.approx(-1.0)
+
+    def test_degenerate_is_zero(self):
+        assert pearson_corr(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_corr(np.ones(3), np.ones(4))
+
+    @given(st.integers(5, 60))
+    @settings(max_examples=20)
+    def test_bounded(self, n):
+        rng = np.random.default_rng(n)
+        r = pearson_corr(rng.standard_normal(n), rng.standard_normal(n))
+        assert -1.0 <= r <= 1.0
+
+    def test_batched_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        hyps = rng.standard_normal((200, 5))
+        traces = rng.standard_normal((200, 7))
+        got = batched_pearson(hyps, traces)
+        for g in range(5):
+            for t in range(7):
+                assert got[g, t] == pytest.approx(pearson_corr(hyps[:, g], traces[:, t]))
+
+    def test_batched_degenerate_column(self):
+        hyps = np.ones((50, 2))
+        hyps[:, 1] = np.arange(50)
+        traces = np.random.default_rng(2).standard_normal((50, 3))
+        got = batched_pearson(hyps, traces)
+        assert np.all(got[0] == 0.0)
+
+    def test_batched_shape_validation(self):
+        with pytest.raises(ValueError):
+            batched_pearson(np.ones((10, 2)), np.ones((11, 2)))
+
+
+class TestOnlineMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((100, 6))
+        om = OnlineMoments()
+        om.update(data[:40])
+        om.update(data[40:])
+        assert om.count == 100
+        np.testing.assert_allclose(om.mean, data.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(om.variance, data.var(axis=0, ddof=1), atol=1e-10)
+
+    def test_empty_rejected(self):
+        om = OnlineMoments()
+        with pytest.raises(ValueError):
+            _ = om.mean
+        om.update(np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            _ = om.variance
