@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench demo figures clean
+.PHONY: install test bench demo figures verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,18 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+# Tier-1 suite plus a 2-worker end-to-end smoke: catches pickling or
+# per-target seeding regressions in the parallel engine that unit tests
+# with mocked pools would miss.
+verify: test
+	$(PYTHON) -c "\
+	from repro.falcon import FalconParams, keygen; \
+	from repro.attack import full_attack; \
+	sk, pk = keygen(FalconParams.get(8), seed=b'verify'); \
+	r = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke'); \
+	print(r.summary()); \
+	assert r.key_correct and r.forgery_verifies, 'parallel smoke attack failed'"
 
 demo:
 	$(PYTHON) examples/attack_demo.py --n 8 --traces 10000

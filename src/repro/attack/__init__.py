@@ -26,7 +26,15 @@ from repro.attack.config import AttackConfig
 from repro.attack.extend_prune import recover_mantissa, MantissaRecovery
 from repro.attack.sign_exp import recover_sign, recover_exponent
 from repro.attack.coefficient import recover_coefficient, CoefficientRecovery
-from repro.attack.key_recovery import recover_f, recover_full_key, KeyRecoveryResult
+from repro.attack.key_recovery import (
+    CoefficientRecord,
+    KeyRecoveryResult,
+    ProgressEvent,
+    default_progress_printer,
+    recover_coefficients,
+    recover_f,
+    recover_full_key,
+)
 from repro.attack.pipeline import full_attack, FullAttackReport
 from repro.attack.template import build_templates, template_scores, HwTemplates
 from repro.attack.second_order import second_order_cpa, centered_product
@@ -47,7 +55,11 @@ __all__ = [
     "CoefficientRecovery",
     "recover_f",
     "recover_full_key",
+    "recover_coefficients",
     "KeyRecoveryResult",
+    "CoefficientRecord",
+    "ProgressEvent",
+    "default_progress_printer",
     "full_attack",
     "FullAttackReport",
     "build_templates",

@@ -8,7 +8,9 @@ bit pattern of the targeted secret double.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.attack.config import AttackConfig
 from repro.attack.extend_prune import MantissaRecovery, recover_mantissa
@@ -29,6 +31,10 @@ class CoefficientRecovery:
     exponent: ExponentRecovery
     mantissa: MantissaRecovery
     true_pattern: int | None = None
+    #: Rows actually correlated, per trace segment — after the capture
+    #: layer dropped non-normal known operands (may be < the requested
+    #: campaign size).
+    n_traces_per_segment: tuple[int, ...] = field(default=())
 
     @property
     def value(self) -> float:
@@ -39,6 +45,20 @@ class CoefficientRecovery:
         if self.true_pattern is None:
             return None
         return self.pattern == self.true_pattern
+
+    @property
+    def n_traces_used(self) -> int:
+        """Total rows that entered the CPA across all segments."""
+        return sum(self.n_traces_per_segment)
+
+    @property
+    def mantissa_margin(self) -> float:
+        """Prune-score gap between the two best high-limb candidates."""
+        scores = self.mantissa.high.prune_scores
+        if len(scores) < 2:
+            return float("inf")
+        top2 = np.sort(np.asarray(scores, dtype=np.float64))[-2:]
+        return float(top2[1] - top2[0])
 
     def candidate_patterns(self, k_exponents: int = 8) -> list[int]:
         """Plausible full patterns: best sign/mantissa x top-k exponents."""
@@ -63,8 +83,9 @@ def recover_coefficient(
         cfg.use_both_segments,
         cfg.exponent_guesses,
         significand=mantissa.significand,
+        chunk_rows=cfg.chunk_rows,
     )
-    sign = recover_sign(traceset, cfg.use_both_segments)
+    sign = recover_sign(traceset, cfg.use_both_segments, chunk_rows=cfg.chunk_rows)
     pattern = emu.compose(sign.bit, exponent.biased_exponent, mantissa.mantissa_field)
     return CoefficientRecovery(
         target_index=traceset.target_index,
@@ -73,4 +94,5 @@ def recover_coefficient(
         exponent=exponent,
         mantissa=mantissa,
         true_pattern=traceset.true_secret,
+        n_traces_per_segment=tuple(seg.n_traces for seg in traceset.segments),
     )

@@ -24,6 +24,13 @@ class AttackConfig:
     Exponent guesses far outside that band are aliases of in-band values
     (their HW-vs-E_y profiles differ only by a constant over the narrow
     observed exponent window) and are excluded as physically impossible.
+
+    ``n_workers`` fans the per-coefficient attacks of
+    :func:`repro.attack.key_recovery.recover_full_key` out over a
+    process pool (1 = serial in-process; results are bit-identical either
+    way because every target derives its own seeds). ``chunk_rows``
+    switches every CPA in the attack to the streaming accumulator with
+    that batch size; ``None`` keeps the one-shot matrix path.
     """
 
     window: int = 5
@@ -31,6 +38,8 @@ class AttackConfig:
     prune_keep: int = 32
     use_both_segments: bool = True
     exponent_guesses: tuple[int, int] = (963, 1084)  # biased-exponent range [lo, hi)
+    n_workers: int = 1
+    chunk_rows: int | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.window <= 16:
@@ -39,3 +48,7 @@ class AttackConfig:
             raise ValueError(f"beam must be >= 1, got {self.beam}")
         if self.prune_keep < 1:
             raise ValueError(f"prune_keep must be >= 1, got {self.prune_keep}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {self.chunk_rows}")

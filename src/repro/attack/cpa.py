@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.stats import batched_pearson, fisher_z_threshold
+from repro.utils.stats import batched_pearson, fisher_z_threshold, streaming_pearson
 
 __all__ = ["CpaResult", "run_cpa", "significance_threshold", "combine_scores"]
 
@@ -58,7 +58,12 @@ class CpaResult:
         return significance_threshold(self.n_traces, confidence)
 
     def significant_guesses(self, confidence: float = 0.9999) -> np.ndarray:
-        """Guess values whose peak score crosses the confidence bound."""
+        """Guess values whose peak score crosses the confidence bound.
+
+        The bound is strictly below 1.0 even for degenerate trace counts
+        (see :func:`repro.utils.stats.fisher_z_threshold`), so a perfect
+        correlation always qualifies under the strict comparison.
+        """
         return self.guesses[self.scores > self.threshold(confidence)]
 
     def top(self, k: int) -> list[tuple[int, float]]:
@@ -72,11 +77,26 @@ def run_cpa(
     traces: np.ndarray,
     guesses: np.ndarray,
     signed: bool = False,
+    chunk_rows: int | None = None,
 ) -> CpaResult:
-    """Correlate a (D, G) hypothesis matrix against (D, T) traces."""
+    """Correlate a (D, G) hypothesis matrix against (D, T) traces.
+
+    ``chunk_rows`` switches to the streaming accumulator: the correlation
+    is built from raw-moment sums over ``chunk_rows``-trace batches, so
+    the float64 working set stays O(chunk) instead of O(D). Results agree
+    with the one-shot path to float64 summation-order error.
+
+    ``n_traces`` on the result is the row count actually correlated —
+    after any per-segment filtering upstream — so the Fisher-z
+    significance bound always matches the data that produced the
+    correlations.
+    """
     hypotheses = np.asarray(hypotheses)
     traces = np.asarray(traces)
-    corr = batched_pearson(hypotheses, traces)
+    if chunk_rows is not None:
+        corr = streaming_pearson(hypotheses, traces, chunk_rows=chunk_rows)
+    else:
+        corr = batched_pearson(hypotheses, traces)
     return CpaResult(
         guesses=np.asarray(guesses),
         corr=corr,

@@ -86,6 +86,7 @@ def prune_candidates(
     hyp_builders: list,
     step_labels: list[str],
     use_both: bool,
+    chunk_rows: int | None = None,
 ) -> tuple[np.ndarray, list[CpaResult]]:
     """Rank limb candidates by CPA on the intermediate additions.
 
@@ -101,7 +102,10 @@ def prune_candidates(
         y_lo, y_hi = known_limbs(seg.known_y)
         for builder, label in zip(hyp_builders, step_labels):
             hyp = builder(y_lo, y_hi, candidates)
-            res = run_cpa(hyp, seg.traces[:, layout.slice_of(label)], candidates)
+            res = run_cpa(
+                hyp, seg.traces[:, layout.slice_of(label)], candidates,
+                chunk_rows=chunk_rows,
+            )
             results.append(res)
             total += res.scores
     return total, results
@@ -118,6 +122,7 @@ def refine_limb(
     window: int = 6,
     stride: int = 3,
     max_rounds: int = 16,
+    chunk_rows: int | None = None,
 ) -> tuple[int, float]:
     """Hill-climb a limb candidate on the addition-step correlations.
 
@@ -138,7 +143,9 @@ def refine_limb(
             for v in range(1 << wbits):
                 variants.add((base | (v << start)) | fixed)
         cands = np.array(sorted(variants), dtype=np.uint64)
-        scores, _ = prune_candidates(traceset, cands, hyp_builders, step_labels, use_both)
+        scores, _ = prune_candidates(
+            traceset, cands, hyp_builders, step_labels, use_both, chunk_rows=chunk_rows
+        )
         top_idx = int(np.argmax(scores))
         top, top_score = int(cands[top_idx]), float(scores[top_idx])
         if top == best or top_score <= best_score + 1e-12:
@@ -161,6 +168,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         beam=cfg.beam,
         keep=cfg.prune_keep,
         use_both_segments=cfg.use_both_segments,
+        chunk_rows=cfg.chunk_rows,
     )
     low_cands = _with_shift_aliases(low_ladder.candidates, LOW_BITS)
     # ---- low limb: prune on s_lo ----------------------------------------
@@ -170,6 +178,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         [hyp_s_lo],
         ["s_lo"],
         cfg.use_both_segments,
+        chunk_rows=cfg.chunk_rows,
     )
     low_best = int(low_cands[int(np.argmax(low_scores))])
     low_best, _ = refine_limb(
@@ -179,6 +188,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         [hyp_s_lo],
         ["s_lo"],
         cfg.use_both_segments,
+        chunk_rows=cfg.chunk_rows,
     )
     low_diag = PhaseDiagnostics(
         ladder=low_ladder,
@@ -197,6 +207,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         beam=cfg.beam,
         keep=cfg.prune_keep,
         use_both_segments=cfg.use_both_segments,
+        chunk_rows=cfg.chunk_rows,
     )
     high_cands = _with_shift_aliases(high_ladder.candidates, 27) | np.uint64(_HIGH_MSB)
     high_cands = np.unique(high_cands)
@@ -210,6 +221,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         ],
         ["s_mid", "s_hi"],
         cfg.use_both_segments,
+        chunk_rows=cfg.chunk_rows,
     )
     high_best = int(high_cands[int(np.argmax(high_scores))])
     high_best, _ = refine_limb(
@@ -223,6 +235,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         ["s_mid", "s_hi"],
         cfg.use_both_segments,
         fixed=_HIGH_MSB,
+        chunk_rows=cfg.chunk_rows,
     )
     high_diag = PhaseDiagnostics(
         ladder=high_ladder,

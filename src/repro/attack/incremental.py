@@ -7,13 +7,18 @@ they arrive and the correlation matrix queried at any point — this is
 also how the correlation-evolution plots are produced without quadratic
 recomputation.
 
-Results are bit-identical to :func:`repro.utils.stats.batched_pearson`
-on the concatenated data (same raw-moment formulation).
+The moment bookkeeping lives in
+:class:`repro.utils.stats.PearsonAccumulator`; this class adds the
+fixed-shape validation a long-running acquisition loop wants. Results
+are bit-identical to :func:`repro.utils.stats.batched_pearson` on the
+concatenated data (same raw-moment finalization).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.utils.stats import PearsonAccumulator
 
 __all__ = ["IncrementalCpa"]
 
@@ -26,12 +31,11 @@ class IncrementalCpa:
             raise ValueError("n_guesses and n_samples must be positive")
         self.n_guesses = n_guesses
         self.n_samples = n_samples
-        self.count = 0
-        self._sum_h = np.zeros(n_guesses)
-        self._sum_h2 = np.zeros(n_guesses)
-        self._sum_t = np.zeros(n_samples)
-        self._sum_t2 = np.zeros(n_samples)
-        self._sum_ht = np.zeros((n_guesses, n_samples))
+        self._acc = PearsonAccumulator()
+
+    @property
+    def count(self) -> int:
+        return self._acc.count
 
     def update(self, hypotheses: np.ndarray, traces: np.ndarray) -> None:
         """Fold in one batch (rows are traces)."""
@@ -44,27 +48,11 @@ class IncrementalCpa:
             )
         if h.shape[0] != t.shape[0]:
             raise ValueError(f"{h.shape[0]} hypothesis rows vs {t.shape[0]} trace rows")
-        self.count += h.shape[0]
-        self._sum_h += h.sum(axis=0)
-        self._sum_h2 += np.einsum("dg,dg->g", h, h)
-        self._sum_t += t.sum(axis=0)
-        self._sum_t2 += np.einsum("dt,dt->t", t, t)
-        self._sum_ht += h.T @ t
+        self._acc.update(h, t)
 
     def correlation(self) -> np.ndarray:
         """The (G, T) Pearson correlation of everything folded so far."""
-        if self.count < 2:
-            raise ValueError("need at least two traces")
-        d = self.count
-        cov = self._sum_ht - np.outer(self._sum_h, self._sum_t) / d
-        var_h = np.maximum(self._sum_h2 - self._sum_h**2 / d, 0.0)
-        var_t = np.maximum(self._sum_t2 - self._sum_t**2 / d, 0.0)
-        denom = np.sqrt(np.outer(var_h, var_t))
-        with np.errstate(divide="ignore", invalid="ignore"):
-            corr = np.where(denom > 0, cov / np.where(denom > 0, denom, 1.0), 0.0)
-        return np.clip(corr, -1.0, 1.0)
+        return self._acc.correlation()
 
     def threshold(self, confidence: float = 0.9999) -> float:
-        from repro.utils.stats import fisher_z_threshold
-
-        return fisher_z_threshold(self.count, confidence)
+        return self._acc.threshold(confidence)

@@ -14,7 +14,12 @@ representation error). Then:
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -29,9 +34,12 @@ from repro.math import fft, ntt
 __all__ = [
     "KeyRecoveryError",
     "KeyRecoveryResult",
+    "CoefficientRecord",
+    "ProgressEvent",
     "recover_f",
     "recover_g_from_public",
     "repair_exponents",
+    "recover_coefficients",
     "recover_full_key",
     "forge",
 ]
@@ -42,23 +50,109 @@ _G_PLAUSIBLE_BOUND = 1 << 10
 
 
 class KeyRecoveryError(RuntimeError):
-    """The recovered coefficients are inconsistent with the public key."""
+    """The recovered coefficients are inconsistent with the public key.
+
+    ``coefficients``/``records`` carry whatever per-coefficient evidence
+    existed when the failure was detected, so callers can report a failed
+    campaign without losing its measurements.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        coefficients: list[CoefficientRecovery] | None = None,
+        records: "list[CoefficientRecord] | None" = None,
+    ):
+        super().__init__(message)
+        self.coefficients = coefficients or []
+        self.records = records or []
+
+
+@dataclass
+class CoefficientRecord:
+    """Observability record for one per-coefficient attack.
+
+    Collected by :func:`recover_coefficients` whether the campaign runs
+    serially or fanned out over worker processes; timing is measured
+    inside the worker, so parallel records show true per-target cost.
+    """
+
+    target_index: int
+    elapsed_seconds: float
+    n_traces_requested: int
+    n_traces_kept: tuple[int, ...]       # actual correlated rows per segment
+    correct: bool | None                 # None when no ground truth (real bench)
+    sign_margin: float = 0.0
+    exponent_margin: float = 0.0
+    mantissa_margin: float = 0.0
+
+    @property
+    def n_traces_used(self) -> int:
+        return sum(self.n_traces_kept)
+
+
+@dataclass
+class ProgressEvent:
+    """One structured progress notification from the attack engine.
+
+    ``stage`` is ``"coefficient"`` while per-target attacks complete
+    (``record`` is set), then ``"repair"``/``"rebuild"`` for the global
+    algebra. ``completed``/``total`` count units within the stage.
+    """
+
+    stage: str
+    completed: int
+    total: int
+    record: CoefficientRecord | None = None
+    message: str = ""
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def default_progress_printer(event: ProgressEvent) -> None:
+    """The stock console renderer for :class:`ProgressEvent` streams."""
+    if event.record is not None:
+        r = event.record
+        status = "ok " if r.correct else ("?? " if r.correct is None else "BAD")
+        print(
+            f"  [{event.completed:4d}/{event.total}] coefficient {r.target_index:4d}: "
+            f"{status} {r.elapsed_seconds:6.2f}s "
+            f"traces={r.n_traces_used} margin={r.exponent_margin:.3f}"
+        )
+    elif event.message:
+        print(f"  {event.stage}: {event.message}")
 
 
 @dataclass
 class KeyRecoveryResult:
-    """Outcome of a full-key campaign."""
+    """Outcome of a full-key campaign.
+
+    ``recovered_sk`` is ``None`` when the campaign failed before a
+    consistent key could be rebuilt (the per-coefficient evidence is
+    still in ``coefficients``/``records``).
+    """
 
     f: list[int]
     g: list[int]
     big_f: list[int]
     big_g: list[int]
-    recovered_sk: SecretKey
-    coefficients: list[CoefficientRecovery] = field(repr=False)
+    recovered_sk: SecretKey | None
+    coefficients: list[CoefficientRecovery] = field(repr=False, default_factory=list)
+    records: list[CoefficientRecord] = field(repr=False, default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.recovered_sk is not None
 
     @property
     def n_correct_coefficients(self) -> int:
         return sum(1 for c in self.coefficients if c.correct)
+
+    @property
+    def n_traces_correlated(self) -> int:
+        """Total rows that actually entered the CPA, summed over targets."""
+        return sum(r.n_traces_used for r in self.records)
 
 
 def _doubles_matrix(n: int) -> np.ndarray:
@@ -251,8 +345,14 @@ def _filter_by_magnitude(patterns: list[int], params) -> list[int]:
 
     f is drawn with public sigma_fg, so an FFT(f) double has RMS
     sqrt(n/2) * sigma_fg; candidates tens of octaves away are exponent
-    aliases, not plausible coefficients. The band is +/- 13 octaves —
-    wide enough that a genuinely tiny coefficient survives.
+    aliases, not plausible coefficients. The band is asymmetric: a
+    double is a sum of n coefficient terms, so it cannot exceed the RMS
+    scale by more than a couple of octaves (6 allowed, generously), but
+    cancellation can make it genuinely tiny (13 octaves below). The
+    tight upper edge matters: +16 exponent aliases sit just past it,
+    and letting them through gives :func:`repair_exponents` spuriously
+    integral solutions where several doubles share one wrong
+    power-of-two scale.
     """
     import math
 
@@ -261,9 +361,107 @@ def _filter_by_magnitude(patterns: list[int], params) -> list[int]:
     kept = []
     for p in patterns:
         exp_field = (p >> 52) & 0x7FF
-        if abs(exp_field - center) <= 13:
+        if -13 <= exp_field - center <= 6:
             kept.append(p)
     return kept or patterns
+
+
+# -- parallel per-coefficient engine --------------------------------------
+#
+# Workers receive the campaign once (via the pool initializer; the cached
+# corpus is stripped on pickle and rebuilt lazily per worker) and then only
+# exchange target indices and results. Every target derives its own capture
+# RNG from (device.seed, campaign.seed, target_index), so the recovered
+# patterns are bit-identical regardless of worker count or completion order.
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(campaign: CaptureCampaign, config: AttackConfig) -> None:
+    _WORKER_STATE["campaign"] = campaign
+    _WORKER_STATE["config"] = config
+
+
+def _attack_target(
+    campaign: CaptureCampaign, cfg: AttackConfig, target_index: int
+) -> tuple[CoefficientRecovery, CoefficientRecord]:
+    """Capture + per-coefficient DEMA for one target (the worker body)."""
+    start = time.perf_counter()
+    ts = campaign.capture(target_index)
+    rec = recover_coefficient(ts, cfg)
+    record = CoefficientRecord(
+        target_index=target_index,
+        elapsed_seconds=time.perf_counter() - start,
+        n_traces_requested=campaign.n_traces,
+        n_traces_kept=tuple(seg.n_traces for seg in ts.segments),
+        correct=rec.correct,
+        sign_margin=rec.sign.margin,
+        exponent_margin=rec.exponent.margin,
+        mantissa_margin=rec.mantissa_margin,
+    )
+    return rec, record
+
+
+def _attack_one(target_index: int) -> tuple[CoefficientRecovery, CoefficientRecord]:
+    return _attack_target(
+        _WORKER_STATE["campaign"], _WORKER_STATE["config"], target_index
+    )
+
+
+def recover_coefficients(
+    campaign: CaptureCampaign,
+    config: AttackConfig | None = None,
+    progress_callback: ProgressCallback | None = None,
+) -> tuple[list[CoefficientRecovery], list[CoefficientRecord]]:
+    """Attack every secret double, serially or fanned out over processes.
+
+    ``config.n_workers > 1`` runs one capture+DEMA per target on a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; the returned lists
+    are always in target order and bit-identical to the serial path.
+    Campaigns that cannot be pickled (e.g. a closure ``value_transform``)
+    fall back to the serial path.
+    """
+    cfg = config or AttackConfig()
+    total = campaign.n_targets
+    n_workers = min(cfg.n_workers, total)
+    if n_workers > 1 and not _picklable(campaign):
+        n_workers = 1
+    recs: list[CoefficientRecovery | None] = [None] * total
+    records: list[CoefficientRecord | None] = [None] * total
+    if n_workers <= 1:
+        for done, j in enumerate(range(total), start=1):
+            recs[j], records[j] = _attack_target(campaign, cfg, j)
+            if progress_callback is not None:
+                progress_callback(
+                    ProgressEvent("coefficient", done, total, record=records[j])
+                )
+    else:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(campaign, cfg),
+        ) as pool:
+            pending = {pool.submit(_attack_one, j): j for j in range(total)}
+            done = 0
+            while pending:
+                finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    j = pending.pop(fut)
+                    recs[j], records[j] = fut.result()
+                    done += 1
+                    if progress_callback is not None:
+                        progress_callback(
+                            ProgressEvent("coefficient", done, total, record=records[j])
+                        )
+    return recs, records
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
 
 
 def recover_full_key(
@@ -271,38 +469,62 @@ def recover_full_key(
     pk: PublicKey,
     config: AttackConfig | None = None,
     progress: bool = False,
+    progress_callback: ProgressCallback | None = None,
+    n_workers: int | None = None,
 ) -> KeyRecoveryResult:
-    """Attack every secret double, then rebuild the entire signing key."""
+    """Attack every secret double, then rebuild the entire signing key.
+
+    ``n_workers`` overrides ``config.n_workers`` (see
+    :func:`recover_coefficients`; results are bit-identical either
+    way). ``progress_callback`` receives structured
+    :class:`ProgressEvent` notifications; ``progress=True`` without a
+    callback installs the stock console printer. On failure the raised
+    :class:`KeyRecoveryError` carries the per-coefficient evidence.
+    """
     cfg = config or AttackConfig()
-    recs: list[CoefficientRecovery] = []
-    for j in range(campaign.n_targets):
-        ts = campaign.capture(j)
-        rec = recover_coefficient(ts, cfg)
-        recs.append(rec)
-        if progress:
-            status = "ok " if rec.correct else "BAD"
-            print(f"  coefficient {j:4d}/{campaign.n_targets}: {status} {rec.pattern:#018x}")
+    if n_workers is not None:
+        cfg = dataclasses.replace(cfg, n_workers=n_workers)
+    callback = progress_callback
+    if callback is None and progress:
+        callback = default_progress_printer
+    recs, records = recover_coefficients(campaign, cfg, progress_callback=callback)
     try:
-        f = recover_f([r.pattern for r in recs])
-        g = recover_g_from_public(f, pk)
-    except KeyRecoveryError:
-        # Exponent aliasing left some coefficient off by a power of two:
-        # resolve from the per-coefficient candidate lists using (a) the
-        # public magnitude scale of FFT(f) coefficients and (b) the
-        # integrality of invFFT, then re-validate against the public key.
-        candidates = [
-            _filter_by_magnitude(r.candidate_patterns(12), pk.params) for r in recs
-        ]
-        patterns = repair_exponents(candidates)
-        f = recover_f(patterns)
-        g = recover_g_from_public(f, pk)
-    try:
-        big_f, big_g = ntru_solve(f, g, pk.params.q)
-    except NtruSolveError as exc:
-        raise KeyRecoveryError(f"NTRU completion failed on recovered (f, g): {exc}") from exc
+        try:
+            f = recover_f([r.pattern for r in recs])
+            g = recover_g_from_public(f, pk)
+        except KeyRecoveryError:
+            # Exponent aliasing left some coefficient off by a power of two:
+            # resolve from the per-coefficient candidate lists using (a) the
+            # public magnitude scale of FFT(f) coefficients and (b) the
+            # integrality of invFFT, then re-validate against the public key.
+            if callback is not None:
+                callback(
+                    ProgressEvent(
+                        "repair", 0, 1, message="invFFT not integral; repairing exponents"
+                    )
+                )
+            candidates = [
+                _filter_by_magnitude(r.candidate_patterns(12), pk.params) for r in recs
+            ]
+            patterns = repair_exponents(candidates)
+            f = recover_f(patterns)
+            g = recover_g_from_public(f, pk)
+        if callback is not None:
+            callback(ProgressEvent("rebuild", 0, 1, message="solving NTRU equation"))
+        try:
+            big_f, big_g = ntru_solve(f, g, pk.params.q)
+        except NtruSolveError as exc:
+            raise KeyRecoveryError(
+                f"NTRU completion failed on recovered (f, g): {exc}"
+            ) from exc
+    except KeyRecoveryError as exc:
+        exc.coefficients = recs
+        exc.records = records
+        raise
     sk = derive_secret_key(pk.params, f, g, big_f, big_g, h=list(pk.h))
     return KeyRecoveryResult(
-        f=f, g=g, big_f=big_f, big_g=big_g, recovered_sk=sk, coefficients=recs
+        f=f, g=g, big_f=big_f, big_g=big_g, recovered_sk=sk,
+        coefficients=recs, records=records,
     )
 
 

@@ -69,6 +69,7 @@ def _score_candidates(
     candidates: np.ndarray,
     mask_bits: int | None,
     use_both: bool,
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Summed peak |corr| over segments and extend steps per candidate."""
     layout = traceset.layout
@@ -77,7 +78,7 @@ def _score_candidates(
         for label, which in steps:
             hyp = hyp_product(knowns[which], candidates, mask_bits=mask_bits)
             window = seg.traces[:, layout.slice_of(label)]
-            res = run_cpa(hyp, window, candidates)
+            res = run_cpa(hyp, window, candidates, chunk_rows=chunk_rows)
             total += res.scores
     return total
 
@@ -90,6 +91,7 @@ def ladder_limb(
     beam: int = 32,
     keep: int = 32,
     use_both_segments: bool = True,
+    chunk_rows: int | None = None,
 ) -> LadderResult:
     """Recover candidates for one secret limb of ``total_bits`` bits."""
     if total_bits < 1:
@@ -102,7 +104,9 @@ def ladder_limb(
         ext = np.arange(1 << step_bits, dtype=np.uint64) << np.uint64(covered)
         cands = np.unique((survivors[:, None] | ext[None, :]).ravel())
         covered += step_bits
-        scores = _score_candidates(traceset, steps, cands, covered, use_both_segments)
+        scores = _score_candidates(
+            traceset, steps, cands, covered, use_both_segments, chunk_rows=chunk_rows
+        )
         order = np.argsort(-scores, kind="stable")
         n_keep = keep if covered >= total_bits else beam
         kept = cands[order[:n_keep]]

@@ -9,11 +9,19 @@ arbitrary message, and verify it under the victim's genuine public key.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.attack.config import AttackConfig
-from repro.attack.key_recovery import KeyRecoveryResult, forge, recover_full_key
+from repro.attack.key_recovery import (
+    CoefficientRecord,
+    KeyRecoveryError,
+    KeyRecoveryResult,
+    ProgressCallback,
+    forge,
+    recover_full_key,
+)
 from repro.falcon.keygen import PublicKey, SecretKey
 from repro.falcon.verify import verify
 from repro.leakage.capture import CaptureCampaign
@@ -27,12 +35,22 @@ class FullAttackReport:
     """What the adversary achieved, and at what measurement cost."""
 
     n: int
-    n_traces: int
+    n_traces: int                     # requested signings per coefficient
     key_recovery: KeyRecoveryResult
     key_correct: bool                 # recovered f equals the victim's f
     forgery_verifies: bool
     forged_message: bytes
     elapsed_seconds: float
+    #: Rows that actually entered the CPA, summed over coefficients and
+    #: segments — the capture layer drops non-normal known operands, so
+    #: this is the count the significance bounds were computed from.
+    n_traces_correlated: int = 0
+    n_workers: int = 1
+    failure: str | None = None        # why recovery failed, if it did
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failure is None and self.key_recovery.succeeded
 
     @property
     def n_coefficients(self) -> int:
@@ -42,16 +60,44 @@ class FullAttackReport:
     def n_correct_coefficients(self) -> int:
         return self.key_recovery.n_correct_coefficients
 
+    @property
+    def records(self) -> list[CoefficientRecord]:
+        return self.key_recovery.records
+
+    @property
+    def coefficient_seconds(self) -> float:
+        """Summed per-coefficient attack time (> wall clock when parallel)."""
+        return sum(r.elapsed_seconds for r in self.records)
+
     def summary(self) -> str:
         lines = [
             f"FALCON-{self.n} full key extraction with {self.n_traces} measurements",
-            f"  coefficients recovered exactly: "
-            f"{self.n_correct_coefficients}/{self.n_coefficients}",
+        ]
+        if self.n_traces_correlated:
+            lines.append(
+                f"  trace rows correlated: {self.n_traces_correlated} "
+                f"(requested {self.n_traces} signings/coefficient)"
+            )
+        if self.key_recovery.recovered_sk is None:
+            reason = self.failure or "no consistent key could be rebuilt"
+            lines.append(f"  key recovery FAILED: {reason}")
+        if self.key_recovery.coefficients:
+            lines.append(
+                f"  coefficients recovered exactly: "
+                f"{self.n_correct_coefficients}/{self.n_coefficients}"
+            )
+        lines += [
             f"  secret key f recovered: {'YES' if self.key_correct else 'no'}",
             f"  forged signature on {self.forged_message!r} verifies: "
             f"{'YES' if self.forgery_verifies else 'no'}",
-            f"  wall clock: {self.elapsed_seconds:.1f}s",
         ]
+        if self.n_workers > 1 and self.records:
+            lines.append(
+                f"  wall clock: {self.elapsed_seconds:.1f}s with {self.n_workers} "
+                f"workers ({self.coefficient_seconds:.1f}s of per-coefficient work)"
+            )
+        else:
+            lines.append(f"  wall clock: {self.elapsed_seconds:.1f}s")
         return "\n".join(lines)
 
 
@@ -65,6 +111,8 @@ def full_attack(
     mode: str = "direct",
     seed: int = 2021,
     progress: bool = False,
+    progress_callback: ProgressCallback | None = None,
+    n_workers: int | None = None,
     value_transform=None,
 ) -> FullAttackReport:
     """Run the complete Section-IV attack against a simulated victim.
@@ -74,8 +122,16 @@ def full_attack(
     FFT(c) values, and the public key. ``value_transform`` installs a
     countermeasure on the simulated device (see
     :mod:`repro.countermeasures`) — useful as a negative control.
+
+    ``n_workers`` overrides ``config.n_workers``: per-coefficient
+    attacks fan out over that many worker processes, with results
+    bit-identical to the serial run. ``progress_callback`` receives
+    structured per-coefficient :class:`ProgressEvent` records.
     """
     start = time.time()
+    cfg = config or AttackConfig()
+    if n_workers is not None:
+        cfg = dataclasses.replace(cfg, n_workers=n_workers)
     campaign = CaptureCampaign(
         sk=sk,
         device=device if device is not None else DeviceModel(),
@@ -85,23 +141,26 @@ def full_attack(
         value_transform=value_transform,
     )
     try:
-        result = recover_full_key(campaign, pk, config=config, progress=progress)
-    except Exception as exc:  # failed recovery is an outcome, not a crash
-        from repro.attack.key_recovery import KeyRecoveryError
-
-        if not isinstance(exc, KeyRecoveryError):
-            raise
-        empty = KeyRecoveryResult(
-            f=[], g=[], big_f=[], big_g=[], recovered_sk=None, coefficients=[]
+        result = recover_full_key(
+            campaign, pk, config=cfg, progress=progress,
+            progress_callback=progress_callback,
+        )
+    except KeyRecoveryError as exc:  # failed recovery is an outcome, not a crash
+        partial = KeyRecoveryResult(
+            f=[], g=[], big_f=[], big_g=[], recovered_sk=None,
+            coefficients=list(exc.coefficients), records=list(exc.records),
         )
         return FullAttackReport(
             n=sk.params.n,
             n_traces=n_traces,
-            key_recovery=empty,
+            key_recovery=partial,
             key_correct=False,
             forgery_verifies=False,
             forged_message=message,
             elapsed_seconds=time.time() - start,
+            n_traces_correlated=partial.n_traces_correlated,
+            n_workers=cfg.n_workers,
+            failure=str(exc),
         )
     key_correct = result.f == sk.f
     sig = forge(result, message, seed=b"forgery")
@@ -114,4 +173,6 @@ def full_attack(
         forgery_verifies=ok,
         forged_message=message,
         elapsed_seconds=time.time() - start,
+        n_traces_correlated=result.n_traces_correlated,
+        n_workers=cfg.n_workers,
     )

@@ -42,6 +42,12 @@ class SignRecovery:
     def score(self) -> float:
         return float(sum(r.scores[r.guesses == self.bit][0] for r in self.results))
 
+    @property
+    def margin(self) -> float:
+        """Combined-score gap between the chosen bit and its complement."""
+        other = float(sum(r.scores[r.guesses == (1 - self.bit)][0] for r in self.results))
+        return self.score - other
+
 
 @dataclass
 class ExponentRecovery:
@@ -61,8 +67,20 @@ class ExponentRecovery:
         order = np.argsort(-self.combined_scores, kind="stable")[:k]
         return [int(self.guesses[i]) for i in order]
 
+    @property
+    def margin(self) -> float:
+        """Combined-score gap between the best and second-best guess."""
+        if len(self.combined_scores) < 2:
+            return float("inf")
+        top2 = np.sort(self.combined_scores)[-2:]
+        return float(top2[1] - top2[0])
 
-def recover_sign(traceset: TraceSet, use_both_segments: bool = True) -> SignRecovery:
+
+def recover_sign(
+    traceset: TraceSet,
+    use_both_segments: bool = True,
+    chunk_rows: int | None = None,
+) -> SignRecovery:
     """Recover s_x from the sign_out leakage."""
     layout = traceset.layout
     segments = traceset.segments if use_both_segments else traceset.segments[:1]
@@ -75,6 +93,7 @@ def recover_sign(traceset: TraceSet, use_both_segments: bool = True) -> SignReco
             seg.traces[:, layout.slice_of("sign_out")],
             np.array([0, 1]),
             signed=True,
+            chunk_rows=chunk_rows,
         )
         results.append(res)
         total += res.scores
@@ -86,6 +105,7 @@ def recover_exponent(
     use_both_segments: bool = True,
     guess_range: tuple[int, int] = (1, 2047),
     significand: int | None = None,
+    chunk_rows: int | None = None,
 ) -> ExponentRecovery:
     """Recover the biased exponent E_x.
 
@@ -101,16 +121,24 @@ def recover_exponent(
     results = []
     for seg in segments:
         hyp = hyp_exp_sum(seg.known_y, guesses)
-        res = run_cpa(hyp, seg.traces[:, layout.slice_of("exp_sum")], guesses)
+        res = run_cpa(
+            hyp, seg.traces[:, layout.slice_of("exp_sum")], guesses, chunk_rows=chunk_rows
+        )
         results.append(res)
         total += res.scores
         hyp_b = hyp_exp_biased(seg.known_y, guesses)
-        res_b = run_cpa(hyp_b, seg.traces[:, layout.slice_of("exp_biased")], guesses)
+        res_b = run_cpa(
+            hyp_b, seg.traces[:, layout.slice_of("exp_biased")], guesses,
+            chunk_rows=chunk_rows,
+        )
         results.append(res_b)
         total += res_b.scores
         if significand is not None:
             hyp_out = hyp_exp_out(seg.known_y, guesses, significand)
-            res_out = run_cpa(hyp_out, seg.traces[:, layout.slice_of("exp_out")], guesses)
+            res_out = run_cpa(
+                hyp_out, seg.traces[:, layout.slice_of("exp_out")], guesses,
+                chunk_rows=chunk_rows,
+            )
             results.append(res_out)
             total += res_out.scores
     # Guesses whose exponent offsets are multiples of 16/32/64 can tie

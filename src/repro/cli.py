@@ -107,17 +107,19 @@ def cmd_attack_coefficient(args) -> int:
 
 
 def cmd_attack(args) -> int:
-    from repro.attack import full_attack
+    from repro.attack import AttackConfig, default_progress_printer, full_attack
     from repro.leakage import DeviceModel
 
     sk = secret_key_from_json(_read(args.sk))
     pk = sk.public_key()
+    config = AttackConfig(n_workers=args.workers, chunk_rows=args.chunk_rows)
     report = full_attack(
         sk,
         pk,
         n_traces=args.traces,
         device=DeviceModel(noise_sigma=args.noise),
-        progress=args.progress,
+        config=config,
+        progress_callback=default_progress_printer if args.progress else None,
     )
     print(report.summary())
     return 0 if report.forgery_verifies else 1
@@ -171,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--traces", type=int, default=10_000)
     p.add_argument("--noise", type=float, default=10.0)
     p.add_argument("--progress", action="store_true")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the per-coefficient attacks (1 = serial; "
+        "results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--chunk-rows", type=int, default=None,
+        help="stream every CPA through the raw-moment accumulator in batches "
+        "of this many traces (default: one-shot matrix path)",
+    )
     p.set_defaults(fn=cmd_attack)
 
     return parser

@@ -86,11 +86,23 @@ class CaptureCampaign:
         self._c_fft: np.ndarray | None = None
         self._secret_doubles: np.ndarray | None = None
 
+    def __getstate__(self) -> dict:
+        # The corpus is derived deterministically from (seed, mode, n);
+        # drop it so shipping a campaign to a worker process stays cheap
+        # and each worker rebuilds (and then reuses) its own copy.
+        state = dict(self.__dict__)
+        state["_c_fft"] = None
+        state["_secret_doubles"] = None
+        return state
+
     # -- known-plaintext corpus -------------------------------------------
 
     def _build_corpus(self) -> None:
         params = self.sk.params
         n = params.n
+        # One domain-separated stream per (seed, mode, n) triple for BOTH
+        # modes — direct mode must not collide with hash mode (or with any
+        # other consumer of the bare integer seed) on the same seed value.
         rng = ChaCha20Prng(("capture", self.seed, self.mode, n).__repr__())
         c_fft = np.empty((self.n_traces, n // 2), dtype=np.complex128)
         if self.mode == "hash":
@@ -101,7 +113,9 @@ class CaptureCampaign:
                 c_fft[d] = fft.fft(c)
         else:
             q = params.q
-            np_rng = np.random.default_rng(self.seed)
+            np_rng = np.random.default_rng(
+                np.frombuffer(rng.randombytes(32), dtype=np.uint64)
+            )
             cs = np_rng.integers(0, q, size=(self.n_traces, n))
             for d in range(self.n_traces):
                 c_fft[d] = fft.fft(cs[d].astype(np.float64))
@@ -158,7 +172,16 @@ class CaptureCampaign:
             segments=segments,
             target_index=target_index,
             true_secret=int(secret_pattern),
-            meta={"n": n, "mode": self.mode, "slot": slot},
+            meta={
+                "n": n,
+                "mode": self.mode,
+                "slot": slot,
+                # Requested vs kept: non-normal known operands are dropped
+                # per segment, so downstream significance bounds must use
+                # the per-segment row counts, not this request size.
+                "n_requested": self.n_traces,
+                "n_kept": tuple(seg.n_traces for seg in segments),
+            },
         )
 
     def capture_all(self) -> list[TraceSet]:

@@ -8,7 +8,14 @@ from repro.utils.bits import (
     mask,
 )
 from repro.utils.rng import ChaCha20Prng, SystemRng
-from repro.utils.stats import OnlineMoments, pearson_corr, fisher_z_threshold
+from repro.utils.stats import (
+    OnlineMoments,
+    PearsonAccumulator,
+    batched_pearson,
+    fisher_z_threshold,
+    pearson_corr,
+    streaming_pearson,
+)
 
 __all__ = [
     "hamming_weight",
@@ -19,6 +26,9 @@ __all__ = [
     "ChaCha20Prng",
     "SystemRng",
     "OnlineMoments",
+    "PearsonAccumulator",
+    "batched_pearson",
+    "streaming_pearson",
     "pearson_corr",
     "fisher_z_threshold",
 ]

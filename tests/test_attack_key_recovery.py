@@ -94,6 +94,42 @@ class TestRepairExponents:
         assert len(out) == len(pats)
 
 
+class TestMagnitudeFilter:
+    def test_high_aliases_rejected_tiny_kept(self, kp):
+        """The plausibility band is asymmetric: +16-octave exponent
+        aliases (which can fool the integrality decoder when several
+        doubles share one wrong scale) are rejected, while genuinely
+        tiny coefficients from cancellation survive."""
+        import math
+
+        from repro.attack.key_recovery import _filter_by_magnitude
+
+        sk, _ = kp
+        params = sk.params
+        center = 1023 + math.log2(math.sqrt(params.n / 2.0) * params.sigma_fg)
+        true_exp = int(center)  # a double right at the physical scale
+        mant = 0x123456789ABCD
+
+        def pat(exp):
+            return (exp << 52) | mant
+
+        kept = _filter_by_magnitude(
+            [pat(true_exp), pat(true_exp + 16), pat(true_exp - 16), pat(true_exp - 10)],
+            params,
+        )
+        assert pat(true_exp) in kept
+        assert pat(true_exp + 16) not in kept   # alias above: impossible
+        assert pat(true_exp - 16) not in kept   # far below the band too
+        assert pat(true_exp - 10) in kept       # tiny but possible
+
+    def test_never_returns_empty(self, kp):
+        from repro.attack.key_recovery import _filter_by_magnitude
+
+        sk, _ = kp
+        only_implausible = [(2000 << 52) | 1]
+        assert _filter_by_magnitude(only_implausible, sk.params) == only_implausible
+
+
 @pytest.fixture(scope="module")
 def attack_report():
     """One full end-to-end attack shared by the assertions below."""
@@ -102,6 +138,58 @@ def attack_report():
     sk, pk = keygen(FalconParams.get(8), seed=b"e2e-test")
     report = full_attack(sk, pk, n_traces=6000, message=b"forged by test")
     return sk, pk, report
+
+
+class TestParallelEngine:
+    """The worker-process fan-out must be invisible in the results."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        from repro.leakage import CaptureCampaign, DeviceModel
+
+        sk, _ = keygen(FalconParams.get(8), seed=b"par")
+        return CaptureCampaign(sk=sk, n_traces=600, device=DeviceModel(), seed=41)
+
+    def test_parallel_bit_identical_to_serial(self, campaign):
+        from repro.attack import AttackConfig, recover_coefficients
+
+        serial, s_records = recover_coefficients(campaign, AttackConfig(n_workers=1))
+        par, p_records = recover_coefficients(campaign, AttackConfig(n_workers=2))
+        assert [r.pattern for r in par] == [r.pattern for r in serial]
+        assert [r.sign.bit for r in par] == [r.sign.bit for r in serial]
+        assert [r.exponent.biased_exponent for r in par] == [
+            r.exponent.biased_exponent for r in serial
+        ]
+        # observability rides along, in target order, on both paths
+        assert [r.target_index for r in s_records] == list(range(8))
+        assert [r.target_index for r in p_records] == list(range(8))
+        assert [r.n_traces_kept for r in p_records] == [r.n_traces_kept for r in s_records]
+        assert all(r.elapsed_seconds > 0 for r in p_records)
+
+    def test_progress_events_fire_per_coefficient(self, campaign):
+        from repro.attack import AttackConfig, recover_coefficients
+
+        events = []
+        recover_coefficients(
+            campaign, AttackConfig(n_workers=2), progress_callback=events.append
+        )
+        coeff_events = [e for e in events if e.stage == "coefficient"]
+        assert len(coeff_events) == 8
+        assert sorted(e.record.target_index for e in coeff_events) == list(range(8))
+        assert [e.completed for e in coeff_events] == list(range(1, 9))
+        assert all(e.total == 8 for e in coeff_events)
+
+    def test_trace_accounting_reflects_kept_rows(self, campaign):
+        """Records carry the post-filter row counts the CPA actually saw
+        (the capture layer drops non-normal operands), not the request."""
+        from repro.attack import AttackConfig, recover_coefficients
+
+        _, records = recover_coefficients(campaign, AttackConfig())
+        for rec in records:
+            assert rec.n_traces_requested == 600
+            assert len(rec.n_traces_kept) == 2  # one count per captured segment
+            assert all(0 < kept <= 600 for kept in rec.n_traces_kept)
+            assert rec.n_traces_used == sum(rec.n_traces_kept)
 
 
 class TestEndToEnd:

@@ -192,6 +192,46 @@ class TestCapture:
         assert all(seg.n_traces == 30 for seg in small.segments)
         assert small.true_secret == ts.true_secret
 
+    def test_corpus_rng_domain_separated(self, kp):
+        """Hash and direct mode must draw from *different* streams for the
+        same seed — otherwise switching modes silently reuses randomness."""
+        sk, _ = kp
+        direct = CaptureCampaign(sk=sk, n_traces=64, mode="direct", seed=5)
+        hashed = CaptureCampaign(sk=sk, n_traces=64, mode="hash", seed=5)
+        assert not np.array_equal(direct.c_fft, hashed.c_fft)
+
+    def test_direct_corpus_deterministic(self, kp):
+        sk, _ = kp
+        a = CaptureCampaign(sk=sk, n_traces=64, mode="direct", seed=5)
+        b = CaptureCampaign(sk=sk, n_traces=64, mode="direct", seed=5)
+        np.testing.assert_array_equal(a.c_fft, b.c_fft)
+        c = CaptureCampaign(sk=sk, n_traces=64, mode="direct", seed=6)
+        assert not np.array_equal(a.c_fft, c.c_fft)
+
+    def test_capture_meta_reports_kept_counts(self, kp):
+        """The traceset records both the requested signings and the rows
+        that survived the non-normal-operand filter, per segment."""
+        sk, _ = kp
+        camp = CaptureCampaign(sk=sk, n_traces=80)
+        ts = camp.capture(0)
+        assert ts.meta["n_requested"] == 80
+        assert ts.meta["n_kept"] == tuple(seg.n_traces for seg in ts.segments)
+        assert all(0 < kept <= 80 for kept in ts.meta["n_kept"])
+
+    def test_campaign_pickle_roundtrip(self, kp):
+        """Workers receive the campaign by pickle; caches are stripped and
+        the rebuilt corpus must be identical."""
+        import pickle
+
+        sk, _ = kp
+        camp = CaptureCampaign(sk=sk, n_traces=30, seed=12)
+        _ = camp.c_fft  # populate the cache that __getstate__ must strip
+        clone = pickle.loads(pickle.dumps(camp))
+        np.testing.assert_array_equal(clone.c_fft, camp.c_fft)
+        a = camp.capture(1)
+        b = clone.capture(1)
+        np.testing.assert_array_equal(a.segments[0].traces, b.segments[0].traces)
+
     def test_value_transform_hook(self, kp):
         sk, _ = kp
         calls = []

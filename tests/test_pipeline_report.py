@@ -60,3 +60,59 @@ class TestReportFormatting:
         r = self._fake_report()
         assert r.n_coefficients == 0
         assert r.n_correct_coefficients == 0
+
+    def test_failed_recovery_renders_reason(self):
+        """A failed run produces a typed report: recovered_sk stays None
+        (the field is Optional now, not a lie) and the summary says why
+        instead of relying on empty-list sentinels."""
+        kr = KeyRecoveryResult(
+            f=[], g=[], big_f=[], big_g=[], recovered_sk=None, coefficients=[]
+        )
+        assert not kr.succeeded
+        report = FullAttackReport(
+            n=8,
+            n_traces=150,
+            key_recovery=kr,
+            key_correct=False,
+            forgery_verifies=False,
+            forged_message=b"msg",
+            elapsed_seconds=3.0,
+            failure="recovered f has huge coefficients",
+        )
+        assert not report.succeeded
+        s = report.summary()
+        assert "key recovery FAILED: recovered f has huge coefficients" in s
+        assert "coefficients recovered exactly" not in s  # nothing to count
+
+    def test_correlated_rows_and_parallel_lines(self):
+        from repro.attack.key_recovery import CoefficientRecord
+
+        kr = KeyRecoveryResult(
+            f=[1], g=[2], big_f=[3], big_g=[4], recovered_sk=None, coefficients=[],
+            records=[
+                CoefficientRecord(
+                    target_index=j,
+                    elapsed_seconds=2.0,
+                    n_traces_requested=100,
+                    n_traces_kept=(98, 97),
+                    correct=True,
+                )
+                for j in range(4)
+            ],
+        )
+        assert kr.n_traces_correlated == 4 * (98 + 97)
+        report = FullAttackReport(
+            n=8,
+            n_traces=100,
+            key_recovery=kr,
+            key_correct=True,
+            forgery_verifies=True,
+            forged_message=b"msg",
+            elapsed_seconds=4.0,
+            n_traces_correlated=kr.n_traces_correlated,
+            n_workers=2,
+        )
+        assert report.coefficient_seconds == pytest.approx(8.0)
+        s = report.summary()
+        assert "trace rows correlated: 780" in s
+        assert "with 2 workers" in s
