@@ -3,7 +3,7 @@ ASCII/CSV rendering of the paper's figures."""
 
 from repro.analysis.confidence import confidence_bound, traces_needed_for
 from repro.analysis.evolution import correlation_evolution, traces_to_significance, EvolutionResult
-from repro.analysis.report import format_table, format_ranking
+from repro.analysis.report import format_table, format_ranking, describe_store
 from repro.analysis.figures import ascii_plot, write_csv, Series
 from repro.analysis.success_rate import SuccessCurve, success_curve
 from repro.analysis.key_rank import KeyRankEstimate, estimate_key_rank, exact_key_rank
@@ -16,6 +16,7 @@ __all__ = [
     "EvolutionResult",
     "format_table",
     "format_ranking",
+    "describe_store",
     "ascii_plot",
     "write_csv",
     "Series",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_ranking"]
+__all__ = ["format_table", "format_ranking", "describe_store"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -33,3 +33,25 @@ def format_ranking(
         mark = "  <-- correct" if correct is not None and guesses[i] == correct else ""
         rows.append(f"  {rank:3d}. {format(guesses[i], value_format):>16} corr={scores[i]:+.5f}{mark}")
     return "\n".join(rows)
+
+
+def describe_store(store) -> str:
+    """Human-readable summary of a :class:`~repro.leakage.store.CampaignStore`.
+
+    Used by ``repro-falcon store-info`` and handy in notebooks: campaign
+    identity, device parameters, and shard completeness at a glance.
+    """
+    dev = store.device
+    entries = store.manifest["targets"]
+    complete = len(store.targets())
+    skipped = sum(1 for v in entries.values() if v.get("skipped"))
+    lines = [
+        f"campaign store at {store.path}",
+        f"  FALCON n={store.n}: {store.n_targets} targets, "
+        f"{store.n_traces} requested signings each (mode={store.mode}, seed={store.seed})",
+        f"  device: gain={dev.gain} offset={dev.offset} noise_sigma={dev.noise_sigma} "
+        f"samples_per_step={dev.samples_per_step} jitter={dev.jitter} seed={dev.seed:#x}",
+        f"  shards: {complete}/{store.n_targets} complete"
+        + (f", {skipped} skipped (non-normal secret doubles)" if skipped else ""),
+    ]
+    return "\n".join(lines)

@@ -19,6 +19,11 @@ Layered as in Section III of the paper:
 * :mod:`repro.attack.key_recovery` — FFT inversion, NTRU completion,
   and signature forgery.
 * :mod:`repro.attack.pipeline` — the end-to-end campaign driver.
+* :mod:`repro.attack.distinguisher` — the unified scoring protocol all
+  five statistical engines (CPA, templates, MLP, second-order,
+  strawman) implement; selected via ``AttackConfig.distinguisher``.
+* :mod:`repro.attack.session` — resumable attack sessions with atomic
+  per-coefficient checkpoints.
 """
 
 from repro.attack.cpa import CpaResult, run_cpa, significance_threshold
@@ -41,6 +46,18 @@ from repro.attack.second_order import second_order_cpa, centered_product
 from repro.attack.alignment import align_traces, align_traceset
 from repro.attack.incremental import IncrementalCpa
 from repro.attack.ml_profiled import MlpClassifier, ml_profile_step, ml_scores
+from repro.attack.distinguisher import (
+    DISTINGUISHERS,
+    CpaDistinguisher,
+    Distinguisher,
+    MlDistinguisher,
+    SecondOrderDistinguisher,
+    StrawmanDistinguisher,
+    TemplateDistinguisher,
+    make_distinguisher,
+    profile_distinguisher,
+)
+from repro.attack.session import AttackSession, SessionError
 
 __all__ = [
     "CpaResult",
@@ -73,4 +90,15 @@ __all__ = [
     "MlpClassifier",
     "ml_profile_step",
     "ml_scores",
+    "Distinguisher",
+    "CpaDistinguisher",
+    "TemplateDistinguisher",
+    "MlDistinguisher",
+    "SecondOrderDistinguisher",
+    "StrawmanDistinguisher",
+    "DISTINGUISHERS",
+    "make_distinguisher",
+    "profile_distinguisher",
+    "AttackSession",
+    "SessionError",
 ]

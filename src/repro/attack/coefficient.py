@@ -69,23 +69,37 @@ class CoefficientRecovery:
 
 
 def recover_coefficient(
-    traceset: TraceSet, config: AttackConfig | None = None
+    traceset: TraceSet, config: AttackConfig | None = None, distinguisher=None
 ) -> CoefficientRecovery:
     """Run the extend-and-prune mantissa, exponent, and sign attacks.
 
     Mantissa first: its recovered significand lets the exponent attack
     predict the output exponent (normalization carry included) exactly.
+
+    ``distinguisher`` is a (fitted, if profiled) instance from
+    :mod:`repro.attack.distinguisher`; when ``None`` it is built from
+    ``config.distinguisher``. Profiled distinguishers must arrive
+    already fitted — this function does not run a profiling campaign
+    (see :func:`repro.attack.distinguisher.profile_distinguisher`).
     """
     cfg = config or AttackConfig()
-    mantissa = recover_mantissa(traceset, cfg)
+    if distinguisher is None:
+        from repro.attack.distinguisher import distinguisher_from_config
+
+        distinguisher = distinguisher_from_config(cfg)
+    mantissa = recover_mantissa(traceset, cfg, distinguisher=distinguisher)
     exponent = recover_exponent(
         traceset,
         cfg.use_both_segments,
         cfg.exponent_guesses,
         significand=mantissa.significand,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
-    sign = recover_sign(traceset, cfg.use_both_segments, chunk_rows=cfg.chunk_rows)
+    sign = recover_sign(
+        traceset, cfg.use_both_segments, chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
+    )
     pattern = emu.compose(sign.bit, exponent.biased_exponent, mantissa.mantissa_field)
     return CoefficientRecovery(
         target_index=traceset.target_index,

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["AttackConfig"]
+__all__ = ["AttackConfig", "KNOWN_DISTINGUISHERS"]
+
+#: Names the distinguisher registry guarantees (kept here, not in
+#: :mod:`repro.attack.distinguisher`, so config validation needs no
+#: import of the engine it configures).
+KNOWN_DISTINGUISHERS = ("cpa", "template", "mlp", "second-order", "strawman")
 
 
 @dataclass(frozen=True)
@@ -31,6 +36,15 @@ class AttackConfig:
     way because every target derives its own seeds). ``chunk_rows``
     switches every CPA in the attack to the streaming accumulator with
     that batch size; ``None`` keeps the one-shot matrix path.
+
+    ``distinguisher`` selects the statistical engine every recovery step
+    scores guesses with (see :mod:`repro.attack.distinguisher`):
+    ``"cpa"`` (default, the paper's Pearson correlation),
+    ``"template"`` / ``"mlp"`` (the Section V-A profiled extensions —
+    these trigger a profiling phase on a fresh adversary key controlled
+    by the ``profiling_*`` knobs), ``"second-order"`` (the Section V-B
+    centered-product attack; needs share-pair captures) and
+    ``"strawman"`` (the Section III-B multiplication-only baseline).
     """
 
     window: int = 5
@@ -40,6 +54,10 @@ class AttackConfig:
     exponent_guesses: tuple[int, int] = (963, 1084)  # biased-exponent range [lo, hi)
     n_workers: int = 1
     chunk_rows: int | None = None
+    distinguisher: str = "cpa"
+    profiling_traces: int = 2000       # traces per profiling target
+    profiling_targets: int = 4         # how many fresh-key doubles to pool
+    profiling_seed: int = 77           # profiling campaign seed (never the victim's)
 
     def __post_init__(self) -> None:
         if not 1 <= self.window <= 16:
@@ -52,3 +70,12 @@ class AttackConfig:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {self.chunk_rows}")
+        if self.distinguisher not in KNOWN_DISTINGUISHERS:
+            raise ValueError(
+                f"unknown distinguisher {self.distinguisher!r}; "
+                f"choose from {KNOWN_DISTINGUISHERS}"
+            )
+        if self.profiling_traces < 1:
+            raise ValueError(f"profiling_traces must be >= 1, got {self.profiling_traces}")
+        if self.profiling_targets < 1:
+            raise ValueError(f"profiling_targets must be >= 1, got {self.profiling_targets}")

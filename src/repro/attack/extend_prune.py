@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attack.config import AttackConfig
-from repro.attack.cpa import CpaResult, run_cpa
+from repro.attack.cpa import CpaResult
 from repro.attack.hypotheses import hyp_s_hi, hyp_s_lo, hyp_s_mid, known_limbs
 from repro.attack.ladder import HIGH_LIMB_STEPS, LOW_LIMB_STEPS, LadderResult, ladder_limb
 from repro.attack.strawman import shift_aliases
@@ -87,13 +87,19 @@ def prune_candidates(
     step_labels: list[str],
     use_both: bool,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> tuple[np.ndarray, list[CpaResult]]:
-    """Rank limb candidates by CPA on the intermediate additions.
+    """Rank limb candidates on the intermediate additions.
 
     ``hyp_builders[i](y_lo, y_hi, candidates)`` predicts the addition
     value attacked at ``step_labels[i]``. Scores sum over segments and
-    addition steps.
+    addition steps. The additions carry the *full* limb value, so they
+    are scored ``exact=True`` — profiled distinguishers use their
+    fitted models here. Default distinguisher: classic CPA.
     """
+    from repro.attack.distinguisher import CpaDistinguisher
+
+    dist = distinguisher or CpaDistinguisher(chunk_rows=chunk_rows)
     layout = traceset.layout
     segments = traceset.segments if use_both else traceset.segments[:1]
     total = np.zeros(len(candidates), dtype=np.float64)
@@ -102,9 +108,9 @@ def prune_candidates(
         y_lo, y_hi = known_limbs(seg.known_y)
         for builder, label in zip(hyp_builders, step_labels):
             hyp = builder(y_lo, y_hi, candidates)
-            res = run_cpa(
+            res = dist.score(
                 hyp, seg.traces[:, layout.slice_of(label)], candidates,
-                chunk_rows=chunk_rows,
+                label=label, exact=True,
             )
             results.append(res)
             total += res.scores
@@ -123,6 +129,7 @@ def refine_limb(
     stride: int = 3,
     max_rounds: int = 16,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> tuple[int, float]:
     """Hill-climb a limb candidate on the addition-step correlations.
 
@@ -144,7 +151,8 @@ def refine_limb(
                 variants.add((base | (v << start)) | fixed)
         cands = np.array(sorted(variants), dtype=np.uint64)
         scores, _ = prune_candidates(
-            traceset, cands, hyp_builders, step_labels, use_both, chunk_rows=chunk_rows
+            traceset, cands, hyp_builders, step_labels, use_both,
+            chunk_rows=chunk_rows, distinguisher=distinguisher,
         )
         top_idx = int(np.argmax(scores))
         top, top_score = int(cands[top_idx]), float(scores[top_idx])
@@ -155,8 +163,17 @@ def refine_limb(
     return best, best_score
 
 
-def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> MantissaRecovery:
-    """Full extend-and-prune recovery of one coefficient's significand."""
+def recover_mantissa(
+    traceset: TraceSet,
+    config: AttackConfig | None = None,
+    distinguisher=None,
+) -> MantissaRecovery:
+    """Full extend-and-prune recovery of one coefficient's significand.
+
+    ``distinguisher`` is an optional fitted
+    :class:`repro.attack.distinguisher.Distinguisher`; ``None`` selects
+    classic CPA with the config's ``chunk_rows``.
+    """
     cfg = config or AttackConfig()
 
     # ---- low limb: extend on D*B / D*A ---------------------------------
@@ -169,6 +186,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         keep=cfg.prune_keep,
         use_both_segments=cfg.use_both_segments,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     low_cands = _with_shift_aliases(low_ladder.candidates, LOW_BITS)
     # ---- low limb: prune on s_lo ----------------------------------------
@@ -179,6 +197,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         ["s_lo"],
         cfg.use_both_segments,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     low_best = int(low_cands[int(np.argmax(low_scores))])
     low_best, _ = refine_limb(
@@ -189,6 +208,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         ["s_lo"],
         cfg.use_both_segments,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     low_diag = PhaseDiagnostics(
         ladder=low_ladder,
@@ -208,6 +228,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         keep=cfg.prune_keep,
         use_both_segments=cfg.use_both_segments,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     high_cands = _with_shift_aliases(high_ladder.candidates, 27) | np.uint64(_HIGH_MSB)
     high_cands = np.unique(high_cands)
@@ -222,6 +243,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         ["s_mid", "s_hi"],
         cfg.use_both_segments,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     high_best = int(high_cands[int(np.argmax(high_scores))])
     high_best, _ = refine_limb(
@@ -236,6 +258,7 @@ def recover_mantissa(traceset: TraceSet, config: AttackConfig | None = None) -> 
         cfg.use_both_segments,
         fixed=_HIGH_MSB,
         chunk_rows=cfg.chunk_rows,
+        distinguisher=distinguisher,
     )
     high_diag = PhaseDiagnostics(
         ladder=high_ladder,

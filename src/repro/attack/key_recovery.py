@@ -28,7 +28,7 @@ from repro.attack.coefficient import CoefficientRecovery, recover_coefficient
 from repro.falcon.keygen import PublicKey, SecretKey, derive_secret_key
 from repro.falcon.ntru_solve import NtruSolveError, ntru_solve
 from repro.falcon.sign import Signature, sign
-from repro.leakage.capture import CaptureCampaign, doubles_to_fft
+from repro.leakage.capture import doubles_to_fft
 from repro.math import fft, ntt
 
 __all__ = [
@@ -368,31 +368,36 @@ def _filter_by_magnitude(patterns: list[int], params) -> list[int]:
 
 # -- parallel per-coefficient engine --------------------------------------
 #
-# Workers receive the campaign once (via the pool initializer; the cached
-# corpus is stripped on pickle and rebuilt lazily per worker) and then only
-# exchange target indices and results. Every target derives its own capture
-# RNG from (device.seed, campaign.seed, target_index), so the recovered
-# patterns are bit-identical regardless of worker count or completion order.
+# Workers receive the trace source once (via the pool initializer; a
+# CaptureCampaign's cached corpus is stripped on pickle and rebuilt lazily
+# per worker, a CampaignStore pickles as its path and re-opens its memmaps)
+# and then only exchange target indices and results. Every target derives
+# its own capture RNG from (device.seed, campaign.seed, target_index), so
+# the recovered patterns are bit-identical regardless of worker count or
+# completion order. The distinguisher is built — and, for the profiled
+# ones, fitted — exactly once in the parent and shipped to every worker,
+# so serial, parallel, and resumed runs share one set of models.
 
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(campaign: CaptureCampaign, config: AttackConfig) -> None:
-    _WORKER_STATE["campaign"] = campaign
+def _init_worker(source, config: AttackConfig, distinguisher) -> None:
+    _WORKER_STATE["source"] = source
     _WORKER_STATE["config"] = config
+    _WORKER_STATE["distinguisher"] = distinguisher
 
 
 def _attack_target(
-    campaign: CaptureCampaign, cfg: AttackConfig, target_index: int
+    source, cfg: AttackConfig, target_index: int, distinguisher=None
 ) -> tuple[CoefficientRecovery, CoefficientRecord]:
     """Capture + per-coefficient DEMA for one target (the worker body)."""
     start = time.perf_counter()
-    ts = campaign.capture(target_index)
-    rec = recover_coefficient(ts, cfg)
+    ts = source.capture(target_index)
+    rec = recover_coefficient(ts, cfg, distinguisher=distinguisher)
     record = CoefficientRecord(
         target_index=target_index,
         elapsed_seconds=time.perf_counter() - start,
-        n_traces_requested=campaign.n_traces,
+        n_traces_requested=source.n_traces,
         n_traces_kept=tuple(seg.n_traces for seg in ts.segments),
         correct=rec.correct,
         sign_margin=rec.sign.margin,
@@ -404,55 +409,110 @@ def _attack_target(
 
 def _attack_one(target_index: int) -> tuple[CoefficientRecovery, CoefficientRecord]:
     return _attack_target(
-        _WORKER_STATE["campaign"], _WORKER_STATE["config"], target_index
+        _WORKER_STATE["source"],
+        _WORKER_STATE["config"],
+        target_index,
+        distinguisher=_WORKER_STATE["distinguisher"],
     )
 
 
+def _resolve_distinguisher(source, cfg: AttackConfig):
+    """Build (and profile, when needed) the config-selected distinguisher."""
+    from repro.attack.distinguisher import (
+        distinguisher_from_config,
+        profile_distinguisher,
+    )
+
+    dist = distinguisher_from_config(cfg)
+    return profile_distinguisher(dist, source, cfg)
+
+
 def recover_coefficients(
-    campaign: CaptureCampaign,
+    campaign,
     config: AttackConfig | None = None,
     progress_callback: ProgressCallback | None = None,
+    session=None,
+    distinguisher=None,
 ) -> tuple[list[CoefficientRecovery], list[CoefficientRecord]]:
     """Attack every secret double, serially or fanned out over processes.
+
+    ``campaign`` is any :class:`~repro.leakage.store.TraceSource` — a
+    live :class:`~repro.leakage.capture.CaptureCampaign` or a
+    disk-backed :class:`~repro.leakage.store.CampaignStore`.
 
     ``config.n_workers > 1`` runs one capture+DEMA per target on a
     :class:`~concurrent.futures.ProcessPoolExecutor`; the returned lists
     are always in target order and bit-identical to the serial path.
-    Campaigns that cannot be pickled (e.g. a closure ``value_transform``)
+    Sources that cannot be pickled (e.g. a closure ``value_transform``)
     fall back to the serial path.
+
+    ``session`` (an :class:`~repro.attack.session.AttackSession`) makes
+    the campaign resumable: each finished target is checkpointed
+    atomically, already-checkpointed targets are replayed from disk, and
+    an interrupted run — including KeyboardInterrupt mid-fan-out —
+    resumes to a bit-identical result.
+
+    ``distinguisher`` overrides the config-selected engine with an
+    already-built (and, if profiled, already-fitted) instance.
     """
     cfg = config or AttackConfig()
     total = campaign.n_targets
-    n_workers = min(cfg.n_workers, total)
-    if n_workers > 1 and not _picklable(campaign):
-        n_workers = 1
+    if session is not None:
+        session.bind(campaign, cfg)
+    if distinguisher is None:
+        distinguisher = _resolve_distinguisher(campaign, cfg)
     recs: list[CoefficientRecovery | None] = [None] * total
     records: list[CoefficientRecord | None] = [None] * total
+    done = 0
+    if session is not None:
+        for j, (rec, record) in session.completed().items():
+            if 0 <= j < total and recs[j] is None:
+                recs[j], records[j] = rec, record
+                done += 1
+                if progress_callback is not None:
+                    progress_callback(
+                        ProgressEvent(
+                            "coefficient", done, total, record=record,
+                            message="restored from checkpoint",
+                        )
+                    )
+    todo = [j for j in range(total) if recs[j] is None]
+    n_workers = min(cfg.n_workers, max(len(todo), 1))
+    if n_workers > 1 and not (_picklable(campaign) and _picklable(distinguisher)):
+        n_workers = 1
+
+    def _finish(j: int, result: tuple) -> None:
+        nonlocal done
+        recs[j], records[j] = result
+        if session is not None:
+            session.record(j, recs[j], records[j])
+        done += 1
+        if progress_callback is not None:
+            progress_callback(
+                ProgressEvent("coefficient", done, total, record=records[j])
+            )
+
     if n_workers <= 1:
-        for done, j in enumerate(range(total), start=1):
-            recs[j], records[j] = _attack_target(campaign, cfg, j)
-            if progress_callback is not None:
-                progress_callback(
-                    ProgressEvent("coefficient", done, total, record=records[j])
-                )
+        for j in todo:
+            _finish(j, _attack_target(campaign, cfg, j, distinguisher=distinguisher))
     else:
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_init_worker,
-            initargs=(campaign, cfg),
+            initargs=(campaign, cfg, distinguisher),
         ) as pool:
-            pending = {pool.submit(_attack_one, j): j for j in range(total)}
-            done = 0
-            while pending:
-                finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    j = pending.pop(fut)
-                    recs[j], records[j] = fut.result()
-                    done += 1
-                    if progress_callback is not None:
-                        progress_callback(
-                            ProgressEvent("coefficient", done, total, record=records[j])
-                        )
+            pending = {pool.submit(_attack_one, j): j for j in todo}
+            try:
+                while pending:
+                    finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        j = pending.pop(fut)
+                        _finish(j, fut.result())
+            except BaseException:
+                # Preserve what finished (the checkpoints are already on
+                # disk); don't start queued targets we'll only throw away.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
     return recs, records
 
 
@@ -465,21 +525,25 @@ def _picklable(obj) -> bool:
 
 
 def recover_full_key(
-    campaign: CaptureCampaign,
+    campaign,
     pk: PublicKey,
     config: AttackConfig | None = None,
     progress: bool = False,
     progress_callback: ProgressCallback | None = None,
     n_workers: int | None = None,
+    session=None,
 ) -> KeyRecoveryResult:
     """Attack every secret double, then rebuild the entire signing key.
 
-    ``n_workers`` overrides ``config.n_workers`` (see
-    :func:`recover_coefficients`; results are bit-identical either
-    way). ``progress_callback`` receives structured
-    :class:`ProgressEvent` notifications; ``progress=True`` without a
-    callback installs the stock console printer. On failure the raised
-    :class:`KeyRecoveryError` carries the per-coefficient evidence.
+    ``campaign`` is any :class:`~repro.leakage.store.TraceSource` (live
+    campaign or disk-backed store). ``n_workers`` overrides
+    ``config.n_workers`` (see :func:`recover_coefficients`; results are
+    bit-identical either way). ``session`` makes the per-coefficient
+    phase resumable across interrupted runs. ``progress_callback``
+    receives structured :class:`ProgressEvent` notifications;
+    ``progress=True`` without a callback installs the stock console
+    printer. On failure the raised :class:`KeyRecoveryError` carries
+    the per-coefficient evidence.
     """
     cfg = config or AttackConfig()
     if n_workers is not None:
@@ -487,7 +551,9 @@ def recover_full_key(
     callback = progress_callback
     if callback is None and progress:
         callback = default_progress_printer
-    recs, records = recover_coefficients(campaign, cfg, progress_callback=callback)
+    recs, records = recover_coefficients(
+        campaign, cfg, progress_callback=callback, session=session
+    )
     try:
         try:
             f = recover_f([r.pattern for r in recs])

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attack.cpa import run_cpa
 from repro.attack.hypotheses import hyp_product, known_limbs
 from repro.leakage.traceset import TraceSet
 
@@ -70,15 +69,26 @@ def _score_candidates(
     mask_bits: int | None,
     use_both: bool,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> np.ndarray:
-    """Summed peak |corr| over segments and extend steps per candidate."""
+    """Summed distinguisher scores over segments and extend steps.
+
+    Extend-phase hypotheses predict *masked* partial products (only the
+    low ``mask_bits`` of the intermediate), so they are scored with
+    ``exact=False`` — profiled distinguishers fall back to correlation
+    here, because a masked prediction cannot be aligned with full-value
+    HW classes.
+    """
+    from repro.attack.distinguisher import CpaDistinguisher
+
+    dist = distinguisher or CpaDistinguisher(chunk_rows=chunk_rows)
     layout = traceset.layout
     total = np.zeros(len(candidates), dtype=np.float64)
     for seg, knowns in _segment_knowns(traceset, use_both):
         for label, which in steps:
             hyp = hyp_product(knowns[which], candidates, mask_bits=mask_bits)
             window = seg.traces[:, layout.slice_of(label)]
-            res = run_cpa(hyp, window, candidates, chunk_rows=chunk_rows)
+            res = dist.score(hyp, window, candidates, label=label, exact=False)
             total += res.scores
     return total
 
@@ -92,6 +102,7 @@ def ladder_limb(
     keep: int = 32,
     use_both_segments: bool = True,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> LadderResult:
     """Recover candidates for one secret limb of ``total_bits`` bits."""
     if total_bits < 1:
@@ -105,7 +116,8 @@ def ladder_limb(
         cands = np.unique((survivors[:, None] | ext[None, :]).ravel())
         covered += step_bits
         scores = _score_candidates(
-            traceset, steps, cands, covered, use_both_segments, chunk_rows=chunk_rows
+            traceset, steps, cands, covered, use_both_segments,
+            chunk_rows=chunk_rows, distinguisher=distinguisher,
         )
         order = np.argsort(-scores, kind="stable")
         n_keep = keep if covered >= total_bits else beam

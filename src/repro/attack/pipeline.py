@@ -114,6 +114,8 @@ def full_attack(
     progress_callback: ProgressCallback | None = None,
     n_workers: int | None = None,
     value_transform=None,
+    store=None,
+    session=None,
 ) -> FullAttackReport:
     """Run the complete Section-IV attack against a simulated victim.
 
@@ -127,6 +129,14 @@ def full_attack(
     attacks fan out over that many worker processes, with results
     bit-identical to the serial run. ``progress_callback`` receives
     structured per-coefficient :class:`ProgressEvent` records.
+
+    ``store`` separates capture cost from attack cost: a path (or
+    :class:`~repro.leakage.store.CampaignStore`) makes the attack read
+    its traces from a disk-backed store — materialized on first use,
+    memory-mapped and re-simulation-free afterwards. ``session`` (a
+    path or :class:`~repro.attack.session.AttackSession`) checkpoints
+    each finished coefficient so an interrupted run resumes
+    bit-identically.
     """
     start = time.time()
     cfg = config or AttackConfig()
@@ -140,10 +150,22 @@ def full_attack(
         seed=seed,
         value_transform=value_transform,
     )
+    source = campaign
+    if store is not None:
+        from repro.leakage.store import CampaignStore
+
+        if isinstance(store, CampaignStore):
+            source = store
+        else:
+            source = campaign.materialize(store)
+    if session is not None and not hasattr(session, "bind"):
+        from repro.attack.session import AttackSession
+
+        session = AttackSession(session)
     try:
         result = recover_full_key(
-            campaign, pk, config=cfg, progress=progress,
-            progress_callback=progress_callback,
+            source, pk, config=cfg, progress=progress,
+            progress_callback=progress_callback, session=session,
         )
     except KeyRecoveryError as exc:  # failed recovery is an outcome, not a crash
         partial = KeyRecoveryResult(

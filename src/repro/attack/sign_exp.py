@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attack.cpa import CpaResult, run_cpa
+from repro.attack.cpa import CpaResult
 from repro.attack.hypotheses import hyp_exp_biased, hyp_exp_out, hyp_exp_sum, hyp_sign
 from repro.leakage.traceset import TraceSet
 
@@ -80,20 +80,32 @@ def recover_sign(
     traceset: TraceSet,
     use_both_segments: bool = True,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> SignRecovery:
-    """Recover s_x from the sign_out leakage."""
+    """Recover s_x from the sign_out leakage.
+
+    The sign hypotheses of the two guesses are exact complements, so
+    correlation-style distinguishers must rank on *signed* correlation
+    (the paper's symmetric-leakage rule); likelihood-based
+    distinguishers are asymmetric by construction and need no special
+    casing — both go through ``score(..., signed=True)``.
+    """
+    from repro.attack.distinguisher import CpaDistinguisher
+
+    dist = distinguisher or CpaDistinguisher(chunk_rows=chunk_rows)
     layout = traceset.layout
     segments = traceset.segments if use_both_segments else traceset.segments[:1]
     total = np.zeros(2, dtype=np.float64)
     results = []
     for seg in segments:
         hyp = hyp_sign(seg.known_y)
-        res = run_cpa(
+        res = dist.score(
             hyp,
             seg.traces[:, layout.slice_of("sign_out")],
             np.array([0, 1]),
+            label="sign_out",
             signed=True,
-            chunk_rows=chunk_rows,
+            exact=True,
         )
         results.append(res)
         total += res.scores
@@ -106,6 +118,7 @@ def recover_exponent(
     guess_range: tuple[int, int] = (1, 2047),
     significand: int | None = None,
     chunk_rows: int | None = None,
+    distinguisher=None,
 ) -> ExponentRecovery:
     """Recover the biased exponent E_x.
 
@@ -114,6 +127,9 @@ def recover_exponent(
     additionally correlates the exactly-predicted output exponent
     (``exp_out``), which carries far more guess-separating variation.
     """
+    from repro.attack.distinguisher import CpaDistinguisher
+
+    dist = distinguisher or CpaDistinguisher(chunk_rows=chunk_rows)
     layout = traceset.layout
     guesses = np.arange(guess_range[0], guess_range[1], dtype=np.uint64)
     segments = traceset.segments if use_both_segments else traceset.segments[:1]
@@ -121,23 +137,24 @@ def recover_exponent(
     results = []
     for seg in segments:
         hyp = hyp_exp_sum(seg.known_y, guesses)
-        res = run_cpa(
-            hyp, seg.traces[:, layout.slice_of("exp_sum")], guesses, chunk_rows=chunk_rows
+        res = dist.score(
+            hyp, seg.traces[:, layout.slice_of("exp_sum")], guesses,
+            label="exp_sum", exact=True,
         )
         results.append(res)
         total += res.scores
         hyp_b = hyp_exp_biased(seg.known_y, guesses)
-        res_b = run_cpa(
+        res_b = dist.score(
             hyp_b, seg.traces[:, layout.slice_of("exp_biased")], guesses,
-            chunk_rows=chunk_rows,
+            label="exp_biased", exact=True,
         )
         results.append(res_b)
         total += res_b.scores
         if significand is not None:
             hyp_out = hyp_exp_out(seg.known_y, guesses, significand)
-            res_out = run_cpa(
+            res_out = dist.score(
                 hyp_out, seg.traces[:, layout.slice_of("exp_out")], guesses,
-                chunk_rows=chunk_rows,
+                label="exp_out", exact=True,
             )
             results.append(res_out)
             total += res_out.scores

@@ -47,6 +47,24 @@ class HwTemplates:
     def n_samples(self) -> int:
         return self.means.shape[1]
 
+    def class_log_likelihood(self, traces: np.ndarray) -> np.ndarray:
+        """(D, K) matrix of log p(trace_d | class k) for every class.
+
+        One evaluation covers all guesses at once: scoring then reduces
+        to gathering each guess's predicted-HW column per row, which is
+        how :class:`repro.attack.distinguisher.TemplateDistinguisher`
+        streams template matching over row chunks.
+        """
+        traces = np.atleast_2d(np.asarray(traces, dtype=np.float64))
+        out = np.empty((traces.shape[0], len(self.classes)))
+        for k in range(len(self.classes)):
+            d = traces - self.means[k]
+            out[:, k] = (
+                -0.5 * np.einsum("ds,st,dt->d", d, self._inv_cov, d)
+                - 0.5 * self._logdet
+            )
+        return out
+
     def log_likelihood(self, traces: np.ndarray, hw: np.ndarray) -> np.ndarray:
         """log p(trace_d | HW class hw_d) for each row d.
 

@@ -98,7 +98,7 @@ def cmd_attack_coefficient(args) -> int:
     from repro.leakage import TraceSet
 
     ts = TraceSet.load(args.traceset)
-    rec = recover_coefficient(ts, AttackConfig())
+    rec = recover_coefficient(ts, AttackConfig(chunk_rows=args.chunk_rows))
     print(f"recovered coefficient pattern: {rec.pattern:#018x}")
     if ts.true_secret is not None:
         print(f"ground truth:                  {ts.true_secret:#018x}")
@@ -112,17 +112,34 @@ def cmd_attack(args) -> int:
 
     sk = secret_key_from_json(_read(args.sk))
     pk = sk.public_key()
-    config = AttackConfig(n_workers=args.workers, chunk_rows=args.chunk_rows)
+    config = AttackConfig(
+        n_workers=args.workers,
+        chunk_rows=args.chunk_rows,
+        distinguisher=args.distinguisher,
+    )
     report = full_attack(
         sk,
         pk,
         n_traces=args.traces,
         device=DeviceModel(noise_sigma=args.noise),
         config=config,
+        message=args.message.encode(),
+        mode=args.mode,
+        seed=args.seed,
         progress_callback=default_progress_printer if args.progress else None,
+        store=args.store,
+        session=args.resume,
     )
     print(report.summary())
     return 0 if report.forgery_verifies else 1
+
+
+def cmd_store_info(args) -> int:
+    from repro.analysis import describe_store
+    from repro.leakage import CampaignStore
+
+    print(describe_store(CampaignStore(args.store)))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,12 +183,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attack-coefficient", help="run extend-and-prune DEMA on a saved traceset")
     p.add_argument("--traceset", type=str, required=True)
+    p.add_argument(
+        "--chunk-rows", type=int, default=None,
+        help="stream every CPA through the raw-moment accumulator in batches "
+        "of this many traces (default: one-shot matrix path)",
+    )
     p.set_defaults(fn=cmd_attack_coefficient)
 
     p = sub.add_parser("attack", help="full key extraction + forgery against a simulated victim")
     p.add_argument("--sk", type=str, required=True, help="victim secret key (drives the simulation)")
     p.add_argument("--traces", type=int, default=10_000)
     p.add_argument("--noise", type=float, default=10.0)
+    p.add_argument(
+        "--mode", type=str, default="direct", choices=("direct", "hash"),
+        help="known-message generation: 'hash' runs the full HashToPoint per "
+        "signing, 'direct' draws c uniformly (same distribution, faster)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=2021,
+        help="capture campaign seed (drives the known-message corpus and "
+        "the per-target acquisition RNG)",
+    )
+    p.add_argument(
+        "--message", type=str,
+        default="arbitrary message chosen by the adversary",
+        help="message to forge a signature on with the recovered key",
+    )
     p.add_argument("--progress", action="store_true")
     p.add_argument(
         "--workers", type=int, default=1,
@@ -183,7 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every CPA through the raw-moment accumulator in batches "
         "of this many traces (default: one-shot matrix path)",
     )
+    p.add_argument(
+        "--distinguisher", type=str, default="cpa",
+        choices=("cpa", "template", "mlp", "second-order", "strawman"),
+        help="statistical engine for every recovery step (profiled choices "
+        "run a profiling phase on a fresh adversary key first)",
+    )
+    p.add_argument(
+        "--store", type=str, default=None,
+        help="campaign store directory: materialize the capture there on "
+        "first use, then attack from memory-mapped disk shards (capture "
+        "once, attack many times)",
+    )
+    p.add_argument(
+        "--resume", type=str, default=None, metavar="SESSION_DIR",
+        help="checkpoint directory for a resumable session: every finished "
+        "coefficient is saved atomically, and re-running with the same "
+        "directory resumes an interrupted attack bit-identically",
+    )
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser("store-info", help="summarize a materialized campaign store")
+    p.add_argument("--store", type=str, required=True)
+    p.set_defaults(fn=cmd_store_info)
 
     return parser
 

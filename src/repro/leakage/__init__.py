@@ -18,7 +18,8 @@ from repro.leakage.device import DeviceModel
 from repro.leakage.synth import synthesize_mul_traces, trace_layout, TraceLayout
 from repro.leakage.traceset import TraceSet
 from repro.leakage.capture import CaptureCampaign, capture_coefficient
-from repro.leakage.trs import read_trs, write_trs, traceset_to_trs
+from repro.leakage.store import CampaignStore, StoreError, TraceSource
+from repro.leakage.trs import read_trs, write_trs, traceset_to_trs, trs_to_traceset
 from repro.leakage.fpc import fpc_step_values, synthesize_fpc_traces, FpcLayout
 
 __all__ = [
@@ -32,9 +33,13 @@ __all__ = [
     "TraceSet",
     "CaptureCampaign",
     "capture_coefficient",
+    "CampaignStore",
+    "StoreError",
+    "TraceSource",
     "read_trs",
     "write_trs",
     "traceset_to_trs",
+    "trs_to_traceset",
     "fpc_step_values",
     "synthesize_fpc_traces",
     "FpcLayout",

@@ -188,6 +188,21 @@ class CaptureCampaign:
         """One TraceSet per secret double (the full-key campaign)."""
         return [self.capture(j) for j in range(self.n_targets)]
 
+    def materialize(self, path: str, targets=None, progress_callback=None):
+        """Persist this campaign to a :class:`~repro.leakage.store.CampaignStore`.
+
+        Capture once, attack many times: the returned store serves the
+        exact same TraceSets from disk (memory-mapped) without ever
+        re-simulating a signing, and — unlike this object — it carries
+        no secret key. Materialization is resumable; already-complete
+        shards are not re-captured.
+        """
+        from repro.leakage.store import CampaignStore
+
+        return CampaignStore.materialize(
+            path, self, targets=targets, progress_callback=progress_callback
+        )
+
 
 def capture_coefficient(
     sk: SecretKey,

@@ -59,44 +59,41 @@ class TraceSet:
         return sum(seg.n_traces for seg in self.segments)
 
     def head(self, n: int) -> "TraceSet":
+        """The first n traces of every segment, with meta rescaled.
+
+        Evolution studies use ``head(n)`` to emulate an n-trace
+        campaign, so the trace accounting must follow the truncation:
+        ``n_requested`` and the per-segment ``n_kept`` counts are capped
+        at what the truncated set actually contains — otherwise the
+        Fisher-z significance bounds downstream would be computed from
+        the *original* campaign size.
+        """
+        segments = [seg.head(n) for seg in self.segments]
+        meta = dict(self.meta)
+        if "n_requested" in meta:
+            meta["n_requested"] = min(int(meta["n_requested"]), n)
+        if "n_kept" in meta:
+            meta["n_kept"] = tuple(seg.n_traces for seg in segments)
         return TraceSet(
             layout=self.layout,
-            segments=[seg.head(n) for seg in self.segments],
+            segments=segments,
             target_index=self.target_index,
             true_secret=self.true_secret,
-            meta=dict(self.meta),
+            meta=meta,
         )
 
     def save(self, path: str) -> None:
-        """Persist to an .npz archive."""
-        arrays: dict[str, np.ndarray] = {}
-        names = []
-        for i, seg in enumerate(self.segments):
-            arrays[f"known_{i}"] = seg.known_y
-            arrays[f"traces_{i}"] = seg.traces
-            names.append(seg.name)
-        arrays["seg_names"] = np.array(names)
-        arrays["spp"] = np.array([self.layout.samples_per_step])
-        arrays["target_index"] = np.array([self.target_index])
-        arrays["true_secret"] = np.array(
-            [self.true_secret if self.true_secret is not None else 0], dtype=np.uint64
-        )
-        arrays["has_secret"] = np.array([self.true_secret is not None])
-        np.savez_compressed(path, **arrays)
+        """Persist to an .npz archive (see :mod:`repro.leakage.store`).
+
+        Round-trips are lossless: segment names, ``true_secret`` and the
+        full ``meta`` dict come back exactly as stored.
+        """
+        from repro.leakage import store
+
+        store.write_traceset(path, self)
 
     @classmethod
     def load(cls, path: str) -> "TraceSet":
-        data = np.load(path, allow_pickle=False)
-        names = [str(s) for s in data["seg_names"]]
-        segments = [
-            Segment(known_y=data[f"known_{i}"], traces=data[f"traces_{i}"], name=names[i])
-            for i in range(len(names))
-        ]
-        layout = TraceLayout(samples_per_step=int(data["spp"][0]))
-        secret = int(data["true_secret"][0]) if bool(data["has_secret"][0]) else None
-        return cls(
-            layout=layout,
-            segments=segments,
-            target_index=int(data["target_index"][0]),
-            true_secret=secret,
-        )
+        from repro.leakage import store
+
+        return store.read_traceset(path)

@@ -20,7 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TrsError", "write_trs", "read_trs", "TrsData"]
+__all__ = [
+    "TrsError",
+    "write_trs",
+    "read_trs",
+    "TrsData",
+    "traceset_to_trs",
+    "trs_to_segment",
+    "trs_to_traceset",
+]
 
 _TAG_NT = 0x41  # number of traces
 _TAG_NS = 0x42  # samples per trace
@@ -148,17 +156,27 @@ def traceset_to_trs(traceset, path_prefix: str) -> list[str]:
 
     The known operand pattern is stored as 8 little-endian data bytes
     per trace, so an external tool has the full known-plaintext context.
+    The TRS description field carries the full TraceSet context (segment
+    name, target index, ``true_secret``, layout, ``meta``) as JSON, so
+    :func:`trs_to_traceset` reconstructs the set losslessly.
     """
+    import json
+
+    from repro.leakage.store import meta_to_jsonable
+
     paths = []
     for seg in traceset.segments:
         data = seg.known_y.astype("<u8").view(np.uint8).reshape(-1, 8)
         path = f"{path_prefix}_{seg.name}.trs"
-        write_trs(
-            path,
-            seg.traces,
-            data,
-            description=f"falcon-down target={traceset.target_index} seg={seg.name}",
-        )
+        context = {
+            "format": "falcon-down",
+            "target_index": traceset.target_index,
+            "seg": seg.name,
+            "true_secret": traceset.true_secret,
+            "samples_per_step": traceset.layout.samples_per_step,
+            "meta": meta_to_jsonable(traceset.meta),
+        }
+        write_trs(path, seg.traces, data, description=json.dumps(context))
         paths.append(path)
     return paths
 
@@ -171,4 +189,60 @@ def trs_to_segment(path: str):
     if trs.data.shape[1] != 8:
         raise TrsError("expected 8 data bytes per trace (known operand pattern)")
     known = np.ascontiguousarray(trs.data).view("<u8").reshape(-1)
-    return Segment(known_y=known.astype(np.uint64), traces=trs.traces)
+    name = "seg"
+    ctx = _parse_context(trs.description)
+    if ctx is not None and "seg" in ctx:
+        name = str(ctx["seg"])
+    return Segment(known_y=known.astype(np.uint64), traces=trs.traces, name=name)
+
+
+def _parse_context(description: str) -> dict | None:
+    """The JSON TraceSet context embedded in a falcon-down TRS export."""
+    import json
+
+    try:
+        ctx = json.loads(description)
+    except (json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(ctx, dict) or ctx.get("format") != "falcon-down":
+        return None
+    return ctx
+
+
+def trs_to_traceset(paths: list[str]):
+    """Rebuild a TraceSet from the TRS files of :func:`traceset_to_trs`.
+
+    Segment order follows ``paths``; the context embedded in the
+    descriptions restores target index, ``true_secret``, layout and
+    ``meta`` exactly. All files must come from the same export.
+    """
+    from repro.leakage.store import meta_from_jsonable
+    from repro.leakage.synth import TraceLayout
+    from repro.leakage.traceset import Segment, TraceSet
+
+    if not paths:
+        raise TrsError("no TRS files given")
+    segments = []
+    ctx0 = None
+    for path in paths:
+        trs = read_trs(path)
+        if trs.data.shape[1] != 8:
+            raise TrsError("expected 8 data bytes per trace (known operand pattern)")
+        ctx = _parse_context(trs.description)
+        if ctx is None:
+            raise TrsError(f"{path} carries no falcon-down TraceSet context")
+        if ctx0 is None:
+            ctx0 = ctx
+        elif ctx["target_index"] != ctx0["target_index"]:
+            raise TrsError("TRS files come from different TraceSet exports")
+        known = np.ascontiguousarray(trs.data).view("<u8").reshape(-1)
+        segments.append(
+            Segment(known_y=known.astype(np.uint64), traces=trs.traces, name=str(ctx["seg"]))
+        )
+    return TraceSet(
+        layout=TraceLayout(samples_per_step=int(ctx0["samples_per_step"])),
+        segments=segments,
+        target_index=int(ctx0["target_index"]),
+        true_secret=ctx0["true_secret"],
+        meta=meta_from_jsonable(ctx0["meta"]),
+    )

@@ -1,0 +1,147 @@
+"""Resumable sessions: atomic checkpoints and bit-identical resume."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.attack.config import AttackConfig
+from repro.attack.key_recovery import recover_coefficients
+from repro.attack.pipeline import full_attack
+from repro.attack.session import AttackSession, SessionError
+from repro.falcon.keygen import keygen
+from repro.falcon.params import FalconParams
+from repro.leakage.capture import CaptureCampaign
+from repro.leakage.device import DeviceModel
+
+N_TRACES = 450
+SEED = 61
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return keygen(FalconParams.get(8), seed=b"session-tests")
+
+
+@pytest.fixture(scope="module")
+def device():
+    return DeviceModel(noise_sigma=2.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def reference(victim, device):
+    sk, pk = victim
+    return full_attack(sk, pk, n_traces=N_TRACES, device=device, seed=SEED)
+
+
+def _reports_identical(a, b):
+    assert a.succeeded == b.succeeded
+    assert a.key_recovery.f == b.key_recovery.f
+    assert [c.pattern for c in a.key_recovery.coefficients] == [
+        c.pattern for c in b.key_recovery.coefficients
+    ]
+    assert [r.n_traces_kept for r in a.records] == [r.n_traces_kept for r in b.records]
+    for ra, rb in zip(a.records, b.records):
+        assert ra.sign_margin == rb.sign_margin
+        assert ra.exponent_margin == rb.exponent_margin
+        assert ra.mantissa_margin == rb.mantissa_margin
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identically(
+        self, victim, device, reference, tmp_path
+    ):
+        sk, pk = victim
+        sess = str(tmp_path / "sess")
+        attacked = [0]
+
+        def interrupt_after(k):
+            def cb(ev):
+                if ev.stage == "coefficient" and ev.message != "restored from checkpoint":
+                    attacked[0] += 1
+                    if attacked[0] >= k:
+                        raise KeyboardInterrupt
+            return cb
+
+        with pytest.raises(KeyboardInterrupt):
+            full_attack(
+                sk, pk, n_traces=N_TRACES, device=device, seed=SEED,
+                session=sess, progress_callback=interrupt_after(3),
+            )
+        checkpoints = [f for f in os.listdir(sess) if f.startswith("coeff_")]
+        assert len(checkpoints) == 3
+
+        resumed = full_attack(
+            sk, pk, n_traces=N_TRACES, device=device, seed=SEED, session=sess
+        )
+        _reports_identical(resumed, reference)
+
+    def test_resume_replays_without_recomputation(self, victim, device, tmp_path):
+        sk, pk = victim
+        sess = str(tmp_path / "sess")
+        full_attack(sk, pk, n_traces=N_TRACES, device=device, seed=SEED, session=sess)
+        restored = [0]
+
+        def count(ev):
+            if ev.message == "restored from checkpoint":
+                restored[0] += 1
+
+        full_attack(
+            sk, pk, n_traces=N_TRACES, device=device, seed=SEED,
+            session=sess, progress_callback=count,
+        )
+        assert restored[0] == sk.params.n
+
+    def test_fingerprint_guard_rejects_other_campaign(self, victim, device, tmp_path):
+        sk, pk = victim
+        sess = str(tmp_path / "sess")
+        campaign = CaptureCampaign(
+            sk=sk, device=device, n_traces=N_TRACES, seed=SEED
+        )
+        cfg = AttackConfig()
+        session = AttackSession(sess).bind(campaign, cfg)
+        session.record(0, "sentinel-recovery", "sentinel-record")
+        # different capture seed
+        other = CaptureCampaign(sk=sk, device=device, n_traces=N_TRACES, seed=SEED + 1)
+        with pytest.raises(SessionError):
+            AttackSession(sess).bind(other, cfg)
+        # different attack config (distinguisher counts too)
+        with pytest.raises(SessionError):
+            AttackSession(sess).bind(
+                campaign, dataclasses.replace(cfg, distinguisher="template")
+            )
+        # the original pairing still binds fine
+        AttackSession(sess).bind(campaign, cfg)
+
+    def test_truncated_checkpoint_is_reattacked(self, victim, device, tmp_path):
+        sk, _ = victim
+        campaign = CaptureCampaign(sk=sk, device=device, n_traces=N_TRACES, seed=SEED)
+        cfg = AttackConfig()
+        sess = str(tmp_path / "sess")
+        session = AttackSession(sess).bind(campaign, cfg)
+        (tmp_path / "sess" / "coeff_00000.pkl").write_bytes(b"torn write")
+        assert session.completed() == {}
+        recs, records = recover_coefficients(campaign, cfg, session=session)
+        assert all(r is not None for r in recs)
+        # the re-attacked checkpoint is now valid
+        assert 0 in AttackSession(sess).completed()
+
+    def test_parallel_resume_matches_serial(self, victim, device, reference, tmp_path):
+        sk, pk = victim
+        sess = str(tmp_path / "sess")
+
+        def interrupt_second(ev):
+            if ev.stage == "coefficient" and ev.completed >= 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            full_attack(
+                sk, pk, n_traces=N_TRACES, device=device, seed=SEED,
+                session=sess, n_workers=2, progress_callback=interrupt_second,
+            )
+        assert any(f.startswith("coeff_") for f in os.listdir(sess))
+        resumed = full_attack(
+            sk, pk, n_traces=N_TRACES, device=device, seed=SEED,
+            session=sess, n_workers=2,
+        )
+        _reports_identical(resumed, reference)

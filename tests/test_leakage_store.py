@@ -1,0 +1,156 @@
+"""Campaign store: shards, manifests, and lossless TraceSet round-trips."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.attack.config import AttackConfig
+from repro.falcon.keygen import keygen
+from repro.falcon.params import FalconParams
+from repro.leakage.capture import CaptureCampaign
+from repro.leakage.device import DeviceModel
+from repro.leakage.store import CampaignStore, StoreError, TraceSource
+from repro.leakage.traceset import TraceSet
+from repro.leakage.trs import traceset_to_trs, trs_to_traceset
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    sk, _ = keygen(FalconParams.get(8), seed=b"store-tests")
+    return CaptureCampaign(
+        sk=sk,
+        device=DeviceModel(noise_sigma=2.0, seed=7),
+        n_traces=120,
+        seed=31,
+    )
+
+
+@pytest.fixture(scope="module")
+def store(campaign, tmp_path_factory):
+    path = tmp_path_factory.mktemp("stores") / "campaign"
+    return campaign.materialize(str(path))
+
+
+class TestTraceSetRoundTrips:
+    def test_save_load_preserves_everything(self, campaign, tmp_path):
+        ts = campaign.capture(2)
+        path = str(tmp_path / "ts.npz")
+        ts.save(path)
+        back = TraceSet.load(path)
+        assert back.target_index == ts.target_index
+        assert back.true_secret == ts.true_secret
+        assert back.meta == ts.meta  # byte-exact, tuples included
+        assert [s.name for s in back.segments] == [s.name for s in ts.segments]
+        for a, b in zip(ts.segments, back.segments):
+            np.testing.assert_array_equal(a.known_y, b.known_y)
+            np.testing.assert_array_equal(a.traces, b.traces)
+        assert back.layout.samples_per_step == ts.layout.samples_per_step
+
+    def test_trs_round_trip_preserves_everything(self, campaign, tmp_path):
+        ts = campaign.capture(1)
+        paths = traceset_to_trs(ts, str(tmp_path / "export"))
+        back = trs_to_traceset(paths)
+        assert back.target_index == ts.target_index
+        assert back.true_secret == ts.true_secret
+        assert back.meta == ts.meta
+        assert [s.name for s in back.segments] == [s.name for s in ts.segments]
+        for a, b in zip(ts.segments, back.segments):
+            np.testing.assert_array_equal(a.known_y, b.known_y)
+            np.testing.assert_array_equal(a.traces, b.traces)
+
+    def test_head_rescales_meta(self, campaign):
+        ts = campaign.capture(0)
+        sub = ts.head(50)
+        assert sub.meta["n_requested"] == 50
+        assert sub.meta["n_kept"] == tuple(seg.n_traces for seg in sub.segments)
+        assert all(seg.n_traces <= 50 for seg in sub.segments)
+        # untouched keys ride along; the original set is not mutated
+        assert sub.meta["mode"] == ts.meta["mode"]
+        assert ts.meta["n_requested"] == campaign.n_traces
+
+
+class TestCampaignStore:
+    def test_satisfies_trace_source_protocol(self, campaign, store):
+        assert isinstance(store, TraceSource)
+        assert isinstance(campaign, TraceSource)
+
+    def test_disk_matches_live_capture(self, campaign, store):
+        for j in (0, 3, 7):
+            live = campaign.capture(j)
+            disk = store.capture(j)
+            assert disk.true_secret == live.true_secret
+            assert disk.meta == live.meta
+            for a, b in zip(live.segments, disk.segments):
+                assert a.name == b.name
+                np.testing.assert_array_equal(a.known_y, b.known_y)
+                np.testing.assert_array_equal(a.traces, b.traces)
+
+    def test_traces_are_memory_mapped(self, store):
+        ts = store.capture(0)
+        # Segment.__post_init__ wraps the memmap in an ndarray view;
+        # the buffer is still the file mapping, not a RAM copy.
+        assert isinstance(ts.segments[0].traces.base, np.memmap)
+
+    def test_campaign_params_survive(self, campaign, store):
+        assert store.n_targets == campaign.n_targets
+        assert store.n_traces == campaign.n_traces
+        assert store.mode == campaign.mode
+        assert store.seed == campaign.seed
+        assert store.device == campaign.device
+
+    def test_store_pickles_as_path(self, store):
+        clone = pickle.loads(pickle.dumps(store))
+        np.testing.assert_array_equal(
+            clone.capture(2).segments[0].traces, store.capture(2).segments[0].traces
+        )
+
+    def test_out_of_range_target(self, store):
+        with pytest.raises(ValueError):
+            store.capture(store.n_targets)
+
+    def test_non_store_directory_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            CampaignStore(str(tmp_path))
+
+    def test_materialize_resumes_from_existing_shards(self, campaign, store, tmp_path):
+        # Simulate an interrupted materialization: shards exist, no manifest.
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        for name in sorted(os.listdir(store.path)):
+            if name.startswith("target_000") and name < "target_00004":
+                src = os.path.join(store.path, name)
+                dst = partial / name
+                dst.mkdir()
+                for f in os.listdir(src):
+                    (dst / f).write_bytes(open(os.path.join(src, f), "rb").read())
+        mtimes = {
+            str(p.relative_to(partial)): p.stat().st_mtime_ns
+            for p in partial.glob("target_*/*.npy")
+        }
+        completed = CampaignStore.materialize(str(partial), campaign)
+        # pre-existing complete shards were reused, not re-captured
+        for p in partial.glob("target_*/*.npy"):
+            rel = str(p.relative_to(partial))
+            if rel in mtimes:
+                assert p.stat().st_mtime_ns == mtimes[rel]
+        assert completed.targets() == store.targets()
+
+    def test_describe_store(self, store):
+        from repro.analysis import describe_store
+
+        text = describe_store(store)
+        assert "8 targets" in text
+        assert "complete" in text
+
+
+class TestStoreDrivenAttack:
+    def test_recover_from_store_matches_live(self, campaign, store):
+        from repro.attack.coefficient import recover_coefficient
+
+        cfg = AttackConfig()
+        rec_live = recover_coefficient(campaign.capture(4), cfg)
+        rec_disk = recover_coefficient(store.capture(4), cfg)
+        assert rec_live.pattern == rec_disk.pattern
+        assert rec_live.correct == rec_disk.correct
