@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench demo figures smoke verify clean
+.PHONY: install test lint bench bench-smoke demo figures smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,8 +19,22 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
+# Full suite at the paper's trace budget. The headline benches emit
+# BENCH_*.json perf artifacts (schema in benchmarks/_emit.py); the gate
+# compares them against bench-baseline/ and fails on >25% regressions
+# (no baseline directory = recording-only run, always passes).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+	$(PYTHON) -m pytest benchmarks/bench_e2e_key_recovery.py::test_streaming_cpa_matches_one_shot -q -s
+	$(PYTHON) scripts/check_bench_regression.py --baseline bench-baseline --current .
+
+# CI-sized perf trajectory: the same two emitting benches at reduced
+# trace counts, then the regression gate.
+bench-smoke:
+	FALCON_BENCH_TRACES=6000 FALCON_BENCH_THROUGHPUT_TRACES=800 \
+	$(PYTHON) -m pytest benchmarks/bench_e2e_key_recovery.py -q -s \
+		-k "e2e_key_recovery_and_forgery or streaming_cpa_matches_one_shot"
+	$(PYTHON) scripts/check_bench_regression.py --baseline bench-baseline --current .
 
 # Tier-1 suite plus an end-to-end smoke of the moving parts the unit
 # tests mock: the 2-worker fan-out, a materialized campaign store, and
@@ -56,3 +70,4 @@ figures:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
 	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -f BENCH_*.json

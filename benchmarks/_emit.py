@@ -1,0 +1,71 @@
+"""Shared perf-artifact emission for the benchmark suite.
+
+Every headline bench distills its run into one ``BENCH_<name>.json``
+conforming to the schema the regression gate consumes::
+
+    {"name", "params", "wall_s", "per_stage_s", "traces_per_s",
+     "peak_rss_mb"}
+
+``wall_s`` lower is better; ``traces_per_s`` higher is better; the
+per-stage breakdown comes straight from the observability layer's span
+telemetry, so the JSON tracks the same stage tree the RunJournal
+records. Artifacts land in ``$FALCON_BENCH_DIR`` (default: the current
+directory) and are written atomically so a killed bench never leaves a
+torn JSON for the gate to choke on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+
+from repro.utils.io import atomic_write_text
+
+__all__ = ["emit_bench", "peak_rss_mb", "stage_seconds_from_snapshot"]
+
+
+def peak_rss_mb() -> float:
+    """High-water resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
+def stage_seconds_from_snapshot(snapshot) -> dict[str, float]:
+    """Per-stage totals from a MetricsSnapshot's span histograms."""
+    out: dict[str, float] = {}
+    for name, hist in snapshot.histograms.items():
+        if name.startswith("stage_seconds."):
+            out[name[len("stage_seconds."):]] = float(hist.total)
+    return out
+
+
+def emit_bench(
+    name: str,
+    params: dict,
+    wall_s: float,
+    per_stage_s: dict[str, float] | None = None,
+    traces_per_s: float | None = None,
+    out_dir: str | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    payload = {
+        "name": name,
+        "params": dict(params),
+        "wall_s": float(wall_s),
+        "per_stage_s": {k: float(v) for k, v in (per_stage_s or {}).items()},
+        "traces_per_s": None if traces_per_s is None else float(traces_per_s),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+    out_dir = out_dir or os.environ.get("FALCON_BENCH_DIR") or "."
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\nperf artifact: {path}")
+    return path

@@ -14,8 +14,16 @@ reproduce the one-shot correlation matrices.
 import os
 import time
 
+from _emit import emit_bench, stage_seconds_from_snapshot
+
 from repro.attack import AttackConfig, full_attack, recover_coefficients
 from repro.leakage import CampaignStore, CaptureCampaign, DeviceModel
+from repro.obs import scoped_registry
+
+#: Signings per coefficient — the paper budget by default; ``make
+#: bench-smoke`` shrinks both so CI can afford the run.
+E2E_TRACES = int(os.environ.get("FALCON_BENCH_TRACES", "10000"))
+THROUGHPUT_TRACES = int(os.environ.get("FALCON_BENCH_THROUGHPUT_TRACES", "1500"))
 
 
 def test_e2e_key_recovery_and_forgery(victim, benchmark):
@@ -25,7 +33,7 @@ def test_e2e_key_recovery_and_forgery(victim, benchmark):
         return full_attack(
             sk,
             pk,
-            n_traces=10_000,
+            n_traces=E2E_TRACES,
             message=b"forged under the victim's public key",
         )
 
@@ -43,9 +51,18 @@ def test_e2e_key_recovery_and_forgery(victim, benchmark):
     assert report.n_correct_coefficients >= report.n_coefficients // 2
     # trace accounting: the report counts the rows that actually entered
     # the CPA, which can only be <= requested * segments * coefficients
-    assert 0 < report.n_traces_correlated <= 10_000 * 2 * report.n_coefficients
+    assert 0 < report.n_traces_correlated <= E2E_TRACES * 2 * report.n_coefficients
     assert len(report.records) == report.n_coefficients
     assert all(r.elapsed_seconds > 0 for r in report.records)
+
+    telemetry = report.telemetry
+    emit_bench(
+        "e2e",
+        params={"n": report.n, "n_traces": E2E_TRACES, "mode": "direct"},
+        wall_s=report.elapsed_seconds,
+        per_stage_s=telemetry.per_stage_s,
+        traces_per_s=telemetry.rows_correlated / max(report.elapsed_seconds, 1e-9),
+    )
 
 
 def test_parallel_engine_throughput(victim):
@@ -120,15 +137,33 @@ def test_streaming_cpa_matches_one_shot(victim):
     """chunk_rows streams every CPA through the raw-moment accumulator;
     the recovered patterns must not change."""
     sk, _ = victim
-    campaign = CaptureCampaign(sk=sk, n_traces=1_500, device=DeviceModel(), seed=2021)
+    campaign = CaptureCampaign(
+        sk=sk, n_traces=THROUGHPUT_TRACES, device=DeviceModel(), seed=2021
+    )
 
     t0 = time.perf_counter()
     one_shot, _ = recover_coefficients(campaign, AttackConfig())
     t_one = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    streamed, _ = recover_coefficients(campaign, AttackConfig(chunk_rows=256))
-    t_chunked = time.perf_counter() - t0
+    with scoped_registry() as reg:
+        t0 = time.perf_counter()
+        streamed, _ = recover_coefficients(campaign, AttackConfig(chunk_rows=256))
+        t_chunked = time.perf_counter() - t0
+    snap = reg.snapshot()
 
     print(f"\nstreaming CPA: one-shot {t_one:.2f}s, chunked(256) {t_chunked:.2f}s")
     assert [r.pattern for r in streamed] == [r.pattern for r in one_shot]
+
+    rows = snap.counters.get("cpa.rows_correlated", 0)
+    assert snap.counters.get("cpa.chunks_streamed", 0) > 0
+    emit_bench(
+        "throughput",
+        params={
+            "n": sk.params.n,
+            "n_traces": THROUGHPUT_TRACES,
+            "chunk_rows": 256,
+        },
+        wall_s=t_chunked,
+        per_stage_s=stage_seconds_from_snapshot(snap),
+        traces_per_s=rows / max(t_chunked, 1e-9),
+    )

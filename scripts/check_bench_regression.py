@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the ``BENCH_*.json`` artifacts.
+
+Compares every ``BENCH_<name>.json`` in ``--current`` against the same
+file in ``--baseline`` and exits non-zero when any tracked metric
+regresses by more than ``--threshold`` (default 25%):
+
+* ``wall_s`` — higher is worse,
+* ``traces_per_s`` — lower is worse.
+
+A missing baseline directory, or a bench with no baseline counterpart,
+is not a failure — first runs and newly added benches pass and their
+artifacts become the next baseline. Malformed JSON (torn file, schema
+drift) *is* a failure: a gate that silently skips bad input gates
+nothing.
+
+Usage::
+
+    python scripts/check_bench_regression.py --baseline bench-baseline --current .
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REQUIRED_KEYS = ("name", "params", "wall_s", "per_stage_s", "traces_per_s", "peak_rss_mb")
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    missing = [k for k in REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise ValueError(f"{path}: missing keys {missing}")
+    return payload
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Human-readable regression descriptions (empty = pass)."""
+    problems: list[str] = []
+    name = current.get("name", "?")
+    b_wall, c_wall = baseline.get("wall_s"), current.get("wall_s")
+    if b_wall and c_wall and b_wall > 0 and c_wall > b_wall * (1.0 + threshold):
+        problems.append(
+            f"{name}: wall_s {c_wall:.3f}s vs baseline {b_wall:.3f}s "
+            f"(+{(c_wall / b_wall - 1.0) * 100.0:.0f}%, limit +{threshold * 100:.0f}%)"
+        )
+    b_tps, c_tps = baseline.get("traces_per_s"), current.get("traces_per_s")
+    if b_tps and c_tps and b_tps > 0 and c_tps < b_tps * (1.0 - threshold):
+        problems.append(
+            f"{name}: traces_per_s {c_tps:.0f} vs baseline {b_tps:.0f} "
+            f"(-{(1.0 - c_tps / b_tps) * 100.0:.0f}%, limit -{threshold * 100:.0f}%)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="bench-baseline",
+        help="directory holding the reference BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current", default=".",
+        help="directory holding this run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fractional regression allowed before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current_files = sorted(glob.glob(os.path.join(args.current, "BENCH_*.json")))
+    if not current_files:
+        print(f"no BENCH_*.json artifacts in {args.current!r}; nothing to gate")
+        return 0
+    if not os.path.isdir(args.baseline):
+        print(f"no baseline directory {args.baseline!r}; recording-only run, pass")
+        return 0
+
+    failures: list[str] = []
+    for path in current_files:
+        try:
+            current = load_bench(path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            failures.append(f"{path}: unreadable artifact ({exc})")
+            continue
+        base_path = os.path.join(args.baseline, os.path.basename(path))
+        if not os.path.exists(base_path):
+            print(f"{os.path.basename(path)}: no baseline, skipped")
+            continue
+        try:
+            baseline = load_bench(base_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            failures.append(f"{base_path}: unreadable baseline ({exc})")
+            continue
+        problems = compare(baseline, current, args.threshold)
+        if problems:
+            failures.extend(problems)
+        else:
+            print(
+                f"{os.path.basename(path)}: ok "
+                f"(wall {current['wall_s']:.3f}s vs {baseline['wall_s']:.3f}s)"
+            )
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,31 @@ def traces_needed_for(true_corr: float, confidence: float = 0.9999) -> int:
     Inverts the Fisher-z bound: significance needs
     atanh(|r|) > z_alpha / sqrt(D - 3). The paper uses this framing when
     reporting "~10k measurements suffice".
+
+    The engine's significance test is *strict* (``scores >
+    threshold`` in :meth:`repro.attack.cpa.CpaResult.significant_guesses`),
+    so this returns the smallest D for which the strict inequality
+    holds — the boundary case ``atanh(|r|) == z / sqrt(D - 3)`` is not
+    significant and must be stepped past, where the previous
+    ``ceil(... + 3)`` closed form landed exactly on it whenever the
+    expression was integral.
+
+    Note this counts rows that *enter the correlation*. The capture
+    layer drops rows whose known operand is non-normal (see the
+    per-segment ``meta["n_kept"]`` accounting in
+    :mod:`repro.leakage.traceset`), so campaign budgets must request
+    ``traces_needed_for(r)`` divided by the expected keep rate.
     """
     if not 0 < abs(true_corr) < 1:
         raise ValueError(f"true_corr must be in (0, 1) exclusive, got {true_corr}")
     z = normal_quantile(confidence)
-    return int(math.ceil((z / math.atanh(abs(true_corr))) ** 2 + 3))
+    # Smallest integer strictly above (z/atanh|r|)^2 + 3 ...
+    d = max(int(math.floor((z / math.atanh(abs(true_corr))) ** 2 + 3)) + 1, 4)
+    # ... then settle on the exact frontier of the strict test itself,
+    # robust to the closed form and fisher_z_threshold rounding
+    # differently in float64 near the boundary.
+    while d > 4 and abs(true_corr) > fisher_z_threshold(d - 1, confidence):
+        d -= 1
+    while not abs(true_corr) > fisher_z_threshold(d, confidence):
+        d += 1
+    return d

@@ -68,9 +68,9 @@ def estimate_key_rank(
         lo = min(lo, float(lp.min()))
         hi = max(hi, float(lp.max()))
     n = len(logs)
-    # Histogram support: sums of n values in [lo, hi].
-    lo_total, hi_total = n * lo, n * hi
-    width = (hi_total - lo_total) / n_bins if hi_total > lo_total else 1.0
+    # One binning convention throughout: each per-coefficient histogram
+    # maps [lo, hi] onto bin centers spaced step = (hi - lo)/(n_bins - 1)
+    # (bin 0 at lo, bin n_bins-1 at hi), and convolution adds supports.
 
     def to_hist(lp: np.ndarray) -> np.ndarray:
         h = np.zeros(n_bins)

@@ -17,6 +17,7 @@ from repro.attack.extend_prune import MantissaRecovery, recover_mantissa
 from repro.attack.sign_exp import ExponentRecovery, SignRecovery, recover_exponent, recover_sign
 from repro.fpr import emu
 from repro.leakage.traceset import TraceSet
+from repro.obs.spans import span
 
 __all__ = ["CoefficientRecovery", "recover_coefficient"]
 
@@ -87,19 +88,22 @@ def recover_coefficient(
         from repro.attack.distinguisher import distinguisher_from_config
 
         distinguisher = distinguisher_from_config(cfg)
-    mantissa = recover_mantissa(traceset, cfg, distinguisher=distinguisher)
-    exponent = recover_exponent(
-        traceset,
-        cfg.use_both_segments,
-        cfg.exponent_guesses,
-        significand=mantissa.significand,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
-    sign = recover_sign(
-        traceset, cfg.use_both_segments, chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
+    with span("mantissa"):
+        mantissa = recover_mantissa(traceset, cfg, distinguisher=distinguisher)
+    with span("exponent"):
+        exponent = recover_exponent(
+            traceset,
+            cfg.use_both_segments,
+            cfg.exponent_guesses,
+            significand=mantissa.significand,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
+    with span("sign"):
+        sign = recover_sign(
+            traceset, cfg.use_both_segments, chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
     pattern = emu.compose(sign.bit, exponent.biased_exponent, mantissa.mantissa_field)
     return CoefficientRecovery(
         target_index=traceset.target_index,

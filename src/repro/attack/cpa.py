@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.utils.stats import batched_pearson, fisher_z_threshold, streaming_pearson
 
 __all__ = ["CpaResult", "run_cpa", "significance_threshold", "combine_scores"]
@@ -95,8 +96,11 @@ def run_cpa(
     traces = np.asarray(traces)
     if chunk_rows is not None:
         corr = streaming_pearson(hypotheses, traces, chunk_rows=chunk_rows)
+        metrics.inc("cpa.chunks_streamed", -(-traces.shape[0] // max(chunk_rows, 1)))
     else:
         corr = batched_pearson(hypotheses, traces)
+    metrics.inc("cpa.score_calls", 1)
+    metrics.inc("cpa.rows_correlated", int(traces.shape[0]))
     return CpaResult(
         guesses=np.asarray(guesses),
         corr=corr,

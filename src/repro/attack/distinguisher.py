@@ -51,6 +51,8 @@ import numpy as np
 
 from repro.attack.config import KNOWN_DISTINGUISHERS, AttackConfig
 from repro.attack.cpa import CpaResult, run_cpa
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.utils.stats import OnlineMoments, PearsonAccumulator
 
 __all__ = [
@@ -230,6 +232,10 @@ class _ProfiledBank(Distinguisher):
         for lo in range(0, window.shape[0], chunk):
             classes, ll = self._row_class_ll(model, window[lo : lo + chunk])
             total += _gather_scores(ll, classes, hyp[lo : lo + chunk])
+            if self.chunk_rows:
+                metrics.inc("cpa.chunks_streamed", 1)
+        metrics.inc("cpa.score_calls", 1)
+        metrics.inc("cpa.rows_correlated", int(window.shape[0]))
         return ProfiledScore(guesses=guesses, scores=total)
 
 
@@ -312,6 +318,9 @@ class SecondOrderDistinguisher(Distinguisher):
                 share2[lo : lo + self.chunk_rows] - m2
             )
             acc.update(hyp[lo : lo + self.chunk_rows], combined)
+            metrics.inc("cpa.chunks_streamed", 1)
+        metrics.inc("cpa.score_calls", 1)
+        metrics.inc("cpa.rows_correlated", int(window.shape[0]))
         return CpaResult(
             guesses=np.asarray(guesses),
             corr=acc.correlation(),
@@ -381,6 +390,11 @@ def profile_distinguisher(
     """
     if not dist.needs_profiling:
         return dist
+    with span("profile", distinguisher=dist.name):
+        return _run_profiling(dist, source, config, labels)
+
+
+def _run_profiling(dist, source, config, labels):
     from repro.falcon.keygen import keygen
     from repro.falcon.params import FalconParams
     from repro.fpr.trace import MUL_STEP_LABELS

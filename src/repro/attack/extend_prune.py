@@ -29,6 +29,8 @@ from repro.attack.ladder import HIGH_LIMB_STEPS, LOW_LIMB_STEPS, LadderResult, l
 from repro.attack.strawman import shift_aliases
 from repro.fpr.trace import LOW_BITS
 from repro.leakage.traceset import TraceSet
+from repro.obs import metrics
+from repro.obs.spans import span
 
 __all__ = ["MantissaRecovery", "recover_mantissa", "prune_candidates", "refine_limb"]
 
@@ -177,39 +179,42 @@ def recover_mantissa(
     cfg = config or AttackConfig()
 
     # ---- low limb: extend on D*B / D*A ---------------------------------
-    low_ladder = ladder_limb(
-        traceset,
-        LOW_LIMB_STEPS,
-        total_bits=LOW_BITS,
-        window=cfg.window,
-        beam=cfg.beam,
-        keep=cfg.prune_keep,
-        use_both_segments=cfg.use_both_segments,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
+    with span("extend", limb="low"):
+        low_ladder = ladder_limb(
+            traceset,
+            LOW_LIMB_STEPS,
+            total_bits=LOW_BITS,
+            window=cfg.window,
+            beam=cfg.beam,
+            keep=cfg.prune_keep,
+            use_both_segments=cfg.use_both_segments,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
     low_cands = _with_shift_aliases(low_ladder.candidates, LOW_BITS)
+    metrics.inc("extend_prune.candidates", int(len(low_cands)))
     # ---- low limb: prune on s_lo ----------------------------------------
-    low_scores, low_results = prune_candidates(
-        traceset,
-        low_cands,
-        [hyp_s_lo],
-        ["s_lo"],
-        cfg.use_both_segments,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
-    low_best = int(low_cands[int(np.argmax(low_scores))])
-    low_best, _ = refine_limb(
-        traceset,
-        low_best,
-        LOW_BITS,
-        [hyp_s_lo],
-        ["s_lo"],
-        cfg.use_both_segments,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
+    with span("prune", limb="low"):
+        low_scores, low_results = prune_candidates(
+            traceset,
+            low_cands,
+            [hyp_s_lo],
+            ["s_lo"],
+            cfg.use_both_segments,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
+        low_best = int(low_cands[int(np.argmax(low_scores))])
+        low_best, _ = refine_limb(
+            traceset,
+            low_best,
+            LOW_BITS,
+            [hyp_s_lo],
+            ["s_lo"],
+            cfg.use_both_segments,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
     low_diag = PhaseDiagnostics(
         ladder=low_ladder,
         prune_results=low_results,
@@ -219,47 +224,50 @@ def recover_mantissa(
     )
 
     # ---- high limb: extend on C*B / C*A ---------------------------------
-    high_ladder = ladder_limb(
-        traceset,
-        HIGH_LIMB_STEPS,
-        total_bits=27,
-        window=cfg.window,
-        beam=cfg.beam,
-        keep=cfg.prune_keep,
-        use_both_segments=cfg.use_both_segments,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
+    with span("extend", limb="high"):
+        high_ladder = ladder_limb(
+            traceset,
+            HIGH_LIMB_STEPS,
+            total_bits=27,
+            window=cfg.window,
+            beam=cfg.beam,
+            keep=cfg.prune_keep,
+            use_both_segments=cfg.use_both_segments,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
     high_cands = _with_shift_aliases(high_ladder.candidates, 27) | np.uint64(_HIGH_MSB)
     high_cands = np.unique(high_cands)
+    metrics.inc("extend_prune.candidates", int(len(high_cands)))
     # ---- high limb: prune on s_mid and s_hi ------------------------------
-    high_scores, high_results = prune_candidates(
-        traceset,
-        high_cands,
-        [
-            lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
-            lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
-        ],
-        ["s_mid", "s_hi"],
-        cfg.use_both_segments,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
-    high_best = int(high_cands[int(np.argmax(high_scores))])
-    high_best, _ = refine_limb(
-        traceset,
-        high_best,
-        27,
-        [
-            lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
-            lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
-        ],
-        ["s_mid", "s_hi"],
-        cfg.use_both_segments,
-        fixed=_HIGH_MSB,
-        chunk_rows=cfg.chunk_rows,
-        distinguisher=distinguisher,
-    )
+    with span("prune", limb="high"):
+        high_scores, high_results = prune_candidates(
+            traceset,
+            high_cands,
+            [
+                lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
+                lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
+            ],
+            ["s_mid", "s_hi"],
+            cfg.use_both_segments,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
+        high_best = int(high_cands[int(np.argmax(high_scores))])
+        high_best, _ = refine_limb(
+            traceset,
+            high_best,
+            27,
+            [
+                lambda y_lo, y_hi, c: hyp_s_mid(y_lo, y_hi, low_best, c),
+                lambda y_lo, y_hi, c: hyp_s_hi(y_lo, y_hi, low_best, c),
+            ],
+            ["s_mid", "s_hi"],
+            cfg.use_both_segments,
+            fixed=_HIGH_MSB,
+            chunk_rows=cfg.chunk_rows,
+            distinguisher=distinguisher,
+        )
     high_diag = PhaseDiagnostics(
         ladder=high_ladder,
         prune_results=high_results,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import pickle
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -30,6 +31,10 @@ from repro.falcon.ntru_solve import NtruSolveError, ntru_solve
 from repro.falcon.sign import Signature, sign
 from repro.leakage.capture import doubles_to_fft
 from repro.math import fft, ntt
+from repro.obs import metrics, spans
+from repro.obs.journal import format_progress, progress_event_to_payload
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import span
 
 __all__ = [
     "KeyRecoveryError",
@@ -111,17 +116,17 @@ ProgressCallback = Callable[[ProgressEvent], None]
 
 
 def default_progress_printer(event: ProgressEvent) -> None:
-    """The stock console renderer for :class:`ProgressEvent` streams."""
-    if event.record is not None:
-        r = event.record
-        status = "ok " if r.correct else ("?? " if r.correct is None else "BAD")
-        print(
-            f"  [{event.completed:4d}/{event.total}] coefficient {r.target_index:4d}: "
-            f"{status} {r.elapsed_seconds:6.2f}s "
-            f"traces={r.n_traces_used} margin={r.exponent_margin:.3f}"
-        )
-    elif event.message:
-        print(f"  {event.stage}: {event.message}")
+    """The stock console renderer for :class:`ProgressEvent` streams.
+
+    Writes to *stderr*: progress is operator chatter, and interleaving it
+    into stdout corrupted machine-readable output (``repro attack ... |
+    jq`` and redirected reports alike). The rendering itself is shared
+    with :func:`repro.obs.journal.console_subscriber`, so a journal-fed
+    console and this direct callback produce identical lines.
+    """
+    line = format_progress(progress_event_to_payload(event))
+    if line:
+        print(line, file=sys.stderr, flush=True)
 
 
 @dataclass
@@ -385,15 +390,27 @@ def _init_worker(source, config: AttackConfig, distinguisher) -> None:
     _WORKER_STATE["source"] = source
     _WORKER_STATE["config"] = config
     _WORKER_STATE["distinguisher"] = distinguisher
+    # Under the fork start method workers inherit the parent's metrics
+    # stack and open spans; reset so each worker accounts from zero.
+    metrics._reset_state()
+    spans._reset_state()
 
 
 def _attack_target(
     source, cfg: AttackConfig, target_index: int, distinguisher=None
-) -> tuple[CoefficientRecovery, CoefficientRecord]:
-    """Capture + per-coefficient DEMA for one target (the worker body)."""
+) -> tuple[CoefficientRecovery, CoefficientRecord, MetricsSnapshot, list[spans.Span]]:
+    """Capture + per-coefficient DEMA for one target (the worker body).
+
+    Runs inside a scoped metrics registry and a detached span context,
+    so the returned ``(snapshot, roots)`` telemetry is exactly this
+    target's — whether the body ran in-process or in a pool worker —
+    and the parent performs the single merge/attach either way.
+    """
     start = time.perf_counter()
-    ts = source.capture(target_index)
-    rec = recover_coefficient(ts, cfg, distinguisher=distinguisher)
+    with metrics.scoped_registry() as reg, spans.detached() as roots:
+        with span("coefficient", target=target_index):
+            ts = source.capture(target_index)
+            rec = recover_coefficient(ts, cfg, distinguisher=distinguisher)
     record = CoefficientRecord(
         target_index=target_index,
         elapsed_seconds=time.perf_counter() - start,
@@ -404,10 +421,12 @@ def _attack_target(
         exponent_margin=rec.exponent.margin,
         mantissa_margin=rec.mantissa_margin,
     )
-    return rec, record
+    return rec, record, reg.snapshot(), roots
 
 
-def _attack_one(target_index: int) -> tuple[CoefficientRecovery, CoefficientRecord]:
+def _attack_one(
+    target_index: int,
+) -> tuple[CoefficientRecovery, CoefficientRecord, MetricsSnapshot, list[spans.Span]]:
     return _attack_target(
         _WORKER_STATE["source"],
         _WORKER_STATE["config"],
@@ -433,6 +452,7 @@ def recover_coefficients(
     progress_callback: ProgressCallback | None = None,
     session=None,
     distinguisher=None,
+    journal=None,
 ) -> tuple[list[CoefficientRecovery], list[CoefficientRecord]]:
     """Attack every secret double, serially or fanned out over processes.
 
@@ -454,6 +474,9 @@ def recover_coefficients(
 
     ``distinguisher`` overrides the config-selected engine with an
     already-built (and, if profiled, already-fitted) instance.
+
+    ``journal`` (a :class:`~repro.obs.journal.RunJournal`) receives a
+    ``progress`` event per finished target plus that target's span tree.
     """
     cfg = config or AttackConfig()
     total = campaign.n_targets
@@ -464,18 +487,25 @@ def recover_coefficients(
     recs: list[CoefficientRecovery | None] = [None] * total
     records: list[CoefficientRecord | None] = [None] * total
     done = 0
+
+    def _notify(event: ProgressEvent) -> None:
+        if journal is not None:
+            journal.emit_progress(event)
+        if progress_callback is not None:
+            progress_callback(event)
+
     if session is not None:
         for j, (rec, record) in session.completed().items():
             if 0 <= j < total and recs[j] is None:
                 recs[j], records[j] = rec, record
                 done += 1
-                if progress_callback is not None:
-                    progress_callback(
-                        ProgressEvent(
-                            "coefficient", done, total, record=record,
-                            message="restored from checkpoint",
-                        )
+                metrics.inc("session.checkpoints_restored", 1)
+                _notify(
+                    ProgressEvent(
+                        "coefficient", done, total, record=record,
+                        message="restored from checkpoint",
                     )
+                )
     todo = [j for j in range(total) if recs[j] is None]
     n_workers = min(cfg.n_workers, max(len(todo), 1))
     if n_workers > 1 and not (_picklable(campaign) and _picklable(distinguisher)):
@@ -483,14 +513,20 @@ def recover_coefficients(
 
     def _finish(j: int, result: tuple) -> None:
         nonlocal done
-        recs[j], records[j] = result
+        rec, record, snap, roots = result
+        recs[j], records[j] = rec, record
+        # The single telemetry merge: worker (or scoped in-process) metrics
+        # fold into the caller's registry, span trees graft into the
+        # caller's open span — identical accounting in both execution modes.
+        metrics.current_registry().merge_snapshot(snap)
+        for root in roots:
+            spans.attach(root)
+            if journal is not None:
+                journal.emit_span(root, target=j)
         if session is not None:
-            session.record(j, recs[j], records[j])
+            session.record(j, rec, record)
         done += 1
-        if progress_callback is not None:
-            progress_callback(
-                ProgressEvent("coefficient", done, total, record=records[j])
-            )
+        _notify(ProgressEvent("coefficient", done, total, record=record))
 
     if n_workers <= 1:
         for j in todo:
@@ -532,6 +568,7 @@ def recover_full_key(
     progress_callback: ProgressCallback | None = None,
     n_workers: int | None = None,
     session=None,
+    journal=None,
 ) -> KeyRecoveryResult:
     """Attack every secret double, then rebuild the entire signing key.
 
@@ -543,7 +580,8 @@ def recover_full_key(
     receives structured :class:`ProgressEvent` notifications;
     ``progress=True`` without a callback installs the stock console
     printer. On failure the raised :class:`KeyRecoveryError` carries
-    the per-coefficient evidence.
+    the per-coefficient evidence. ``journal`` receives the structured
+    event stream (see :func:`recover_coefficients`).
     """
     cfg = config or AttackConfig()
     if n_workers is not None:
@@ -551,38 +589,49 @@ def recover_full_key(
     callback = progress_callback
     if callback is None and progress:
         callback = default_progress_printer
-    recs, records = recover_coefficients(
-        campaign, cfg, progress_callback=callback, session=session
-    )
+
+    def _notify(event: ProgressEvent) -> None:
+        if journal is not None:
+            journal.emit_progress(event)
+        if callback is not None:
+            callback(event)
+
+    with span("coefficients"):
+        recs, records = recover_coefficients(
+            campaign, cfg, progress_callback=callback, session=session,
+            journal=journal,
+        )
     try:
-        try:
-            f = recover_f([r.pattern for r in recs])
-            g = recover_g_from_public(f, pk)
-        except KeyRecoveryError:
-            # Exponent aliasing left some coefficient off by a power of two:
-            # resolve from the per-coefficient candidate lists using (a) the
-            # public magnitude scale of FFT(f) coefficients and (b) the
-            # integrality of invFFT, then re-validate against the public key.
-            if callback is not None:
-                callback(
+        with span("rebuild"):
+            try:
+                f = recover_f([r.pattern for r in recs])
+                g = recover_g_from_public(f, pk)
+            except KeyRecoveryError:
+                # Exponent aliasing left some coefficient off by a power of
+                # two: resolve from the per-coefficient candidate lists using
+                # (a) the public magnitude scale of FFT(f) coefficients and
+                # (b) the integrality of invFFT, then re-validate against the
+                # public key.
+                _notify(
                     ProgressEvent(
                         "repair", 0, 1, message="invFFT not integral; repairing exponents"
                     )
                 )
-            candidates = [
-                _filter_by_magnitude(r.candidate_patterns(12), pk.params) for r in recs
-            ]
-            patterns = repair_exponents(candidates)
-            f = recover_f(patterns)
-            g = recover_g_from_public(f, pk)
-        if callback is not None:
-            callback(ProgressEvent("rebuild", 0, 1, message="solving NTRU equation"))
-        try:
-            big_f, big_g = ntru_solve(f, g, pk.params.q)
-        except NtruSolveError as exc:
-            raise KeyRecoveryError(
-                f"NTRU completion failed on recovered (f, g): {exc}"
-            ) from exc
+                with span("repair"):
+                    candidates = [
+                        _filter_by_magnitude(r.candidate_patterns(12), pk.params)
+                        for r in recs
+                    ]
+                    patterns = repair_exponents(candidates)
+                f = recover_f(patterns)
+                g = recover_g_from_public(f, pk)
+            _notify(ProgressEvent("rebuild", 0, 1, message="solving NTRU equation"))
+            try:
+                big_f, big_g = ntru_solve(f, g, pk.params.q)
+            except NtruSolveError as exc:
+                raise KeyRecoveryError(
+                    f"NTRU completion failed on recovered (f, g): {exc}"
+                ) from exc
     except KeyRecoveryError as exc:
         exc.coefficients = recs
         exc.records = records

@@ -26,8 +26,58 @@ from repro.falcon.keygen import PublicKey, SecretKey
 from repro.falcon.verify import verify
 from repro.leakage.capture import CaptureCampaign
 from repro.leakage.device import DeviceModel
+from repro.obs import metrics, spans
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import Span, span
 
-__all__ = ["FullAttackReport", "full_attack"]
+__all__ = ["AttackTelemetry", "FullAttackReport", "full_attack"]
+
+
+@dataclass
+class AttackTelemetry:
+    """Where a campaign's wall clock and I/O went.
+
+    Distilled from the run's metrics snapshot and root span so reports
+    (and the JSONL journal) expose the perf trajectory without keeping
+    raw traces around. ``per_stage_s`` holds the direct children of the
+    ``attack`` root span — materialize / coefficients / rebuild / forge
+    — whose sum approximates the wall clock (the residue is setup cost).
+    """
+
+    per_stage_s: dict[str, float] = field(default_factory=dict)
+    rows_correlated: int = 0          # rows that entered a distinguisher score
+    chunks_streamed: int = 0          # streaming-CPA batches processed
+    store_bytes_read: int = 0         # bytes exposed by store shard reads
+    checkpoints_written: int = 0      # session checkpoints persisted this run
+    checkpoints_restored: int = 0     # targets replayed from a prior run
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot, repr=False)
+    root_span: Span | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_run(cls, root: Span | None, snapshot: MetricsSnapshot) -> "AttackTelemetry":
+        c = snapshot.counters
+        return cls(
+            per_stage_s=root.stage_seconds() if root is not None else {},
+            rows_correlated=int(c.get("cpa.rows_correlated", 0)),
+            chunks_streamed=int(c.get("cpa.chunks_streamed", 0)),
+            store_bytes_read=int(c.get("store.bytes_read", 0)),
+            checkpoints_written=int(c.get("session.checkpoints_written", 0)),
+            checkpoints_restored=int(c.get("session.checkpoints_restored", 0)),
+            metrics=snapshot,
+            root_span=root,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "per_stage_s": dict(self.per_stage_s),
+            "rows_correlated": self.rows_correlated,
+            "chunks_streamed": self.chunks_streamed,
+            "store_bytes_read": self.store_bytes_read,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoints_restored": self.checkpoints_restored,
+            "metrics": self.metrics.to_jsonable(),
+            "span": self.root_span.to_jsonable() if self.root_span else None,
+        }
 
 
 @dataclass
@@ -47,6 +97,9 @@ class FullAttackReport:
     n_traces_correlated: int = 0
     n_workers: int = 1
     failure: str | None = None        # why recovery failed, if it did
+    #: Metrics + span telemetry for the whole run (always collected; the
+    #: instrumentation never influences the recovered key).
+    telemetry: AttackTelemetry | None = field(default=None, repr=False)
 
     @property
     def succeeded(self) -> bool:
@@ -116,6 +169,7 @@ def full_attack(
     value_transform=None,
     store=None,
     session=None,
+    journal=None,
 ) -> FullAttackReport:
     """Run the complete Section-IV attack against a simulated victim.
 
@@ -137,64 +191,102 @@ def full_attack(
     path or :class:`~repro.attack.session.AttackSession`) checkpoints
     each finished coefficient so an interrupted run resumes
     bit-identically.
+
+    ``journal`` (a :class:`~repro.obs.journal.RunJournal`) receives the
+    structured event stream: ``run_start``, per-target ``progress`` and
+    ``span`` events, the run's span tree and metrics snapshot, then
+    ``run_end``. The returned report always carries
+    :class:`AttackTelemetry` — the instrumentation is passive, so the
+    recovered key is bit-identical with or without a journal attached.
     """
     start = time.time()
     cfg = config or AttackConfig()
     if n_workers is not None:
         cfg = dataclasses.replace(cfg, n_workers=n_workers)
-    campaign = CaptureCampaign(
-        sk=sk,
-        device=device if device is not None else DeviceModel(),
-        n_traces=n_traces,
-        mode=mode,
-        seed=seed,
-        value_transform=value_transform,
-    )
-    source = campaign
-    if store is not None:
-        from repro.leakage.store import CampaignStore
 
-        if isinstance(store, CampaignStore):
-            source = store
-        else:
-            source = campaign.materialize(store)
-    if session is not None and not hasattr(session, "bind"):
-        from repro.attack.session import AttackSession
+    def _execute() -> FullAttackReport:
+        campaign = CaptureCampaign(
+            sk=sk,
+            device=device if device is not None else DeviceModel(),
+            n_traces=n_traces,
+            mode=mode,
+            seed=seed,
+            value_transform=value_transform,
+        )
+        source = campaign
+        local_session = session
+        if store is not None:
+            from repro.leakage.store import CampaignStore
 
-        session = AttackSession(session)
-    try:
-        result = recover_full_key(
-            source, pk, config=cfg, progress=progress,
-            progress_callback=progress_callback, session=session,
-        )
-    except KeyRecoveryError as exc:  # failed recovery is an outcome, not a crash
-        partial = KeyRecoveryResult(
-            f=[], g=[], big_f=[], big_g=[], recovered_sk=None,
-            coefficients=list(exc.coefficients), records=list(exc.records),
-        )
+            if isinstance(store, CampaignStore):
+                source = store
+            else:
+                with span("materialize"):
+                    source = campaign.materialize(store)
+        if local_session is not None and not hasattr(local_session, "bind"):
+            from repro.attack.session import AttackSession
+
+            local_session = AttackSession(local_session)
+        try:
+            result = recover_full_key(
+                source, pk, config=cfg, progress=progress,
+                progress_callback=progress_callback, session=local_session,
+                journal=journal,
+            )
+        except KeyRecoveryError as exc:  # failed recovery is an outcome, not a crash
+            partial = KeyRecoveryResult(
+                f=[], g=[], big_f=[], big_g=[], recovered_sk=None,
+                coefficients=list(exc.coefficients), records=list(exc.records),
+            )
+            return FullAttackReport(
+                n=sk.params.n,
+                n_traces=n_traces,
+                key_recovery=partial,
+                key_correct=False,
+                forgery_verifies=False,
+                forged_message=message,
+                elapsed_seconds=time.time() - start,
+                n_traces_correlated=partial.n_traces_correlated,
+                n_workers=cfg.n_workers,
+                failure=str(exc),
+            )
+        key_correct = result.f == sk.f
+        with span("forge"):
+            sig = forge(result, message, seed=b"forgery")
+            ok = verify(pk, message, sig)
         return FullAttackReport(
             n=sk.params.n,
             n_traces=n_traces,
-            key_recovery=partial,
-            key_correct=False,
-            forgery_verifies=False,
+            key_recovery=result,
+            key_correct=key_correct,
+            forgery_verifies=ok,
             forged_message=message,
             elapsed_seconds=time.time() - start,
-            n_traces_correlated=partial.n_traces_correlated,
+            n_traces_correlated=result.n_traces_correlated,
             n_workers=cfg.n_workers,
-            failure=str(exc),
         )
-    key_correct = result.f == sk.f
-    sig = forge(result, message, seed=b"forgery")
-    ok = verify(pk, message, sig)
-    return FullAttackReport(
-        n=sk.params.n,
-        n_traces=n_traces,
-        key_recovery=result,
-        key_correct=key_correct,
-        forgery_verifies=ok,
-        forged_message=message,
-        elapsed_seconds=time.time() - start,
-        n_traces_correlated=result.n_traces_correlated,
-        n_workers=cfg.n_workers,
-    )
+
+    if journal is not None:
+        journal.emit(
+            "run_start", n=sk.params.n, n_traces=n_traces, mode=mode,
+            seed=seed, n_workers=cfg.n_workers,
+        )
+    # The run's telemetry is collected in an isolated scope and merged
+    # back afterwards, so the report (and journal) see exactly this
+    # attack's numbers even when several campaigns share a process.
+    with metrics.scoped_registry() as reg, spans.detached() as roots:
+        with span("attack", n=sk.params.n, n_traces=n_traces):
+            report = _execute()
+    snap = reg.snapshot()
+    metrics.current_registry().merge_snapshot(snap)
+    root = roots[0] if roots else None
+    report.telemetry = AttackTelemetry.from_run(root, snap)
+    if journal is not None:
+        if root is not None:
+            journal.emit_span(root)
+        journal.emit_metrics(snap)
+        journal.emit(
+            "run_end", succeeded=report.succeeded,
+            elapsed_seconds=report.elapsed_seconds, failure=report.failure,
+        )
+    return report

@@ -34,10 +34,11 @@ import dataclasses
 import json
 import os
 import pickle
-import tempfile
 from pathlib import Path
 
 from repro.attack.config import AttackConfig
+from repro.obs import metrics
+from repro.utils.io import atomic_write_bytes
 
 __all__ = ["AttackSession", "SessionError"]
 
@@ -79,20 +80,6 @@ def session_fingerprint(source, config: AttackConfig) -> dict:
     }
 
 
-def _atomic_write_bytes(path: Path, blob: bytes) -> None:
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
 class AttackSession:
     """Checkpoint directory for one resumable full-key campaign."""
 
@@ -117,7 +104,7 @@ class AttackSession:
         fp = session_fingerprint(source, config)
         if self._manifest is None:
             self.path.mkdir(parents=True, exist_ok=True)
-            _atomic_write_bytes(
+            atomic_write_bytes(
                 self.path / "session.json",
                 json.dumps(fp, indent=1, sort_keys=True).encode(),
             )
@@ -144,7 +131,8 @@ class AttackSession:
     def record(self, target_index: int, recovery, record) -> None:
         """Atomically checkpoint one finished per-coefficient attack."""
         blob = pickle.dumps((recovery, record), protocol=pickle.HIGHEST_PROTOCOL)
-        _atomic_write_bytes(self._coeff_path(target_index), blob)
+        atomic_write_bytes(self._coeff_path(target_index), blob)
+        metrics.inc("session.checkpoints_written", 1)
 
     def completed(self) -> dict[int, tuple]:
         """All finished targets: {target_index: (recovery, record)}.

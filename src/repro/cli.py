@@ -93,12 +93,38 @@ def cmd_capture(args) -> int:
     return 0
 
 
+def _write_metrics_json(path: str, payload: dict) -> None:
+    import json
+
+    from repro.utils.io import atomic_write_text
+
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 def cmd_attack_coefficient(args) -> int:
     from repro.attack import AttackConfig, recover_coefficient
     from repro.leakage import TraceSet
+    from repro.obs import RunJournal, collect_spans, scoped_registry, span
 
     ts = TraceSet.load(args.traceset)
-    rec = recover_coefficient(ts, AttackConfig(chunk_rows=args.chunk_rows))
+    with scoped_registry() as reg, collect_spans() as roots:
+        with span("attack_coefficient", target=ts.target_index):
+            rec = recover_coefficient(ts, AttackConfig(chunk_rows=args.chunk_rows))
+    snap = reg.snapshot()
+    root = roots[0] if roots else None
+    if args.log_json:
+        with RunJournal(args.log_json) as journal:
+            if root is not None:
+                journal.emit_span(root, target=ts.target_index)
+            journal.emit_metrics(snap)
+    if args.metrics_out:
+        _write_metrics_json(
+            args.metrics_out,
+            {
+                "per_stage_s": root.stage_seconds() if root is not None else {},
+                "metrics": snap.to_jsonable(),
+            },
+        )
     print(f"recovered coefficient pattern: {rec.pattern:#018x}")
     if ts.true_secret is not None:
         print(f"ground truth:                  {ts.true_secret:#018x}")
@@ -107,8 +133,9 @@ def cmd_attack_coefficient(args) -> int:
 
 
 def cmd_attack(args) -> int:
-    from repro.attack import AttackConfig, default_progress_printer, full_attack
+    from repro.attack import AttackConfig, full_attack
     from repro.leakage import DeviceModel
+    from repro.obs import RunJournal, console_subscriber
 
     sk = secret_key_from_json(_read(args.sk))
     pk = sk.public_key()
@@ -117,19 +144,33 @@ def cmd_attack(args) -> int:
         chunk_rows=args.chunk_rows,
         distinguisher=args.distinguisher,
     )
-    report = full_attack(
-        sk,
-        pk,
-        n_traces=args.traces,
-        device=DeviceModel(noise_sigma=args.noise),
-        config=config,
-        message=args.message.encode(),
-        mode=args.mode,
-        seed=args.seed,
-        progress_callback=default_progress_printer if args.progress else None,
-        store=args.store,
-        session=args.resume,
-    )
+    # One event stream: --log-json adds the JSONL sink, --progress adds
+    # the stderr console renderer as a subscriber of the same journal —
+    # stdout carries only the final report.
+    journal = None
+    if args.log_json or args.progress:
+        journal = RunJournal(args.log_json)
+        if args.progress:
+            journal.subscribe(console_subscriber)
+    try:
+        report = full_attack(
+            sk,
+            pk,
+            n_traces=args.traces,
+            device=DeviceModel(noise_sigma=args.noise),
+            config=config,
+            message=args.message.encode(),
+            mode=args.mode,
+            seed=args.seed,
+            store=args.store,
+            session=args.resume,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.metrics_out and report.telemetry is not None:
+        _write_metrics_json(args.metrics_out, report.telemetry.to_jsonable())
     print(report.summary())
     return 0 if report.forgery_verifies else 1
 
@@ -188,6 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every CPA through the raw-moment accumulator in batches "
         "of this many traces (default: one-shot matrix path)",
     )
+    p.add_argument(
+        "--log-json", type=str, default=None, metavar="PATH",
+        help="append the structured telemetry (span tree + metrics) to "
+        "this JSONL journal",
+    )
+    p.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write per-stage seconds and the metrics snapshot as JSON",
+    )
     p.set_defaults(fn=cmd_attack_coefficient)
 
     p = sub.add_parser("attack", help="full key extraction + forgery against a simulated victim")
@@ -237,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory for a resumable session: every finished "
         "coefficient is saved atomically, and re-running with the same "
         "directory resumes an interrupted attack bit-identically",
+    )
+    p.add_argument(
+        "--log-json", type=str, default=None, metavar="PATH",
+        help="append every run event (progress, span trees, metrics) to "
+        "this JSONL journal; progress chatter goes to stderr, so stdout "
+        "stays machine-readable",
+    )
+    p.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the run's telemetry (per-stage seconds, rows "
+        "correlated, store bytes read, checkpoint counts) as JSON",
     )
     p.set_defaults(fn=cmd_attack)
 

@@ -33,6 +33,8 @@ from repro.leakage.device import DeviceModel
 from repro.leakage.synth import mul_step_values, trace_layout
 from repro.leakage.traceset import Segment, TraceSet
 from repro.math import fft
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.utils.rng import ChaCha20Prng
 
 __all__ = ["CaptureCampaign", "capture_coefficient", "fft_to_doubles", "doubles_to_fft"]
@@ -155,18 +157,22 @@ class CaptureCampaign:
             )
         rng = np.random.default_rng((self.device.seed, self.seed, target_index))
         segments = []
-        for name, known in (
-            ("x_re", np.ascontiguousarray(self.c_fft[:, slot].real)),
-            ("x_im", np.ascontiguousarray(self.c_fft[:, slot].imag)),
-        ):
-            patterns = known.view(np.uint64)
-            keep = _is_normal(patterns)
-            patterns = patterns[keep]
-            values = mul_step_values(int(secret_pattern), patterns)
-            if self.value_transform is not None:
-                values = self.value_transform(values, rng)
-            traces = self.device.emit(values, rng)
-            segments.append(Segment(known_y=patterns, traces=traces, name=name))
+        with span("capture", target=target_index, source="live"):
+            for name, known in (
+                ("x_re", np.ascontiguousarray(self.c_fft[:, slot].real)),
+                ("x_im", np.ascontiguousarray(self.c_fft[:, slot].imag)),
+            ):
+                patterns = known.view(np.uint64)
+                keep = _is_normal(patterns)
+                patterns = patterns[keep]
+                values = mul_step_values(int(secret_pattern), patterns)
+                if self.value_transform is not None:
+                    values = self.value_transform(values, rng)
+                traces = self.device.emit(values, rng)
+                segments.append(Segment(known_y=patterns, traces=traces, name=name))
+                metrics.inc("capture.rows_kept", int(patterns.shape[0]))
+                metrics.inc("capture.rows_dropped", int(known.shape[0] - patterns.shape[0]))
+            metrics.inc("capture.tracesets", 1)
         return TraceSet(
             layout=trace_layout(self.device),
             segments=segments,

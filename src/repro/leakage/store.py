@@ -42,6 +42,9 @@ import numpy as np
 
 from repro.leakage.synth import TraceLayout
 from repro.leakage.traceset import Segment, TraceSet
+from repro.obs import metrics
+from repro.obs.spans import span
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "TraceSource",
@@ -114,15 +117,6 @@ def meta_from_jsonable(obj):
     return obj
 
 
-def _atomic_write_text(path: str, content: str) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        fh.write(content)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-
-
 # -- single-TraceSet archives (.npz) ---------------------------------------
 
 
@@ -189,6 +183,11 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
             os.path.join(d, f"{seg.name}.traces.npy"),
             np.ascontiguousarray(seg.traces, dtype=np.float32),
         )
+        metrics.inc(
+            "store.bytes_written",
+            int(seg.known_y.nbytes) + int(seg.traces.shape[0] * seg.traces.shape[1] * 4),
+        )
+    metrics.inc("store.shards_written", 1)
     shard = {
         "target_index": traceset.target_index,
         "true_secret": traceset.true_secret,
@@ -198,7 +197,7 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
     }
     # shard.json is written last: its presence marks the shard complete,
     # which is what lets an interrupted materialize() resume cleanly.
-    _atomic_write_text(os.path.join(d, _SHARD_META), json.dumps(shard, indent=1))
+    atomic_write_text(os.path.join(d, _SHARD_META), json.dumps(shard, indent=1))
 
 
 def _shard_complete(root: str, target_index: int) -> bool:
@@ -218,6 +217,11 @@ def _read_shard(root: str, target_index: int, mmap: bool = True) -> TraceSet:
         known = np.load(os.path.join(d, f"{name}.known.npy"))
         traces = np.load(os.path.join(d, f"{name}.traces.npy"), mmap_mode=mode)
         segments.append(Segment(known_y=known, traces=traces, name=name))
+        # Memory-mapped shards count bytes *exposed*; the page cache
+        # decides what is physically read, but this is the upper bound
+        # the attack walks per coefficient.
+        metrics.inc("store.bytes_read", int(known.nbytes) + int(traces.nbytes))
+    metrics.inc("store.shards_read", 1)
     return TraceSet(
         layout=TraceLayout(samples_per_step=int(shard["samples_per_step"])),
         segments=segments,
@@ -312,7 +316,8 @@ class CampaignStore:
             raise ValueError(
                 f"target {target_index} was skipped at capture time: {entry.get('reason', '')}"
             )
-        return _read_shard(self.path, target_index, mmap=mmap)
+        with span("capture", target=target_index, source="store"):
+            return _read_shard(self.path, target_index, mmap=mmap)
 
     # -- campaign parameters ----------------------------------------------
 
@@ -386,7 +391,7 @@ class CampaignStore:
             "device": _device_to_jsonable(campaign.device),
             "targets": entries,
         }
-        _atomic_write_text(os.path.join(path, _MANIFEST), json.dumps(manifest, indent=1))
+        atomic_write_text(os.path.join(path, _MANIFEST), json.dumps(manifest, indent=1))
         return cls(path)
 
     @classmethod

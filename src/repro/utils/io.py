@@ -1,0 +1,65 @@
+"""Durable file writes shared by the store, session, and bench layers.
+
+The tmp-write → fsync → ``os.replace`` dance makes the *file contents*
+atomic, but on POSIX the rename itself lives in the parent directory's
+data: until the directory is fsynced, a crash can forget that the new
+name exists at all — losing a campaign manifest or a session checkpoint
+that the file-level fsync "guaranteed". Both
+:mod:`repro.leakage.store` and :mod:`repro.attack.session` had exactly
+this bug (file fsync, no directory fsync); they now share the helpers
+here, which fsync the parent directory after every replace.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """fsync a directory so renames inside it survive a crash.
+
+    Directories cannot be fsynced on some platforms/filesystems
+    (Windows, some network mounts) — there the rename durability is the
+    filesystem's problem and the failure is ignored.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, blob: bytes) -> None:
+    """Crash-durable write: tmp file + fsync, rename, parent-dir fsync.
+
+    Readers never observe a partial file (``os.replace`` is atomic) and
+    after return the entry survives power loss (both the data and the
+    directory entry are on stable storage).
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=os.path.basename(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    fsync_dir(parent)
+
+
+def atomic_write_text(path: str | os.PathLike, content: str) -> None:
+    """:func:`atomic_write_bytes` for text (UTF-8)."""
+    atomic_write_bytes(path, content.encode("utf-8"))

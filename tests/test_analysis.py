@@ -41,6 +41,38 @@ class TestConfidence:
         with pytest.raises(ValueError):
             traces_needed_for(1.0)
 
+    def test_returned_count_satisfies_strict_test(self):
+        """Regression: the engine's significance test is strict (|r| >
+        bound), so the returned D must clear it strictly — the old
+        ceil-based closed form could land exactly on the boundary
+        atanh(|r|) == z/sqrt(D-3), which the strict test rejects."""
+        for r in (0.02, 0.041, 0.05, 0.1, 0.3, 0.5, 0.9):
+            d = traces_needed_for(r)
+            assert r > confidence_bound(d), (r, d)
+
+    def test_returned_count_is_minimal(self):
+        """D is the *smallest* trace count that is strictly significant."""
+        for r in (0.02, 0.05, 0.1, 0.3, 0.5):
+            d = traces_needed_for(r)
+            assert d >= 4
+            if d > 4:
+                assert not r > confidence_bound(d - 1), (r, d)
+
+    def test_exact_boundary_is_stepped_past(self):
+        """Pick r so that (z/atanh r)^2 + 3 is as close to integral as
+        float64 allows; the result must still clear the strict test."""
+        import math
+
+        from repro.utils.stats import normal_quantile
+
+        z = normal_quantile(0.9999)
+        for d_target in (100, 1000, 9973):
+            # r chosen to put the closed form exactly at d_target
+            r = math.tanh(z / math.sqrt(d_target - 3))
+            d = traces_needed_for(r)
+            assert r > confidence_bound(d)
+            assert d >= d_target
+
 
 class TestEvolution:
     def _planted(self, d=4000, noise=4.0):

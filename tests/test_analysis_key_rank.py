@@ -62,3 +62,27 @@ class TestEstimatedRank:
             estimate_key_rank([])
         with pytest.raises(ValueError):
             estimate_key_rank([(np.zeros(4), 9)])
+
+    def test_single_coefficient_brackets_at_small_bin_counts(self):
+        """Regression for the binning cleanup: the per-coefficient
+        histogram and the totals grid now share one convention (bin 0
+        at lo, bin n_bins-1 at hi, step (hi-lo)/(n_bins-1)), so the
+        bounds bracket the exact rank even with very few bins."""
+        scores = np.array([5.0, 3.0, 1.0, -2.0])
+        for n_bins in (16, 64, 2048):
+            for idx in range(len(scores)):
+                exact = exact_key_rank([(scores, idx)], beta=1.0)
+                est = estimate_key_rank([(scores, idx)], beta=1.0, n_bins=n_bins)
+                assert est.log2_rank_lower <= np.log2(exact) <= est.log2_rank_upper, (
+                    n_bins,
+                    idx,
+                )
+
+    def test_bounds_converge_with_bin_count(self):
+        """Finer binning can only tighten (or keep) the bracket width."""
+        case = random_case(4, 6, advantage=1.0, seed=3)
+        widths = []
+        for n_bins in (64, 512, 4096):
+            est = estimate_key_rank(case, beta=10.0, n_bins=n_bins)
+            widths.append(est.log2_rank_upper - est.log2_rank_lower)
+        assert widths[-1] <= widths[0] + 1e-9

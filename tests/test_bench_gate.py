@@ -1,0 +1,102 @@
+"""Tests for the perf regression gate (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_regression", gate)
+_spec.loader.exec_module(gate)
+
+
+def bench_payload(name="e2e", wall_s=10.0, traces_per_s=5000.0):
+    return {
+        "name": name,
+        "params": {"n": 8, "n_traces": 6000},
+        "wall_s": wall_s,
+        "per_stage_s": {"coefficients": wall_s * 0.9},
+        "traces_per_s": traces_per_s,
+        "peak_rss_mb": 300.0,
+    }
+
+
+def write_bench(directory: Path, payload: dict) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baseline", tmp_path / "current"
+
+
+class TestGate:
+    def test_injected_2x_slowdown_fails(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload(wall_s=10.0, traces_per_s=5000.0))
+        write_bench(current, bench_payload(wall_s=20.0, traces_per_s=2500.0))
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 1
+
+    def test_within_threshold_passes(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload(wall_s=10.0, traces_per_s=5000.0))
+        write_bench(current, bench_payload(wall_s=12.0, traces_per_s=4200.0))
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+    def test_improvement_passes(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload(wall_s=10.0))
+        write_bench(current, bench_payload(wall_s=4.0, traces_per_s=9000.0))
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+    def test_missing_baseline_dir_passes(self, dirs):
+        baseline, current = dirs
+        write_bench(current, bench_payload())
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+    def test_missing_baseline_file_passes(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload(name="other"))
+        write_bench(current, bench_payload(name="e2e"))
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+    def test_no_artifacts_passes(self, dirs):
+        baseline, current = dirs
+        current.mkdir()
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+    def test_torn_current_artifact_fails(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload())
+        current.mkdir()
+        (current / "BENCH_e2e.json").write_text('{"name": "e2e", "wal')
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 1
+
+    def test_schema_drift_fails(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload())
+        payload = bench_payload()
+        del payload["per_stage_s"]
+        write_bench(current, payload)
+        assert gate.main(["--baseline", str(baseline), "--current", str(current)]) == 1
+
+    def test_custom_threshold(self, dirs):
+        baseline, current = dirs
+        write_bench(baseline, bench_payload(wall_s=10.0))
+        write_bench(current, bench_payload(wall_s=11.5))
+        assert gate.main(
+            ["--baseline", str(baseline), "--current", str(current), "--threshold", "0.10"]
+        ) == 1
+
+    def test_compare_unit(self):
+        base = bench_payload(wall_s=10.0, traces_per_s=1000.0)
+        assert gate.compare(base, bench_payload(wall_s=12.6, traces_per_s=1000.0), 0.25)
+        assert gate.compare(base, bench_payload(wall_s=10.0, traces_per_s=740.0), 0.25)
+        assert not gate.compare(base, bench_payload(wall_s=12.4, traces_per_s=760.0), 0.25)

@@ -58,6 +58,65 @@ class TestCli:
         assert "recovered coefficient pattern" in out
         assert (d / "coef_x_re.trs").exists()
 
+    def test_attack_coefficient_telemetry_outputs(self, keyfiles, capsys):
+        import json
+
+        from repro.obs import read_journal
+
+        d, sk, _ = keyfiles
+        ts = str(d / "ts_obs.npz")
+        assert main([
+            "capture", "--sk", sk, "--target", "0", "--traces", "6000", "--out", ts,
+        ]) == 0
+        journal = str(d / "coeff.jsonl")
+        metrics_out = str(d / "coeff_metrics.json")
+        rc = main([
+            "attack-coefficient", "--traceset", ts,
+            "--log-json", journal, "--metrics-out", metrics_out,
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        events = read_journal(journal)
+        assert [e["event"] for e in events] == ["span", "metrics"]
+        root = events[0]["span"]
+        assert root["name"] == "attack_coefficient"
+        assert {c["name"] for c in root["children"]} == {"mantissa", "exponent", "sign"}
+        payload = json.loads(open(metrics_out).read())
+        assert payload["metrics"]["counters"]["cpa.rows_correlated"] > 0
+        assert set(payload["per_stage_s"]) == {"mantissa", "exponent", "sign"}
+
+    def test_attack_telemetry_outputs_and_stdout_stays_clean(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import read_journal
+
+        d = tmp_path
+        sk = str(d / "sk8.json")
+        assert main([
+            "keygen", "--n", "8", "--seed", "cli-obs", "--sk", sk,
+            "--pk", str(d / "pk8.json"),
+        ]) == 0
+        journal = str(d / "attack.jsonl")
+        metrics_out = str(d / "attack_metrics.json")
+        rc = main([
+            "attack", "--sk", sk, "--traces", "450", "--noise", "2.0",
+            "--seed", "61", "--progress",
+            "--log-json", journal, "--metrics-out", metrics_out,
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        # progress chatter went to stderr; stdout holds only the report
+        assert "coefficient" in captured.err
+        assert "[" not in captured.out.splitlines()[0]
+        assert "full key extraction" in captured.out
+        events = read_journal(journal)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "progress" in kinds and "span" in kinds and "metrics" in kinds
+        payload = json.loads(open(metrics_out).read())
+        assert set(payload) >= {"per_stage_s", "rows_correlated", "metrics", "span"}
+        assert payload["span"]["name"] == "attack"
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

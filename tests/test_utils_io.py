@@ -1,0 +1,105 @@
+"""Tests for the shared durable-write helpers (the durability bugfix).
+
+The store and session layers used to fsync the written file but never
+the parent directory after ``os.replace`` — a crash window in which the
+rename itself could be lost. The shared helpers fsync the directory
+too; these tests pin the observable contract (atomicity, no leftover
+temp files, directory fsync attempted) and that both former call sites
+actually use the shared path.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.utils import io as io_mod
+from repro.utils.io import atomic_write_bytes, atomic_write_text, fsync_dir
+
+
+class TestAtomicWrite:
+    def test_round_trip_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01falcon")
+        assert target.read_bytes() == b"\x00\x01falcon"
+
+    def test_round_trip_text(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        atomic_write_text(target, '{"n": 8}')
+        assert target.read_text() == '{"n": 8}'
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "f"
+        atomic_write_bytes(target, b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "f"
+        for _ in range(3):
+            atomic_write_bytes(target, b"x")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["f"]
+
+    def test_failed_write_cleans_tmp_and_preserves_old(self, tmp_path, monkeypatch):
+        target = tmp_path / "f"
+        atomic_write_bytes(target, b"intact")
+
+        def boom(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(io_mod.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_bytes(target, b"torn")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"intact"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["f"]
+
+    def test_parent_directory_is_fsynced(self, tmp_path, monkeypatch):
+        """The bugfix itself: the parent dir must be fsynced post-rename."""
+        synced = []
+        monkeypatch.setattr(io_mod, "fsync_dir", lambda p: synced.append(os.fspath(p)))
+        atomic_write_bytes(tmp_path / "f", b"x")
+        assert synced == [str(tmp_path)]
+
+    def test_fsync_dir_tolerates_unsyncable_paths(self, tmp_path):
+        fsync_dir(tmp_path)                    # a real directory works
+        fsync_dir(tmp_path / "does-not-exist")  # missing path is ignored
+
+
+class TestCallSitesUseSharedHelper:
+    def test_session_checkpoints_go_through_shared_writer(self, tmp_path, monkeypatch):
+        from repro.attack import session as session_mod
+        from repro.attack.config import AttackConfig
+        from repro.falcon import FalconParams, keygen
+        from repro.leakage import CaptureCampaign, DeviceModel
+
+        written = []
+        real = session_mod.atomic_write_bytes
+        monkeypatch.setattr(
+            session_mod, "atomic_write_bytes",
+            lambda path, blob: (written.append(Path(path).name), real(path, blob))[-1],
+        )
+        sk, _ = keygen(FalconParams.get(8), seed=b"io-tests")
+        campaign = CaptureCampaign(sk=sk, n_traces=40, device=DeviceModel(), seed=7)
+        sess = session_mod.AttackSession(tmp_path / "sess")
+        sess.bind(campaign, AttackConfig())
+        sess.record(3, "recovery", "record")
+        assert written == ["session.json", "coeff_00003.pkl"]
+        assert sess.completed()[3] == ("recovery", "record")
+
+    def test_store_writes_go_through_shared_writer(self, tmp_path, monkeypatch):
+        from repro.falcon import FalconParams, keygen
+        from repro.leakage import CaptureCampaign, DeviceModel
+        from repro.leakage import store as store_mod
+
+        written = []
+        real = store_mod.atomic_write_text
+        monkeypatch.setattr(
+            store_mod, "atomic_write_text",
+            lambda path, text: (written.append(Path(path).name), real(path, text))[-1],
+        )
+        sk, _ = keygen(FalconParams.get(8), seed=b"io-tests")
+        campaign = CaptureCampaign(sk=sk, n_traces=40, device=DeviceModel(), seed=7)
+        campaign.materialize(tmp_path / "store")
+        assert "manifest.json" in written
+        assert written.count("shard.json") == campaign.n_targets
