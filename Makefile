@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-smoke demo figures smoke verify clean
+.PHONY: install test lint sast sast-baseline typecheck bench bench-smoke demo figures smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,6 +17,25 @@ lint:
 		ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# Zero-dependency static analysis (repro.sast): secret-flow taint,
+# determinism lint, concurrency/durability lint. Exit 0 = clean against
+# the committed baseline; stale baseline entries fail too (BL001).
+sast:
+	$(PYTHON) -m repro.sast src/repro --baseline sast-baseline.json --check-baseline
+
+# Refresh the accepted-findings baseline after an intentional change.
+sast-baseline:
+	$(PYTHON) -m repro.sast src/repro --write-baseline --baseline sast-baseline.json
+
+# Mypy is not vendored; like lint, the gate is enforced in CI and runs
+# locally whenever the tool happens to be installed.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict src/repro/utils src/repro/obs src/repro/sast; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi
 
 # Full suite at the paper's trace budget. The headline benches emit
@@ -57,7 +76,7 @@ smoke:
 	assert r2.key_correct and r2.forgery_verifies, 'resumed smoke attack failed'; \
 	shutil.rmtree(work)"
 
-verify: test lint smoke
+verify: test lint sast typecheck smoke
 
 demo:
 	$(PYTHON) examples/attack_demo.py --n 8 --traces 10000

@@ -8,8 +8,11 @@ terminals and logs.
 from __future__ import annotations
 
 import csv
+import io
 from dataclasses import dataclass
 from typing import Sequence
+
+from repro.utils.io import atomic_write_text
 
 __all__ = ["Series", "ascii_plot", "write_csv"]
 
@@ -28,13 +31,14 @@ class Series:
 
 
 def write_csv(path: str, series: list[Series]) -> None:
-    """Long-format CSV: series,x,y."""
-    with open(path, "w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(["series", "x", "y"])
-        for s in series:
-            for xv, yv in zip(s.x, s.y):
-                writer.writerow([s.name, xv, yv])
+    """Long-format CSV: series,x,y (written atomically)."""
+    buf = io.StringIO(newline="")
+    writer = csv.writer(buf)
+    writer.writerow(["series", "x", "y"])
+    for s in series:
+        for xv, yv in zip(s.x, s.y):
+            writer.writerow([s.name, xv, yv])
+    atomic_write_text(path, buf.getvalue())
 
 
 def ascii_plot(

@@ -394,7 +394,7 @@ def profile_distinguisher(
         return _run_profiling(dist, source, config, labels)
 
 
-def _run_profiling(dist, source, config, labels):
+def _run_profiling(dist, source, config, labels):  # sast: declassify(reason=profiling consumes captured leakage labeled with known intermediates; attacker-side by design)
     from repro.falcon.keygen import keygen
     from repro.falcon.params import FalconParams
     from repro.fpr.trace import MUL_STEP_LABELS

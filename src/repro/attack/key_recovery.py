@@ -175,7 +175,7 @@ def _doubles_matrix(n: int) -> np.ndarray:
     return mat
 
 
-def repair_exponents(
+def repair_exponents(  # sast: declassify(reason=attacker-side exponent repair over recovered candidate patterns; not victim code)
     candidates: list[list[int]], max_iterations: int = 4096, tol: float = 0.3
 ) -> list[int]:
     """Pick one pattern per double so the inverse FFT is (near) integral.
@@ -265,7 +265,7 @@ def repair_exponents(
             f = mat @ v
         return choice, cost
 
-    def is_integral(choice: list[int]) -> bool:
+    def is_integral(choice: list[int]) -> bool:  # sast: declassify(reason=attacker-side lattice check on recovered candidates; runs after extraction)
         v = np.array([cand_vals[j][choice[j]] for j in range(n)])
         f = mat @ v
         return float(np.max(np.abs(f - np.round(f)))) < tol
@@ -307,7 +307,7 @@ def repair_exponents(
     return [candidates[j][choice[j]] for j in range(n)]
 
 
-def recover_f(patterns: list[int]) -> list[int]:
+def recover_f(patterns: list[int]) -> list[int]:  # sast: declassify(reason=attacker-side decode of extracted bit patterns into key candidates)
     """Invert the FFT on recovered fpr patterns and round to integers.
 
     ``patterns`` holds the n recovered doubles in capture order
@@ -333,7 +333,7 @@ def recover_f(patterns: list[int]) -> list[int]:
     return f_int
 
 
-def recover_g_from_public(f: list[int], pk: PublicKey) -> list[int]:
+def recover_g_from_public(f: list[int], pk: PublicKey) -> list[int]:  # sast: declassify(reason=attacker-side arithmetic g = f*h mod q on recovered values)
     """g = h * f mod q with centered coefficients (h = g f^-1 mod q)."""
     q = pk.params.q
     g_mod = ntt.mul_ntt([c % q for c in f], pk.h, q)

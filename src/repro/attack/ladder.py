@@ -93,7 +93,7 @@ def _score_candidates(
     return total
 
 
-def ladder_limb(
+def ladder_limb(  # sast: declassify(reason=extend-and-prune ladder ranks attacker hypotheses; timing of this code is not part of the threat model)
     traceset: TraceSet,
     steps: tuple[tuple[str, str], ...],
     total_bits: int,

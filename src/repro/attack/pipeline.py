@@ -199,7 +199,7 @@ def full_attack(
     :class:`AttackTelemetry` — the instrumentation is passive, so the
     recovered key is bit-identical with or without a journal attached.
     """
-    start = time.time()
+    start = time.perf_counter()
     cfg = config or AttackConfig()
     if n_workers is not None:
         cfg = dataclasses.replace(cfg, n_workers=n_workers)
@@ -245,7 +245,7 @@ def full_attack(
                 key_correct=False,
                 forgery_verifies=False,
                 forged_message=message,
-                elapsed_seconds=time.time() - start,
+                elapsed_seconds=time.perf_counter() - start,
                 n_traces_correlated=partial.n_traces_correlated,
                 n_workers=cfg.n_workers,
                 failure=str(exc),
@@ -261,7 +261,7 @@ def full_attack(
             key_correct=key_correct,
             forgery_verifies=ok,
             forged_message=message,
-            elapsed_seconds=time.time() - start,
+            elapsed_seconds=time.perf_counter() - start,
             n_traces_correlated=result.n_traces_correlated,
             n_workers=cfg.n_workers,
         )

@@ -112,7 +112,7 @@ def recover_sign(
     return SignRecovery(bit=int(np.argmax(total)), results=results)
 
 
-def recover_exponent(
+def recover_exponent(  # sast: declassify(reason=attacker-side exponent recovery from observed leakage)
     traceset: TraceSet,
     use_both_segments: bool = True,
     guess_range: tuple[int, int] = (1, 2047),

@@ -71,8 +71,13 @@ def fpr_to_float(x: int) -> float:
     return struct.unpack("<d", struct.pack("<Q", x & 0xFFFFFFFFFFFFFFFF))[0]
 
 
-def decompose(x: int) -> tuple[int, int, int]:
-    """Raw (sign, biased exponent, mantissa fraction) fields."""
+def decompose(x: int) -> tuple[int, int, int]:  # sast: source
+    """Raw (sign, biased exponent, mantissa fraction) fields.
+
+    Declared taint source: these fields are the mantissa/exponent limbs
+    whose Hamming weight the paper's DEMA measures (see
+    ``docs/static-analysis.md``).
+    """
     return (x >> 63) & 1, (x >> MANT_BITS) & _EXP_MASK, x & _MANT_MASK
 
 
@@ -91,7 +96,7 @@ def is_zero(x: int) -> bool:
     return (x & ~SIGN_BIT) == 0
 
 
-def _unpack_normal(x: int) -> tuple[int, int, int]:
+def _unpack_normal(x: int) -> tuple[int, int, int]:  # sast: source
     """(sign, significand in [2^52, 2^53), exponent e with value = sig*2^e).
 
     Caller must ensure x is a nonzero normal (FALCON never holds

@@ -99,7 +99,7 @@ class CaptureCampaign:
 
     # -- known-plaintext corpus -------------------------------------------
 
-    def _build_corpus(self) -> None:
+    def _build_corpus(self) -> None:  # sast: declassify(reason=capture layer models the victim and consumes sk by design (leakage model boundary))
         params = self.sk.params
         n = params.n
         # One domain-separated stream per (seed, mode, n) triple for BOTH

@@ -62,7 +62,7 @@ class FpcLayout:
         return cls(labels=tuple(labels))
 
 
-def _add_step_values(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+def _add_step_values(x: np.ndarray, y: np.ndarray) -> np.ndarray:  # sast: declassify(reason=vectorized leakage model of fpr addition; mirrors the victim's data flow on purpose)
     """Vectorized intermediates of fpr addition (see fpr_add_trace)."""
     x = np.asarray(x, dtype=np.uint64)
     y = np.asarray(y, dtype=np.uint64)

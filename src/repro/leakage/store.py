@@ -44,7 +44,7 @@ from repro.leakage.synth import TraceLayout
 from repro.leakage.traceset import Segment, TraceSet
 from repro.obs import metrics
 from repro.obs.spans import span
-from repro.utils.io import atomic_write_text
+from repro.utils.io import atomic_output_path, atomic_write_text
 
 __all__ = [
     "TraceSource",
@@ -136,8 +136,15 @@ def write_traceset(path: str, traceset: TraceSet) -> None:
         dtype=np.uint64,
     )
     arrays["has_secret"] = np.array([traceset.true_secret is not None])
-    arrays["meta_json"] = np.array(json.dumps(meta_to_jsonable(traceset.meta)))
-    np.savez_compressed(path, **arrays)
+    arrays["meta_json"] = np.array(
+        json.dumps(meta_to_jsonable(traceset.meta), sort_keys=True)
+    )
+    # np.savez appends ".npz" to bare paths, so hand it an open file on
+    # the temp name instead; the rename keeps readers from ever seeing a
+    # partially written archive.
+    with atomic_output_path(path) as tmp:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
 
 
 def read_traceset(path: str) -> TraceSet:
@@ -178,11 +185,12 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
     d = _shard_dir(root, traceset.target_index)
     os.makedirs(d, exist_ok=True)
     for seg in traceset.segments:
-        np.save(os.path.join(d, f"{seg.name}.known.npy"), seg.known_y)
-        np.save(
-            os.path.join(d, f"{seg.name}.traces.npy"),
-            np.ascontiguousarray(seg.traces, dtype=np.float32),
-        )
+        with atomic_output_path(os.path.join(d, f"{seg.name}.known.npy")) as tmp:
+            with open(tmp, "wb") as fh:
+                np.save(fh, seg.known_y)
+        with atomic_output_path(os.path.join(d, f"{seg.name}.traces.npy")) as tmp:
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(seg.traces, dtype=np.float32))
         metrics.inc(
             "store.bytes_written",
             int(seg.known_y.nbytes) + int(seg.traces.shape[0] * seg.traces.shape[1] * 4),
@@ -197,7 +205,9 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
     }
     # shard.json is written last: its presence marks the shard complete,
     # which is what lets an interrupted materialize() resume cleanly.
-    atomic_write_text(os.path.join(d, _SHARD_META), json.dumps(shard, indent=1))
+    atomic_write_text(
+        os.path.join(d, _SHARD_META), json.dumps(shard, indent=1, sort_keys=True)
+    )
 
 
 def _shard_complete(root: str, target_index: int) -> bool:
@@ -391,7 +401,10 @@ class CampaignStore:
             "device": _device_to_jsonable(campaign.device),
             "targets": entries,
         }
-        atomic_write_text(os.path.join(path, _MANIFEST), json.dumps(manifest, indent=1))
+        atomic_write_text(
+            os.path.join(path, _MANIFEST),
+            json.dumps(manifest, indent=1, sort_keys=True),
+        )
         return cls(path)
 
     @classmethod

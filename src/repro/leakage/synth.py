@@ -25,7 +25,7 @@ _IMPLICIT = _U(1 << 52)
 _EXP_MASK = _U(0x7FF)
 
 
-def mul_step_values(x: np.ndarray | int, y: np.ndarray) -> np.ndarray:
+def mul_step_values(x: np.ndarray | int, y: np.ndarray) -> np.ndarray:  # sast: declassify(reason=leakage model of fpr multiply intermediates; consumes the secret operand by design)
     """(D, S) uint64 matrix of intermediates for x*y, one row per pair.
 
     ``x`` (secret) and ``y`` (known) are fpr bit patterns; ``x`` may be a

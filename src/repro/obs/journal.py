@@ -34,7 +34,7 @@ import dataclasses
 import json
 import sys
 import time
-from typing import Callable, TextIO
+from typing import Any, Callable, TextIO
 
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.spans import Span
@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 
-def _json_default(obj):
+def _json_default(obj: Any) -> Any:
     """Last-resort encoder: numpy scalars/arrays, dataclasses, bytes."""
     if hasattr(obj, "item"):          # numpy scalar
         return obj.item()
@@ -61,9 +61,9 @@ def _json_default(obj):
     return str(obj)
 
 
-def progress_event_to_payload(event) -> dict:
+def progress_event_to_payload(event: Any) -> dict[str, Any]:
     """Flatten a ProgressEvent (duck-typed) into journal payload fields."""
-    payload: dict = {
+    payload: dict[str, Any] = {
         "stage": event.stage,
         "completed": int(event.completed),
         "total": int(event.total),
@@ -85,7 +85,7 @@ def progress_event_to_payload(event) -> dict:
     return payload
 
 
-def format_progress(payload: dict) -> str | None:
+def format_progress(payload: dict[str, Any]) -> str | None:
     """Human one-liner for a ``progress`` payload (None = nothing to say)."""
     record = payload.get("record")
     if record is not None:
@@ -106,7 +106,7 @@ def format_progress(payload: dict) -> str | None:
     return None
 
 
-def console_subscriber(record: dict, stream: TextIO | None = None) -> None:
+def console_subscriber(record: dict[str, Any], stream: TextIO | None = None) -> None:
     """Journal subscriber rendering ``progress`` events to stderr.
 
     Console progress and the JSONL sink thus come from one event
@@ -132,19 +132,19 @@ class RunJournal:
     def __init__(
         self,
         path: str | None = None,
-        subscribers: tuple[Callable[[dict], None], ...] = (),
-    ):
+        subscribers: tuple[Callable[[dict[str, Any]], None], ...] = (),
+    ) -> None:
         self.path = path
         self._fh = open(path, "a") if path else None
-        self._subscribers: list[Callable[[dict], None]] = list(subscribers)
+        self._subscribers: list[Callable[[dict[str, Any]], None]] = list(subscribers)
         self._seq = 0
 
-    def subscribe(self, fn: Callable[[dict], None]) -> None:
+    def subscribe(self, fn: Callable[[dict[str, Any]], None]) -> None:
         self._subscribers.append(fn)
 
-    def emit(self, event: str, **payload) -> dict:
+    def emit(self, event: str, **payload: Any) -> dict[str, Any]:
         """Record one event; returns the full record dict."""
-        record = {"ts": round(time.time(), 6), "seq": self._seq, "event": event}
+        record: dict[str, Any] = {"ts": round(time.time(), 6), "seq": self._seq, "event": event}
         record.update(payload)
         self._seq += 1
         if self._fh is not None:
@@ -156,14 +156,14 @@ class RunJournal:
 
     # -- typed emitters ----------------------------------------------------
 
-    def emit_progress(self, event) -> dict:
+    def emit_progress(self, event: Any) -> dict[str, Any]:
         """One ProgressEvent from the attack engine (duck-typed)."""
         return self.emit("progress", **progress_event_to_payload(event))
 
-    def emit_span(self, s: Span, **extra) -> dict:
+    def emit_span(self, s: Span, **extra: Any) -> dict[str, Any]:
         return self.emit("span", span=s.to_jsonable(), **extra)
 
-    def emit_metrics(self, snapshot: MetricsSnapshot, scope: str = "run") -> dict:
+    def emit_metrics(self, snapshot: MetricsSnapshot, scope: str = "run") -> dict[str, Any]:
         return self.emit("metrics", scope=scope, metrics=snapshot.to_jsonable())
 
     # -- lifecycle ---------------------------------------------------------
@@ -176,20 +176,20 @@ class RunJournal:
     def __enter__(self) -> "RunJournal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
         return f"RunJournal(path={self.path!r}, events={self._seq})"
 
 
-def read_journal(path: str) -> list[dict]:
+def read_journal(path: str) -> list[dict[str, Any]]:
     """Parse a JSONL journal back into event dicts (in emission order).
 
     A torn final line (crash mid-write) is tolerated and dropped — every
     complete line is a complete JSON object by construction.
     """
-    events: list[dict] = []
+    events: list[dict[str, Any]] = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 __all__ = [
     "HistogramSummary",
@@ -65,7 +66,7 @@ class HistogramSummary:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_jsonable(self) -> dict:
+    def to_jsonable(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
@@ -74,7 +75,7 @@ class HistogramSummary:
         }
 
     @classmethod
-    def from_jsonable(cls, obj: dict) -> "HistogramSummary":
+    def from_jsonable(cls, obj: dict[str, Any]) -> "HistogramSummary":
         return cls(
             count=int(obj["count"]),
             total=float(obj["total"]),
@@ -111,7 +112,7 @@ class MetricsSnapshot:
                 self.histograms[name] = hist.copy()
         return self
 
-    def to_jsonable(self) -> dict:
+    def to_jsonable(self) -> dict[str, Any]:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
@@ -119,7 +120,7 @@ class MetricsSnapshot:
         }
 
     @classmethod
-    def from_jsonable(cls, obj: dict) -> "MetricsSnapshot":
+    def from_jsonable(cls, obj: dict[str, Any]) -> "MetricsSnapshot":
         return cls(
             counters={k: v for k, v in obj.get("counters", {}).items()},
             gauges={k: v for k, v in obj.get("gauges", {}).items()},
@@ -195,7 +196,7 @@ def current_registry() -> MetricsRegistry:
 
 
 @contextmanager
-def scoped_registry(registry: MetricsRegistry | None = None):
+def scoped_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:  # sast: declassify(rules=CC001, reason=registry stack is intentionally per-process; workers return snapshots the parent merges)
     """Collect every metric written inside the block into a fresh registry.
 
     Writes go *only* to the scoped registry — the caller is responsible

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 from repro.obs import metrics
 
@@ -35,7 +36,7 @@ class Span:
     name: str
     started_at: float = 0.0          # wall-clock (time.time) for journal ordering
     duration_s: float = 0.0
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
 
     def stage_seconds(self) -> dict[str, float]:
@@ -45,7 +46,7 @@ class Span:
             out[child.name] = out.get(child.name, 0.0) + child.duration_s
         return out
 
-    def walk(self):
+    def walk(self) -> Iterator["Span"]:
         """Depth-first iteration over this span and every descendant."""
         yield self
         for child in self.children:
@@ -58,8 +59,8 @@ class Span:
                 return s
         return None
 
-    def to_jsonable(self) -> dict:
-        out: dict = {
+    def to_jsonable(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "name": self.name,
             "started_at": self.started_at,
             "duration_s": self.duration_s,
@@ -71,7 +72,7 @@ class Span:
         return out
 
     @classmethod
-    def from_jsonable(cls, obj: dict) -> "Span":
+    def from_jsonable(cls, obj: dict[str, Any]) -> "Span":
         return cls(
             name=str(obj["name"]),
             started_at=float(obj.get("started_at", 0.0)),
@@ -99,7 +100,7 @@ def _reset_state() -> None:
 
 
 @contextmanager
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> Iterator[Span]:  # sast: declassify(rules=CC001, reason=span stack is intentionally per-process context; worker span trees are serialized back and merged)
     """Time a region; nests under any currently open span.
 
     The yielded :class:`Span` can be annotated further (``s.attrs``)
@@ -126,7 +127,7 @@ def span(name: str, **attrs):
 
 
 @contextmanager
-def collect_spans():
+def collect_spans() -> Iterator[list[Span]]:
     """Yield a list that accumulates every root span closed in the block."""
     roots: list[Span] = []
     _STATE.collectors.append(roots)
@@ -137,7 +138,7 @@ def collect_spans():
 
 
 @contextmanager
-def detached():
+def detached() -> Iterator[list[Span]]:
     """Run the block with an empty span context, collecting its roots.
 
     Inside the block no span has an implicit parent — exactly the view a

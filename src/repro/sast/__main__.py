@@ -1,0 +1,6 @@
+"""``python -m repro.sast`` == the ``repro-sast`` console script."""
+
+from repro.sast.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""The ``# sast:`` annotation grammar.
+
+Three kinds of inline annotation steer the analyzer (full grammar in
+``docs/static-analysis.md``):
+
+``# sast: source``
+    On an assignment line: the assigned names become taint sources.
+    On a ``def`` line: the function's return value is a taint source.
+
+``# sast: sink``
+    Marks a line that must never receive tainted data; if taint reaches
+    any expression on the line, SF004 fires.
+
+``# sast: declassify(reason=...)``
+    Suppresses findings on the annotated line — or, when placed on a
+    ``def`` line, in the whole function, which then also returns
+    untainted data (a declassification boundary). A ``reason`` is
+    mandatory: declassification without a written justification is
+    itself a finding (AN001). An optional rule filter restricts the
+    suppression: ``# sast: declassify(rules=SF001|DT002, reason=...)``.
+
+Annotations are extracted with :mod:`tokenize` so they are recognized
+only in real comments, never inside string literals.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.sast.findings import RULES, Finding
+
+__all__ = ["Annotation", "extract_annotations"]
+
+_PREFIX = re.compile(r"#\s*sast:")
+_HEAD = re.compile(r"#\s*sast:\s*(\w+)\s*(?:\((.*)\)\s*)?$")
+_RULES_ARG = re.compile(r"^\s*rules\s*=\s*([A-Z0-9|\s]+?)\s*,\s*")
+_REASON_ARG = re.compile(r"^\s*reason\s*=\s*(.*\S)\s*$")
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One parsed ``# sast:`` comment."""
+
+    kind: str                      # "source" | "sink" | "declassify"
+    line: int                      # 1-based line the comment sits on
+    reason: str = ""
+    rules: tuple[str, ...] = ()    # empty = applies to every rule
+
+    def suppresses(self, rule: str) -> bool:
+        return self.kind == "declassify" and (not self.rules or rule in self.rules)
+
+
+def extract_annotations(
+    source: str, path: str
+) -> tuple[dict[int, Annotation], list[Finding]]:
+    """Parse all annotations in a module's source.
+
+    Returns ``(line -> annotation, errors)``; malformed annotations are
+    reported as AN001 findings rather than silently ignored (a typo'd
+    declassify must not quietly re-enable a finding the author believed
+    suppressed).
+    """
+    annotations: dict[int, Annotation] = {}
+    errors: list[Finding] = []
+
+    def err(line: int, col: int, message: str) -> None:
+        errors.append(
+            Finding(rule="AN001", path=path, line=line, col=col, message=message)
+        )
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):
+        return annotations, errors
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if _PREFIX.match(tok.string.strip()) is None:
+            continue      # mentions "sast:" mid-comment — not an annotation
+        line, col = tok.start
+        m = _HEAD.match(tok.string.strip())
+        if m is None:
+            err(line, col, f"unparseable sast annotation: {tok.string.strip()!r}")
+            continue
+        kind, args = m.group(1), m.group(2)
+        if kind not in ("source", "sink", "declassify"):
+            err(line, col, f"unknown sast annotation kind {kind!r}")
+            continue
+        rules: tuple[str, ...] = ()
+        reason = ""
+        if kind == "declassify":
+            rest = args or ""
+            rm = _RULES_ARG.match(rest)
+            if rm is not None:
+                rules = tuple(r.strip() for r in rm.group(1).split("|") if r.strip())
+                rest = rest[rm.end():]
+                unknown = [r for r in rules if r not in RULES]
+                if unknown:
+                    err(line, col, f"declassify names unknown rule(s): {', '.join(unknown)}")
+                    continue
+            reason_m = _REASON_ARG.match(rest)
+            if reason_m is None or not reason_m.group(1):
+                err(line, col, "declassify requires a reason: "
+                    "# sast: declassify(reason=why this flow is acceptable)")
+                continue
+            reason = reason_m.group(1)
+        elif args:
+            err(line, col, f"sast {kind} annotation takes no arguments")
+            continue
+        annotations[line] = Annotation(kind=kind, line=line, reason=reason, rules=rules)
+    return annotations, errors

@@ -1,0 +1,150 @@
+"""Baseline file: accepted findings that keep the gate green.
+
+The committed baseline (``sast-baseline.json``) records findings that
+are *known and intentional* — chiefly the secret-dependent arithmetic
+inside ``repro.fpr.emu`` and ``repro.falcon``, which is the faithful
+model of the leaky implementation the paper attacks. New findings fail
+the gate; baselined ones are suppressed; baseline entries that no
+longer match anything are **stale** and themselves become findings
+(BL001) under ``--check-baseline``, so the file can only shrink in
+step with the code.
+
+Entries are matched by a fingerprint that survives line drift:
+``(rule, root-relative path, enclosing function, normalized source
+line, occurrence index)`` — moving a function around the file keeps
+its entries valid, while editing the flagged line invalidates them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.sast.findings import Finding
+
+__all__ = [
+    "fingerprint",
+    "assign_occurrences",
+    "load_baseline",
+    "render_baseline",
+    "apply_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _relpath(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:
+        return path.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def fingerprint(finding: Finding, root: str) -> tuple[str, str, str, str, int]:
+    return (
+        finding.rule,
+        _relpath(finding.path, root),
+        finding.function,
+        " ".join(finding.source_line.split()),
+        finding.occurrence,
+    )
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that share a fingerprint prefix, in line order."""
+    from dataclasses import replace
+
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    counts: dict[tuple[str, str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in ordered:
+        key = (f.rule, f.path, f.function, " ".join(f.source_line.split()))
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        out.append(replace(f, occurrence=n))
+    return out
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str, str, int]]:
+    """Read a baseline file; raises ValueError on a malformed one."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported baseline format in {path!r}")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path!r} has no 'entries' list")
+    out: set[tuple[str, str, str, str, int]] = set()
+    for e in entries:
+        if not isinstance(e, dict):
+            raise ValueError(f"baseline {path!r} has a non-object entry")
+        out.add(
+            (
+                str(e.get("rule", "")),
+                str(e.get("path", "")),
+                str(e.get("function", "")),
+                str(e.get("line_text", "")),
+                int(e.get("occurrence", 0)),
+            )
+        )
+    return out
+
+
+def render_baseline(findings: list[Finding], root: str) -> str:
+    """Serialize current findings as a fresh baseline document."""
+    entries: list[dict[str, Any]] = []
+    for f in assign_occurrences(findings):
+        rule, rel, function, line_text, occurrence = fingerprint(f, root)
+        entry: dict[str, Any] = {
+            "rule": rule,
+            "path": rel,
+            "function": function,
+            "line_text": line_text,
+        }
+        if occurrence:
+            entry["occurrence"] = occurrence
+        entries.append(entry)
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["function"],
+                                e["line_text"], e.get("occurrence", 0)))
+    doc = {"version": _FORMAT_VERSION, "entries": entries}
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def apply_baseline(
+    findings: list[Finding],
+    baseline: set[tuple[str, str, str, str, int]],
+    root: str,
+    baseline_path: str = "",
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, stale-baseline-entry findings).
+
+    Returns the findings not covered by the baseline, plus one BL001
+    finding per baseline entry that matched nothing (stale).
+    """
+    matched: set[tuple[str, str, str, str, int]] = set()
+    fresh: list[Finding] = []
+    for f in assign_occurrences(findings):
+        fp = fingerprint(f, root)
+        if fp in baseline:
+            matched.add(fp)
+        else:
+            fresh.append(f)
+    stale: list[Finding] = []
+    for fp in sorted(baseline - matched):
+        rule, rel, function, line_text, occurrence = fp
+        where = f" in {function}()" if function else ""
+        stale.append(
+            Finding(
+                rule="BL001",
+                path=baseline_path or "sast-baseline.json",
+                line=0,
+                col=0,
+                message=(
+                    f"stale baseline entry: {rule} at {rel}{where} "
+                    f"({line_text!r}) matches no current finding — remove it"
+                ),
+            )
+        )
+    return fresh, stale

@@ -1,0 +1,191 @@
+"""``repro-sast`` command-line entry point.
+
+Exit codes (stable contract, see ``docs/static-analysis.md``):
+
+* ``0`` — analysis ran and produced no unsuppressed findings;
+* ``1`` — at least one finding (new finding, or stale baseline entry
+  under ``--check-baseline``);
+* ``2`` — usage or internal error (bad flags, unreadable root,
+  malformed baseline).
+
+Typical invocations::
+
+    repro-sast src/repro --baseline sast-baseline.json --check-baseline
+    repro-sast src/repro --write-baseline       # refresh the baseline
+    repro-sast path/to/pkg --format json        # machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.sast.baseline import apply_baseline, load_baseline, render_baseline
+from repro.sast.concurrency import run_concurrency
+from repro.sast.determinism import run_determinism
+from repro.sast.findings import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    RULES,
+    Finding,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.sast.project import Project, load_project
+from repro.sast.taint import run_taint
+
+__all__ = ["main", "collect_findings"]
+
+_DEFAULT_BASELINE = "sast-baseline.json"
+
+
+def collect_findings(project: Project) -> list[Finding]:
+    """Run every pass over a loaded project (annotation errors included)."""
+    findings: list[Finding] = []
+    for qualname in sorted(project.modules):
+        findings.extend(project.modules[qualname].annotation_errors)
+    findings.extend(run_taint(project))
+    findings.extend(run_determinism(project))
+    findings.extend(run_concurrency(project))
+    return sort_findings(findings)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sast",
+        description="Secret-flow taint + determinism + concurrency lint "
+        "for the FALCON reproduction (zero dependencies, pure AST).",
+    )
+    parser.add_argument(
+        "root", nargs="?", default="src/repro",
+        help="package directory to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--package", default=None,
+        help="import name of the root (default: the directory's basename)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file of accepted findings (default: ./{_DEFAULT_BASELINE} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="also fail (exit 1) on stale baseline entries (BL001)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="restrict the report to a comma-separated rule subset",
+    )
+    parser.add_argument(
+        "--no-chains", action="store_true",
+        help="omit taint chains from the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `repro-sast ... | head`); exit
+        # quietly instead of tracebacking, without claiming a clean run
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_ERROR
+
+
+def _run(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return EXIT_ERROR if exc.code not in (0, None) else EXIT_CLEAN
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return EXIT_CLEAN
+
+    try:
+        project = load_project(args.root, package=args.package)
+    except (FileNotFoundError, NotADirectoryError, OSError) as exc:
+        print(f"repro-sast: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    findings = collect_findings(project)
+
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - set(RULES)
+        if unknown:
+            print(
+                f"repro-sast: error: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        findings = [f for f in findings if f.rule in wanted]
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(_DEFAULT_BASELINE):
+        baseline_path = _DEFAULT_BASELINE
+
+    if args.write_baseline:
+        path = baseline_path or _DEFAULT_BASELINE
+        from repro.utils.io import atomic_write_text
+
+        atomic_write_text(path, render_baseline(findings, project.root))
+        print(f"repro-sast: wrote {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to {path}")
+        return EXIT_CLEAN
+
+    stale: list[Finding] = []
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(
+                f"repro-sast: error: baseline not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        except (ValueError, OSError) as exc:
+            print(f"repro-sast: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        findings, stale = apply_baseline(
+            findings, baseline, project.root, baseline_path
+        )
+
+    report = findings + (stale if args.check_baseline else [])
+    if args.format == "json":
+        print(render_json(report))
+    elif report:
+        print(render_text(report, verbose_chains=not args.no_chains))
+    if report:
+        n_new = len(findings)
+        n_stale = len(stale) if args.check_baseline else 0
+        summary = f"repro-sast: {n_new} finding{'s' if n_new != 1 else ''}"
+        if n_stale:
+            summary += f", {n_stale} stale baseline entr{'y' if n_stale == 1 else 'ies'}"
+        print(summary, file=sys.stderr)
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

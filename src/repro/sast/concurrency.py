@@ -1,0 +1,269 @@
+"""Concurrency / durability pass (rules CC001-CC002).
+
+* **CC001** — mutation of module-level state in code reachable from a
+  ``ProcessPoolExecutor`` worker. Workers are separate processes: a
+  mutated module global is silently per-process, so aggregation that
+  relies on it loses data. The pass finds every ``executor.submit(fn,
+  ...)`` / ``executor.map(fn, ...)`` whose callable resolves to a
+  project function, walks the call graph from those roots, and flags
+  ``global`` rebinding, stores through module globals, and mutating
+  method calls (``.append`` etc.) on module globals inside the
+  reachable set.
+
+* **CC002** — file writes that bypass the crash-durable
+  :func:`repro.utils.io.atomic_write_bytes` /
+  :func:`~repro.utils.io.atomic_write_text` /
+  :func:`~repro.utils.io.atomic_output_path` helpers: raw
+  ``open(path, "w"/"wb"/"x")``, ``Path.write_text``/``write_bytes``,
+  and direct ``np.save``/``np.savez*`` to a final path. Append-mode
+  opens are allowed (the journal's append-fsync protocol is itself
+  durable). ``repro/utils/io.py`` is exempt — it is the one place
+  allowed to touch the filesystem directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.sast.findings import Finding
+from repro.sast.project import FunctionInfo, ModuleInfo, Project, unparse_short
+
+__all__ = ["run_concurrency"]
+
+_MUTATORS = {
+    "append", "add", "update", "extend", "insert", "pop", "popitem",
+    "clear", "setdefault", "remove", "discard", "sort", "reverse",
+}
+_NP_SAVERS = {"numpy.save", "numpy.savez", "numpy.savez_compressed", "numpy.savetxt"}
+_IO_EXEMPT_SUFFIX = ".utils.io"
+
+
+def _head_name(node: ast.AST) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _call_graph(project: Project) -> dict[str, set[str]]:
+    """qualname -> resolved project callees (module-level resolution)."""
+    edges: dict[str, set[str]] = {}
+    for info in project.iter_functions():
+        module = project.modules[info.module]
+        callees: set[str] = set()
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Call):
+                resolved = project.resolve(module, sub.func)
+                if resolved is not None and resolved in project.functions:
+                    callees.add(resolved)
+            elif isinstance(sub, (ast.Name, ast.Attribute)):
+                # passing a function as a value (e.g. to executor.submit)
+                resolved = project.resolve(module, sub)
+                if resolved is not None and resolved in project.functions:
+                    callees.add(resolved)
+        edges[info.qualname] = callees
+    return edges
+
+
+def _worker_roots(project: Project) -> set[str]:
+    """Functions handed to ``.submit`` / ``.map`` on an executor."""
+    roots: set[str] = set()
+    for module in project.modules.values():
+        uses_pool = any(
+            isinstance(n, (ast.Name, ast.Attribute))
+            and (project.resolve(module, n) or "").endswith("ProcessPoolExecutor")
+            for n in ast.walk(module.tree)
+        )
+        if not uses_pool:
+            continue
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and node.args
+            ):
+                continue
+            target = project.resolve(module, node.args[0])
+            if target is not None and target in project.functions:
+                roots.add(target)
+    return roots
+
+
+def _reachable(edges: dict[str, set[str]], roots: set[str]) -> set[str]:
+    seen = set(roots)
+    frontier = list(roots)
+    while frontier:
+        cur = frontier.pop()
+        for nxt in edges.get(cur, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+class _Pass:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: list[Finding] = []
+        self.edges = _call_graph(project)
+        self.worker_fns = _reachable(self.edges, _worker_roots(project))
+
+    def _emit(
+        self, rule: str, module: ModuleInfo, node: ast.AST,
+        message: str, info: FunctionInfo | None,
+    ) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self.project.suppressed(module, lineno, rule, info):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=module.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                function=info.qualname if info else "",
+                source_line=module.source_line(lineno),
+            )
+        )
+
+    # -- CC001 -------------------------------------------------------------
+
+    def check_worker_state(self) -> None:
+        for qualname in sorted(self.worker_fns):
+            info = self.project.functions[qualname]
+            module = self.project.modules[info.module]
+            globals_declared: set[str] = set()
+            for sub in ast.walk(info.node):
+                if isinstance(sub, ast.Global):
+                    globals_declared.update(sub.names)
+            for sub in ast.walk(info.node):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for tgt in targets:
+                        if isinstance(tgt, ast.Name) and tgt.id in globals_declared:
+                            self._emit(
+                                "CC001", module, sub,
+                                f"worker-reachable {qualname}() rebinds module "
+                                f"global {tgt.id!r}; the write is per-process and "
+                                "lost at join — return state and merge instead",
+                                info,
+                            )
+                        elif isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                            head = _head_name(tgt)
+                            if head in module.module_globals:
+                                self._emit(
+                                    "CC001", module, sub,
+                                    f"worker-reachable {qualname}() stores into "
+                                    f"module global {head!r} "
+                                    f"({unparse_short(tgt)}); per-process, lost "
+                                    "at join — return a snapshot and merge",
+                                    info,
+                                )
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATORS
+                ):
+                    head = _head_name(sub.func.value)
+                    if head in module.module_globals:
+                        self._emit(
+                            "CC001", module, sub,
+                            f"worker-reachable {qualname}() mutates module "
+                            f"global {head!r} via .{sub.func.attr}(); the "
+                            "mutation is per-process and invisible to the "
+                            "parent — return a snapshot and merge",
+                            info,
+                        )
+
+    # -- CC002 -------------------------------------------------------------
+
+    def _open_mode(self, call: ast.Call) -> str | None:
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            v = call.args[1].value
+            return v if isinstance(v, str) else None
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                v = kw.value.value
+                return v if isinstance(v, str) else None
+        return "r" if call.args or call.keywords else None
+
+    def check_writes(self) -> None:
+        for qualname in sorted(self.project.modules):
+            module = self.project.modules[qualname]
+            if module.qualname.endswith(_IO_EXEMPT_SUFFIX):
+                continue
+            # writes inside `with atomic_output_path(...)` blocks target
+            # the yielded temp name — that IS the durable pattern
+            atomic_spans: list[tuple[int, int]] = []
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        expr = item.context_expr
+                        if isinstance(expr, ast.Call):
+                            r = self.project.resolve(module, expr.func) or ""
+                            if r.endswith("atomic_output_path"):
+                                atomic_spans.append(
+                                    (node.lineno, getattr(node, "end_lineno", node.lineno))
+                                )
+
+            def in_atomic_block(lineno: int) -> bool:
+                return any(s <= lineno <= e for s, e in atomic_spans)
+            spans = [
+                (i.node.lineno, getattr(i.node, "end_lineno", i.node.lineno), i)
+                for i in module.functions
+            ]
+
+            def enclosing(lineno: int) -> FunctionInfo | None:
+                best: FunctionInfo | None = None
+                best_start = -1
+                for start, end, i in spans:
+                    if start <= lineno <= end and start > best_start:
+                        best, best_start = i, start
+                return best
+
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if in_atomic_block(getattr(node, "lineno", 0)):
+                    continue
+                info = enclosing(getattr(node, "lineno", 0))
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    mode = self._open_mode(node)
+                    if mode is not None and any(c in mode for c in "wx"):
+                        self._emit(
+                            "CC002", module, node,
+                            f"raw open(..., {mode!r}) write — a crash mid-write "
+                            "leaves a torn file; use repro.utils.io."
+                            "atomic_write_text/bytes (tmp + fsync + rename)",
+                            info,
+                        )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("write_text", "write_bytes")
+                ):
+                    self._emit(
+                        "CC002", module, node,
+                        f"Path.{node.func.attr}() is not crash-durable; use "
+                        "repro.utils.io atomic_write_* instead",
+                        info,
+                    )
+                else:
+                    resolved = self.project.resolve(module, node.func)
+                    if resolved in _NP_SAVERS:
+                        self._emit(
+                            "CC002", module, node,
+                            f"direct {resolved.split('.', 1)[1]}() to a final "
+                            "path is not crash-durable; write via repro.utils."
+                            "io.atomic_output_path()",
+                            info,
+                        )
+
+
+def run_concurrency(project: Project) -> list[Finding]:
+    p = _Pass(project)
+    p.check_worker_state()
+    p.check_writes()
+    return p.findings

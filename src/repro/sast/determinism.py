@@ -1,0 +1,208 @@
+"""Determinism pass (rules DT001-DT003).
+
+The reproduction's scale guarantees (bit-identical results under
+``--workers N`` and across resume, PRs 1-3) hold only if every random
+draw is seeded, no result field depends on the wall clock, and nothing
+hashed into a fingerprint depends on set/dict/filesystem iteration
+order. This pass flags the three ways those guarantees silently break:
+
+* **DT001** — unseeded randomness outside :mod:`repro.utils.rng`: any
+  use of the ``random`` module, legacy ``np.random.*`` draws,
+  ``np.random.default_rng()`` with no seed, or ``os.urandom``.
+* **DT002** — wall-clock reads (``time.time``, ``datetime.now`` ...)
+  outside the telemetry layer (``repro.obs`` owns timestamps; results
+  must use ``perf_counter`` deltas or injected clocks).
+* **DT003** — iterating a set, dict view, or directory listing without
+  ``sorted()`` inside a digest/manifest/fingerprint context.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.sast.findings import Finding
+from repro.sast.project import FunctionInfo, ModuleInfo, Project, unparse_short
+
+__all__ = ["run_determinism"]
+
+#: modules where nondeterministic primitives are the point
+_RNG_EXEMPT_SUFFIXES = (".utils.rng",)
+_CLOCK_EXEMPT_PARTS = (".obs.", ".obs")
+
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "choice", "shuffle", "permutation",
+    "normal", "uniform", "seed", "bytes", "standard_normal",
+}
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+}
+_DIGEST_NAME_PARTS = ("fingerprint", "manifest", "digest", "checksum")
+_UNORDERED_ATTRS = {"keys", "values", "items", "glob", "iterdir", "rglob"}
+_UNORDERED_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob", "set"}
+
+
+def _function_spans(module: ModuleInfo) -> list[tuple[str, int, int, object]]:
+    spans = []
+    for info in module.functions:
+        end = getattr(info.node, "end_lineno", info.node.lineno)
+        spans.append((info.qualname, info.node.lineno, end, info))
+    return spans
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, project: Project, module: ModuleInfo) -> None:
+        self.project = project
+        self.module = module
+        self.findings: list[Finding] = []
+        self.spans = _function_spans(module)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _enclosing(self, lineno: int) -> tuple[str, int, FunctionInfo] | None:
+        best: tuple[str, int, FunctionInfo] | None = None
+        for qualname, start, end, info in self.spans:
+            if start <= lineno <= end:
+                if best is None or start > best[1]:
+                    best = (qualname, start, info)
+        return best
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        enclosing = self._enclosing(lineno)
+        function = enclosing[0] if enclosing else ""
+        info = enclosing[2] if enclosing else None
+        if self.project.suppressed(self.module, lineno, rule, info):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                function=function,
+                source_line=self.module.source_line(lineno),
+            )
+        )
+
+    # -- DT001 / DT002: call inspection ------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.project.resolve(self.module, node.func)
+        qual = self.module.qualname
+        rng_exempt = any(qual.endswith(s) for s in _RNG_EXEMPT_SUFFIXES)
+        clock_exempt = f".obs." in f".{qual}." or qual.endswith(".obs")
+
+        if resolved is not None and not rng_exempt:
+            if resolved.startswith("random."):
+                self._emit(
+                    "DT001", node,
+                    f"unseeded stdlib randomness: {unparse_short(node)} — use "
+                    "repro.utils.rng (ChaCha20Prng) so runs are reproducible",
+                )
+            elif resolved == "os.urandom":
+                self._emit(
+                    "DT001", node,
+                    "os.urandom outside repro.utils.rng breaks replayability — "
+                    "take randomness from an injected Rng",
+                )
+            elif resolved.startswith("numpy.random."):
+                tail = resolved.split(".")[-1]
+                if tail in _LEGACY_NP_RANDOM:
+                    self._emit(
+                        "DT001", node,
+                        f"legacy global np.random draw: {unparse_short(node)} — "
+                        "use a seeded np.random.default_rng(seed) Generator",
+                    )
+                elif tail == "default_rng" and not _has_seed(node):
+                    self._emit(
+                        "DT001", node,
+                        "np.random.default_rng() without a seed is entropy-seeded; "
+                        "pass an explicit seed derived from the run config",
+                    )
+        if resolved in _WALL_CLOCK and not clock_exempt:
+            self._emit(
+                "DT002", node,
+                f"wall-clock read {unparse_short(node)} in a result-bearing "
+                "path — use time.perf_counter() deltas for durations and let "
+                "repro.obs own timestamps",
+            )
+        self.generic_visit(node)
+
+    # -- DT003: unordered iteration in digest contexts ---------------------
+
+    def _in_digest_context(self, lineno: int) -> bool:
+        enclosing = self._enclosing(lineno)
+        if enclosing is None:
+            return False
+        info = enclosing[2]
+        name = info.qualname.rsplit(".", 1)[-1].lower()
+        if any(part in name for part in _DIGEST_NAME_PARTS):
+            return True
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Call):
+                r = self.project.resolve(self.module, sub.func)
+                if r is not None and r.startswith("hashlib."):
+                    return True
+        return False
+
+    def _unordered_iterable(self, node: ast.expr) -> str | None:
+        """Short description if the expression iterates in unstable order."""
+        if isinstance(node, ast.Call):
+            resolved = self.project.resolve(self.module, node.func)
+            if resolved in _UNORDERED_CALLS:
+                return f"{resolved}(...)"
+            if isinstance(node.func, ast.Name) and node.func.id == "set":
+                return "set(...)"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _UNORDERED_ATTRS
+            ):
+                return f".{node.func.attr}()"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        return None
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        desc = self._unordered_iterable(iter_node)
+        if desc is None:
+            return
+        if not self._in_digest_context(getattr(iter_node, "lineno", 0)):
+            return
+        self._emit(
+            "DT003", iter_node,
+            f"iteration over {desc} feeds a digest/manifest/fingerprint — "
+            "wrap in sorted() so hashes are order-stable",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def _has_seed(node: ast.Call) -> bool:
+    for a in node.args:
+        if not (isinstance(a, ast.Constant) and a.value is None):
+            return True
+    for kw in node.keywords:
+        if kw.arg in (None, "seed") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+    return False
+
+
+def run_determinism(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for qualname in sorted(project.modules):
+        module = project.modules[qualname]
+        visitor = _Visitor(project, module)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings

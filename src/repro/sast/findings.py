@@ -1,0 +1,124 @@
+"""Finding model, rule catalog, and renderers for ``repro.sast``.
+
+Every pass emits :class:`Finding` dataclasses; the runner sorts, applies
+the baseline, and renders them either as ruff-style text
+(``path:line:col: RULE message``) or as JSON (one object per finding
+with the full ``taint_chain``). Exit codes are part of the contract so
+CI and shell scripts can tell outcomes apart:
+
+* ``EXIT_CLEAN`` (0) — analysis ran, no unsuppressed findings;
+* ``EXIT_FINDINGS`` (1) — analysis ran, at least one finding (including
+  stale-baseline entries under ``--check-baseline``);
+* ``EXIT_ERROR`` (2) — usage or internal error (bad flags, unreadable
+  root, malformed baseline file).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+    "RULES",
+    "Finding",
+    "render_text",
+    "render_json",
+    "sort_findings",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Rule catalog: id -> one-line description (documented in
+#: ``docs/static-analysis.md``).
+RULES: dict[str, str] = {
+    # -- secret-flow taint (SF) -------------------------------------------
+    "SF001": "secret-dependent branch (if/while/ternary/assert condition is tainted)",
+    "SF002": "secret-indexed subscript (a tainted value selects the element)",
+    "SF003": "secret operand reaches a variable-time operation (div/mod/pow/exp/log/sqrt)",
+    "SF004": "tainted value reaches a '# sast: sink' annotated line",
+    # -- determinism (DT) -------------------------------------------------
+    "DT001": "unseeded randomness outside repro.utils.rng (random module, legacy "
+    "np.random, seedless default_rng, os.urandom)",
+    "DT002": "wall-clock time in a result-bearing path (time.time/datetime.now "
+    "outside the telemetry layer)",
+    "DT003": "iteration order of a set/dict/filesystem listing flows into a "
+    "digest, manifest, or fingerprint without sorted()",
+    # -- concurrency / durability (CC) ------------------------------------
+    "CC001": "mutation of module-level state in code reachable from "
+    "ProcessPoolExecutor workers",
+    "CC002": "file write bypasses repro.utils.io atomic_write_* (raw open/Path "
+    "write modes, non-atomic np.save)",
+    # -- annotations / baseline (meta) ------------------------------------
+    "AN001": "malformed sast annotation (unknown kind, or declassify without a reason)",
+    "BL001": "stale baseline entry (matches no current finding)",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: where, which rule, why, and how taint got there."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Propagation evidence, source first, sink last. Empty for the
+    #: determinism / concurrency / meta rules.
+    taint_chain: tuple[str, ...] = ()
+    #: Qualified name of the enclosing function ("" at module level);
+    #: part of the baseline fingerprint so entries survive line drift.
+    function: str = ""
+    #: Normalized source text of the flagged line (fingerprint component).
+    source_line: str = ""
+    #: Disambiguates identical (rule, path, function, source_line) tuples.
+    occurrence: int = 0
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.taint_chain:
+            out["taint_chain"] = list(self.taint_chain)
+        if self.function:
+            out["function"] = self.function
+        return out
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable presentation order: path, then line/col, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+
+
+def render_text(findings: list[Finding], verbose_chains: bool = True) -> str:
+    """Ruff-style text: one line per finding, taint chains indented."""
+    lines: list[str] = []
+    for f in sort_findings(findings):
+        lines.append(f"{f.location()}: {f.rule} {f.message}")
+        if verbose_chains and f.taint_chain:
+            for i, hop in enumerate(f.taint_chain):
+                marker = "source" if i == 0 else ("sink" if i == len(f.taint_chain) - 1 else "via")
+                lines.append(f"    {marker:>6}: {hop}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report: ``{"findings": [...], "count": N}``."""
+    payload = {
+        "findings": [f.to_jsonable() for f in sort_findings(findings)],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

@@ -1,0 +1,294 @@
+"""Project model: parsed modules, name resolution, and the function index.
+
+The analyzer is purely static — every ``*.py`` under the root is parsed
+with :mod:`ast` (nothing is imported), so fixture trees in tests and the
+real ``src/repro`` package load the same way. The loader builds:
+
+* per-module import bindings (``fft`` -> ``repro.math.fft``) so call
+  sites can be resolved to qualified names without executing imports;
+* a function index covering module functions, methods, and nested
+  functions (``repro.falcon.sign.sign.sampler``);
+* the ``# sast:`` annotation map per module (see
+  :mod:`repro.sast.annotations`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sast.annotations import Annotation, extract_annotations
+from repro.sast.findings import Finding
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Project", "load_project", "dotted_parts"]
+
+
+def dotted_parts(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` expression -> ``["a", "b", "c"]`` (None if not a pure chain)."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        base = dotted_parts(node.value)
+        if base is None:
+            return None
+        return base + [node.attr]
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method known to the analyzer."""
+
+    qualname: str                       # repro.falcon.sign.sign / ...Class.method
+    module: str                         # enclosing module qualname
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str = ""                # enclosing class ("" for module functions)
+    params: tuple[str, ...] = ()
+    param_annotations: dict[str, str] = field(default_factory=dict)  # name -> resolved
+    return_annotation: str = ""
+    declassify: Annotation | None = None   # declassify on the def line
+    is_source: bool = False                # '# sast: source' on the def line
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    qualname: str                       # e.g. repro.falcon.sign
+    path: str                           # display path (root-joined, as reported)
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    bindings: dict[str, str] = field(default_factory=dict)   # local name -> qualified
+    annotations: dict[int, Annotation] = field(default_factory=dict)
+    annotation_errors: list[Finding] = field(default_factory=list)
+    module_globals: set[str] = field(default_factory=set)    # top-level assigned names
+    functions: list[FunctionInfo] = field(default_factory=list)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Project:
+    """Everything the passes need: modules, functions, and resolution."""
+
+    def __init__(self, root: str, package: str) -> None:
+        self.root = root
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, str] = {}      # class qualname -> module qualname
+
+    # -- queries -----------------------------------------------------------
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+    def resolve(self, module: ModuleInfo, node: ast.AST) -> str | None:
+        """Qualified name a call/attribute chain refers to, if decidable."""
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        target = module.bindings.get(parts[0])
+        if target is None:
+            return None
+        return ".".join([target] + parts[1:])
+
+    def function_at(self, qualname: str | None) -> FunctionInfo | None:
+        if qualname is None:
+            return None
+        return self.functions.get(qualname)
+
+    def annotation_at(self, module: ModuleInfo, lineno: int) -> Annotation | None:
+        return module.annotations.get(lineno)
+
+    def suppressed(
+        self, module: ModuleInfo, lineno: int, rule: str,
+        function: FunctionInfo | None = None,
+    ) -> bool:
+        """Is a finding at (module, line) declassified — inline or via the
+        enclosing function's def-line annotation?"""
+        ann = module.annotations.get(lineno)
+        if ann is not None and ann.suppresses(rule):
+            return True
+        if function is not None and function.declassify is not None:
+            return function.declassify.suppresses(rule)
+        return False
+
+
+def _annotation_to_str(module: ModuleInfo, node: ast.AST | None) -> str:
+    """Best-effort resolved string for a type annotation expression."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: take the trailing identifier chain
+        text = node.value.strip().split("[")[0]
+        parts = text.split(".")
+        head = module.bindings.get(parts[0])
+        return ".".join([head] + parts[1:]) if head else text
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        parts = dotted_parts(node)
+        if parts is None:
+            return ""
+        head = module.bindings.get(parts[0])
+        return ".".join([head] + parts[1:]) if head else ".".join(parts)
+    if isinstance(node, ast.Subscript):       # Optional[SecretKey], list[...]
+        return _annotation_to_str(module, node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: prefer the non-None side
+        left = _annotation_to_str(module, node.left)
+        right = _annotation_to_str(module, node.right)
+        return left if left not in ("", "None") else right
+    return ""
+
+
+def _collect_bindings(module: ModuleInfo) -> None:
+    """Import and top-level definition bindings for name resolution."""
+    pkg_parts = module.qualname.split(".")
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.bindings[alias.asname] = alias.name
+                else:
+                    module.bindings[alias.name.split(".")[0]] = alias.name.split(".")[0]
+                    if "." in alias.name:
+                        # `import a.b` also lets `a.b.f` resolve through `a`
+                        module.bindings.setdefault(alias.name, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # relative import: strip `level` trailing components
+                base_parts = pkg_parts[: len(pkg_parts) - node.level]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.bindings[local] = f"{base}.{alias.name}" if base else alias.name
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            module.bindings[stmt.name] = f"{module.qualname}.{stmt.name}"
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    module.module_globals.add(tgt.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                module.module_globals.add(stmt.target.id)
+
+
+def _register_functions(
+    project: Project, module: ModuleInfo,
+    body: list[ast.stmt], prefix: str, class_name: str,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}.{stmt.name}"
+            args = stmt.args
+            names = [a.arg for a in args.posonlyargs + args.args]
+            param_ann: dict[str, str] = {}
+            for a in args.posonlyargs + args.args + args.kwonlyargs:
+                resolved = _annotation_to_str(module, a.annotation)
+                if resolved:
+                    param_ann[a.arg] = resolved
+            def_ann = module.annotations.get(stmt.lineno)
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module.qualname,
+                node=stmt,
+                class_name=class_name,
+                params=tuple(names),
+                param_annotations=param_ann,
+                return_annotation=_annotation_to_str(module, stmt.returns),
+                declassify=def_ann if def_ann is not None and def_ann.kind == "declassify" else None,
+                is_source=def_ann is not None and def_ann.kind == "source",
+            )
+            project.functions[qualname] = info
+            module.functions.append(info)
+            _register_functions(project, module, stmt.body, qualname, class_name)
+        elif isinstance(stmt, ast.ClassDef):
+            class_qual = f"{prefix}.{stmt.name}"
+            project.classes[class_qual] = module.qualname
+            _register_functions(project, module, stmt.body, class_qual, stmt.name)
+
+
+def load_project(root: str, package: str | None = None) -> Project:
+    """Parse every ``*.py`` under ``root`` into a :class:`Project`.
+
+    ``package`` defaults to the root directory's basename, so loading
+    ``src/repro`` yields module qualnames ``repro.falcon.sign`` etc.,
+    matching how the package imports itself.
+    """
+    root = os.path.normpath(root)
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"analysis root is not a directory: {root!r}")
+    pkg = package or os.path.basename(os.path.abspath(root))
+    project = Project(root=root, package=pkg)
+    paths: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in ("__pycache__",))
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                paths.append(os.path.join(dirpath, fn))
+    for path in paths:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel == "__init__.py":
+            qualname = pkg
+        elif rel.endswith("/__init__.py"):
+            qualname = pkg + "." + rel[: -len("/__init__.py")].replace("/", ".")
+        else:
+            qualname = pkg + "." + rel[:-3].replace("/", ".")
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue     # not analyzable; the test suite / ruff will complain
+        annotations, errors = extract_annotations(source, os.path.join(root, rel))
+        module = ModuleInfo(
+            qualname=qualname,
+            path=os.path.join(root, rel),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            annotations=annotations,
+            annotation_errors=errors,
+        )
+        _collect_bindings(module)
+        project.modules[qualname] = module
+        _register_functions(project, module, tree.body, qualname, "")
+    return project
+
+
+def call_name(project: Project, module: ModuleInfo, call: ast.Call) -> str | None:
+    """Resolved qualified name of a call's target, if decidable."""
+    return project.resolve(module, call.func)
+
+
+def unparse_short(node: ast.AST, limit: int = 48) -> str:
+    """Compact source form of an expression for messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:
+        text = type(node).__name__
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def iter_module_functions(module: ModuleInfo) -> Iterator[FunctionInfo]:
+    yield from module.functions
+
+
+def literal_keywords(call: ast.Call) -> dict[str, Any]:
+    """Constant-valued keyword arguments of a call (for heuristics)."""
+    out: dict[str, Any] = {}
+    for kw in call.keywords:
+        if kw.arg is not None and isinstance(kw.value, ast.Constant):
+            out[kw.arg] = kw.value.value
+    return out

@@ -1,0 +1,779 @@
+"""Secret-flow taint engine (rules SF001-SF004).
+
+Taint is seeded at the declared sources of key material:
+
+* attribute reads of ``SecretKey`` fields (``sk.f``, ``sk.big_f``,
+  ``campaign.sk.g``, ``self.sk.f_fft``, ...);
+* the outputs of the discrete Gaussian samplers
+  (:func:`repro.falcon.samplerz.samplerz` and friends) and of
+  ffSampling — every z they return is distributed around a
+  secret-derived center;
+* any line annotated ``# sast: source``.
+
+Propagation is inter-procedural but context-insensitive: a fixpoint
+over the call graph computes, for every project function, (a) whether
+its return value carries taint introduced inside it, (b) which
+parameters flow to its return value, and (c) which parameters receive
+tainted arguments from any call site. A final reporting pass replays
+each function with its computed parameter taint and flags the three
+sink classes of the paper's threat model — secret-dependent branches
+(SF001), secret-indexed subscripts (SF002), and secret operands
+reaching variable-time operations (SF003: division, modulo, pow,
+exp/log/sqrt, shifts by a secret amount, ``bit_length``) — plus
+explicit ``# sast: sink`` lines (SF004).
+
+Findings carry a ``taint_chain``: source first, then up to
+``_MAX_HOPS`` propagation steps, then the sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.sast.findings import Finding
+from repro.sast.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_parts,
+    unparse_short,
+)
+
+__all__ = ["TaintConfig", "run_taint"]
+
+_MAX_HOPS = 6
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """What counts as a source, a carrier, and a variable-time op."""
+
+    #: SecretKey attribute -> human name of the field (the chain names it).
+    secret_attrs: dict[str, str] = field(default_factory=lambda: {
+        "f": "f",
+        "g": "g",
+        "big_f": "F",
+        "big_g": "G",
+        "f_fft": "f (FFT domain)",
+        "b_hat": "B_hat basis",
+        "tree": "ffLDL tree",
+    })
+    #: Names that denote a SecretKey-holding object even without a type
+    #: annotation (``sk.f`` is a source wherever it appears).
+    carrier_names: frozenset[str] = frozenset({"sk", "secret_key"})
+    #: Qualified names of classes whose instances are secret carriers.
+    secretkey_classes: frozenset[str] = frozenset({
+        "repro.falcon.keygen.SecretKey",
+    })
+    #: Functions whose return value is secret by construction.
+    source_functions: dict[str, str] = field(default_factory=lambda: {
+        "repro.falcon.samplerz.samplerz": "samplerz output (secret Gaussian sample)",
+        "repro.falcon.samplerz.samplerz_simple": "samplerz output (secret Gaussian sample)",
+        "repro.falcon.samplerz.base_sampler": "base sampler output (secret half-Gaussian)",
+        "repro.falcon.ffsampling.ffsampling": "ffSampling lattice point (secret-centered)",
+    })
+    #: Calls that launder taint away (structure-only information).
+    sanitizer_names: frozenset[str] = frozenset({
+        "len", "range", "isinstance", "issubclass", "hasattr", "type", "id",
+    })
+    #: Resolved call targets that are variable-time in their operands.
+    vartime_calls: frozenset[str] = frozenset({
+        "math.exp", "math.expm1", "math.log", "math.log2", "math.log10",
+        "math.sqrt", "math.isqrt", "math.pow",
+    })
+    #: Bare builtin call names that are variable-time.
+    vartime_names: frozenset[str] = frozenset({"divmod", "pow"})
+    #: Methods whose cost depends on the receiver's value.
+    vartime_methods: frozenset[str] = frozenset({"bit_length", "bit_count"})
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Taint value: a concrete origin and/or a dependence on parameters."""
+
+    origin: str | None = None          # None = purely parameter-dependent
+    source: str = ""                   # short source id for messages
+    hops: tuple[str, ...] = ()
+    params: frozenset[int] = frozenset()
+
+    @property
+    def real(self) -> bool:
+        return self.origin is not None
+
+    def hop(self, step: str) -> "Taint":
+        if not self.real:
+            return self
+        if self.hops and self.hops[-1] == step:
+            return self
+        if len(self.hops) >= _MAX_HOPS:
+            return self
+        return replace(self, hops=self.hops + (step,))
+
+    def chain(self, sink: str) -> tuple[str, ...]:
+        head = (self.origin,) if self.origin else ()
+        return head + self.hops + (sink,)
+
+
+def _merge(a: Taint | None, b: Taint | None) -> Taint | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    origin, source, hops = a.origin, a.source, a.hops
+    if origin is None and b.origin is not None:
+        origin, source, hops = b.origin, b.source, b.hops
+    return Taint(origin=origin, source=source, hops=hops, params=a.params | b.params)
+
+
+@dataclass
+class _Summary:
+    """What calling a function does, taint-wise."""
+
+    param_to_return: set[int] = field(default_factory=set)
+    source_return: Taint | None = None
+    declassified: bool = False
+
+
+class _Engine:
+    """Shared fixpoint state across both analysis phases."""
+
+    def __init__(self, project: Project, config: TaintConfig) -> None:
+        self.project = project
+        self.config = config
+        self.summaries: dict[str, _Summary] = {}
+        self.param_taints: dict[str, dict[int, Taint]] = {}
+        self.callers: dict[str, set[str]] = {}
+        self.units: dict[str, _AnalysisUnit] = {}
+        for info in project.iter_functions():
+            summary = _Summary(declassified=info.declassify is not None)
+            if info.qualname in config.source_functions:
+                summary.source_return = Taint(
+                    origin=config.source_functions[info.qualname],
+                    source=info.node.name,
+                )
+            elif info.is_source:
+                summary.source_return = Taint(
+                    origin=f"annotated source {info.qualname}()",
+                    source=info.node.name,
+                )
+            self.summaries[info.qualname] = summary
+            self.param_taints[info.qualname] = {}
+            self.units[info.qualname] = _AnalysisUnit(self, info)
+        # external configured source functions get implicit summaries
+        for qual, desc in config.source_functions.items():
+            if qual not in self.summaries:
+                self.summaries[qual] = _Summary(
+                    source_return=Taint(origin=desc, source=qual.rsplit(".", 1)[-1])
+                )
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def solve(self) -> None:
+        worklist = sorted(self.units)
+        queued = set(worklist)
+        rounds = 0
+        while worklist and rounds < 50_000:
+            rounds += 1
+            qual = worklist.pop(0)
+            queued.discard(qual)
+            unit = self.units[qual]
+            changed = unit.analyze(report=False)
+            for dirty in changed:
+                targets: Iterable[str]
+                if dirty == qual:
+                    targets = self.callers.get(qual, ())
+                else:
+                    targets = (dirty,)        # a callee's param taint changed
+                for t in targets:
+                    if t in self.units and t not in queued:
+                        worklist.append(t)
+                        queued.add(t)
+
+    def report(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for qual in sorted(self.units):
+            findings.extend(self.units[qual].analyze(report=True))
+        return findings
+
+    # -- cross-unit updates ------------------------------------------------
+
+    def feed_param(self, callee: str, index: int, taint: Taint) -> bool:
+        """Record a real tainted argument; True if this is news."""
+        slot = self.param_taints.setdefault(callee, {})
+        if index in slot or not taint.real:
+            return False
+        slot[index] = Taint(origin=taint.origin, source=taint.source, hops=taint.hops)
+        return True
+
+
+class _AnalysisUnit:
+    """One function (or module body) analyzed against the engine state."""
+
+    def __init__(self, engine: _Engine, info: FunctionInfo) -> None:
+        self.engine = engine
+        self.info = info
+        self.module = engine.project.modules[info.module]
+
+    # set up per-run state
+    def analyze(self, report: bool) -> list[Finding]:
+        ev = _Evaluator(self.engine, self.info, self.module, report=report)
+        ev.run()
+        if report:
+            return ev.findings
+        changed: list[str] = []
+        summary = self.engine.summaries[self.info.qualname]
+        ret = ev.return_taint
+        if ret is not None:
+            if ret.params - set(summary.param_to_return):
+                summary.param_to_return |= ret.params
+                changed.append(self.info.qualname)
+            if ret.real and summary.source_return is None and not summary.declassified:
+                summary.source_return = Taint(
+                    origin=ret.origin, source=ret.source, hops=ret.hops
+                )
+                changed.append(self.info.qualname)
+        changed.extend(ev.dirty_callees)
+        return changed
+
+
+class _Evaluator(ast.NodeVisitor):
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self, engine: _Engine, info: FunctionInfo, module: ModuleInfo, report: bool
+    ) -> None:
+        self.engine = engine
+        self.project = engine.project
+        self.config = engine.config
+        self.info = info
+        self.module = module
+        self.report = report
+        self.env: dict[str, Taint] = {}
+        self.carriers: set[str] = set()
+        self.local_bindings: dict[str, str] = {}
+        self.return_taint: Taint | None = None
+        self.dirty_callees: list[str] = []
+        self.findings: list[Finding] = []
+        self._seen: set[tuple[str, int, int, str]] = set()
+        self._sink_hit_lines: set[int] = set()
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        node = self.info.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._seed_params()
+            body = node.body
+        else:                              # module body pseudo-function
+            body = node.body
+        # two passes so loop-carried taint stabilizes before reporting
+        saved_report, self.report = self.report, False
+        for stmt in body:
+            self.exec_stmt(stmt)
+        self.report = saved_report
+        if self.report:
+            self.findings = []
+            self._seen.clear()
+            self._sink_hit_lines.clear()
+            for stmt in body:
+                self.exec_stmt(stmt)
+
+    def _seed_params(self) -> None:
+        real = self.engine.param_taints.get(self.info.qualname, {})
+        for i, name in enumerate(self.info.params):
+            taints: Taint | None = None
+            if not self.report:
+                taints = Taint(params=frozenset({i}))
+            if i in real:
+                hop = f"parameter {name} of {self.info.qualname}()"
+                taints = _merge(taints, real[i].hop(hop))
+            if taints is not None:
+                self.env[name] = taints
+            ann = self.info.param_annotations.get(name, "")
+            if ann in self.config.secretkey_classes or ann.rsplit(".", 1)[-1] == "SecretKey":
+                self.carriers.add(name)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.module.path}:{getattr(node, 'lineno', 0)}"
+
+    def _is_carrier(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.carriers or node.id in self.config.carrier_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.config.carrier_names
+        return False
+
+    def _emit(
+        self, rule: str, node: ast.AST, message: str, taint: Taint, sink: str
+    ) -> None:
+        if not self.report or not taint.real:
+            return
+        lineno = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        if self.project.suppressed(self.module, lineno, rule, self.info):
+            return
+        key = (rule, lineno, col, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.path,
+                line=lineno,
+                col=col + 1,
+                message=message,
+                taint_chain=taint.chain(f"{sink} at {self._loc(node)}"),
+                function=self.info.qualname,
+                source_line=self.module.source_line(lineno),
+            )
+        )
+
+    def _check_sink_annotation(self, node: ast.AST, taint: Taint | None) -> None:
+        if taint is None or not taint.real or not self.report:
+            return
+        lineno = getattr(node, "lineno", 0)
+        ann = self.module.annotations.get(lineno)
+        if ann is not None and ann.kind == "sink" and lineno not in self._sink_hit_lines:
+            self._sink_hit_lines.add(lineno)
+            self._emit(
+                "SF004",
+                node,
+                f"tainted value ({taint.source}) reaches annotated sink",
+                taint,
+                "annotated sink",
+            )
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval(self, node: ast.AST | None) -> Taint | None:
+        if node is None:
+            return None
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        out = method(node) if method is not None else self._eval_generic(node)
+        self._check_sink_annotation(node, out)
+        return out
+
+    def _eval_generic(self, node: ast.AST) -> Taint | None:
+        out: Taint | None = None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.keyword, ast.comprehension)):
+                out = _merge(out, self.eval(child))
+        return out
+
+    def _eval_Constant(self, node: ast.Constant) -> None:
+        return None
+
+    def _eval_Name(self, node: ast.Name) -> Taint | None:
+        return self.env.get(node.id)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Taint | None:
+        cfg = self.config
+        if node.attr in cfg.secret_attrs and self._is_carrier(node.value):
+            name = cfg.secret_attrs[node.attr]
+            return Taint(
+                origin=f"SecretKey.{name} ({unparse_short(node)} at {self._loc(node)})",
+                source=f"SecretKey.{name}",
+            )
+        return self.eval(node.value)
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Taint | None:
+        value = self.eval(node.value)
+        index = self.eval(node.slice)
+        if index is not None and index.real and not isinstance(node.slice, ast.Constant):
+            self._emit(
+                "SF002",
+                node,
+                f"secret-indexed subscript: {unparse_short(node)} "
+                f"(index derived from {index.source})",
+                index,
+                f"subscript index {unparse_short(node.slice)}",
+            )
+        return _merge(value, index)
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Taint | None:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        out = _merge(left, right)
+        if self.report:
+            vartime = isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow))
+            if vartime and out is not None and out.real:
+                op = type(node.op).__name__.lower()
+                self._emit(
+                    "SF003",
+                    node,
+                    f"secret operand in variable-time {op}: {unparse_short(node)}",
+                    out,
+                    f"variable-time {op}",
+                )
+            elif (
+                isinstance(node.op, (ast.LShift, ast.RShift))
+                and right is not None
+                and right.real
+            ):
+                self._emit(
+                    "SF003",
+                    node,
+                    f"shift by secret-dependent amount: {unparse_short(node)}",
+                    right,
+                    "variable-width shift",
+                )
+        return out
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Taint | None:
+        test = self.eval(node.test)
+        if test is not None and test.real:
+            self._emit(
+                "SF001",
+                node,
+                f"secret-dependent ternary: {unparse_short(node.test)} "
+                f"(condition derived from {test.source})",
+                test,
+                f"ternary condition {unparse_short(node.test)}",
+            )
+        return _merge(test, _merge(self.eval(node.body), self.eval(node.orelse)))
+
+    def _eval_Lambda(self, node: ast.Lambda) -> Taint | None:
+        return None
+
+    def _eval_Call(self, node: ast.Call) -> Taint | None:
+        cfg = self.config
+        arg_taints: list[Taint | None] = [self.eval(a) for a in node.args]
+        kw_taints: dict[str, Taint | None] = {
+            kw.arg: self.eval(kw.value) for kw in node.keywords if kw.arg is not None
+        }
+        star_kw = [self.eval(kw.value) for kw in node.keywords if kw.arg is None]
+        receiver: Taint | None = None
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+
+        resolved = self._resolve_call(node)
+        short = unparse_short(node.func, 32)
+        loc = self._loc(node)
+        any_taint: Taint | None = None
+        for t in list(arg_taints) + list(kw_taints.values()) + star_kw + [receiver]:
+            any_taint = _merge(any_taint, t)
+
+        # variable-time call checks (report phase only)
+        if self.report:
+            operand = any_taint if any_taint is not None else None
+            if operand is not None and operand.real:
+                if (resolved in cfg.vartime_calls) or (
+                    isinstance(node.func, ast.Name) and node.func.id in cfg.vartime_names
+                ):
+                    self._emit(
+                        "SF003", node,
+                        f"secret operand reaches variable-time call {short}()",
+                        operand, f"variable-time call {short}()",
+                    )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in cfg.vartime_methods
+                and receiver is not None
+                and receiver.real
+            ):
+                self._emit(
+                    "SF003", node,
+                    f"operand-dependent {node.func.attr}() on secret value",
+                    receiver, f"variable-time {node.func.attr}()",
+                )
+
+        if resolved is None:
+            if isinstance(node.func, ast.Name) and node.func.id in cfg.sanitizer_names:
+                return None
+            out = any_taint
+            return out.hop(f"through {short}() at {loc}") if out is not None else None
+        if resolved in cfg.sanitizer_names or resolved.rsplit(".", 1)[-1] in (
+            cfg.sanitizer_names
+        ):
+            return None
+
+        summary = self.engine.summaries.get(resolved)
+        info = self.project.function_at(resolved)
+        if summary is None:
+            # external call (numpy, stdlib): conservative pass-through
+            out = any_taint
+            return out.hop(f"through {resolved}() at {loc}") if out is not None else None
+
+        # map arguments onto callee parameter indices
+        mapped: list[tuple[int, Taint]] = []
+        offset = 0
+        if info is not None and info.class_name and isinstance(node.func, ast.Attribute):
+            base_resolved = self.project.resolve(self.module, node.func.value)
+            class_qual = info.qualname.rsplit(".", 1)[0]
+            if base_resolved != class_qual:
+                offset = 1
+                if receiver is not None:
+                    mapped.append((0, receiver))
+        for i, t in enumerate(arg_taints):
+            if t is not None:
+                mapped.append((i + offset, t))
+        if info is not None:
+            for name, t in kw_taints.items():
+                if t is not None and name in info.params:
+                    mapped.append((info.params.index(name), t))
+
+        # feed real argument taint into the callee's parameter state —
+        # unless this whole function is a declassification boundary, in
+        # which case its values are sanctioned and must not re-taint
+        # the helpers it calls.
+        self.engine.callers.setdefault(resolved, set()).add(self.info.qualname)
+        for idx, t in mapped:
+            if t.real and self.info.declassify is None:
+                pname = ""
+                if info is not None and idx < len(info.params):
+                    pname = info.params[idx]
+                fed = self.engine.feed_param(
+                    resolved, idx,
+                    t.hop(f"argument {pname or idx} to {short}() at {loc}"),
+                )
+                if fed:
+                    self.dirty_callees.append(resolved)
+
+        if summary.declassified:
+            return None
+        out: Taint | None = None
+        if summary.source_return is not None:
+            src = summary.source_return
+            out = Taint(origin=src.origin, source=src.source, hops=src.hops).hop(
+                f"returned by {short}() at {loc}"
+            )
+        for idx, t in mapped:
+            if idx in summary.param_to_return:
+                out = _merge(out, t.hop(f"through {short}() at {loc}"))
+        # constructor of a secret-key class: result carries the arguments
+        if out is None and resolved in cfg.secretkey_classes:
+            out = any_taint
+        return out
+
+    def _resolve_call(self, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name) and node.func.id in self.local_bindings:
+            return self.local_bindings[node.func.id]
+        resolved = self.project.resolve(self.module, node.func)
+        if resolved is not None:
+            return resolved
+        # method call on an expression we can't type — unresolved
+        return None
+
+    # -- comprehensions ----------------------------------------------------
+
+    def _bind_loop_target(
+        self, target: ast.AST, iter_node: ast.expr, taint: Taint | None
+    ) -> None:
+        # `for i, v in enumerate(xs)`: the index is public even when xs
+        # is secret — only the element inherits the taint.
+        if (
+            taint is not None
+            and isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "enumerate"
+            and isinstance(target, (ast.Tuple, ast.List))
+            and len(target.elts) == 2
+        ):
+            self._assign_target(target.elts[0], None)
+            self._assign_target(target.elts[1], taint)
+            return
+        self._assign_target(target, taint)
+
+    def _eval_comprehension(self, node: ast.comprehension) -> Taint | None:
+        it = self.eval(node.iter)
+        if it is not None:
+            self._bind_loop_target(node.target, node.iter, it)
+        for cond in node.ifs:
+            t = self.eval(cond)
+            if t is not None and t.real:
+                self._emit(
+                    "SF001", cond,
+                    f"secret-dependent filter: {unparse_short(cond)}",
+                    t, f"comprehension filter {unparse_short(cond)}",
+                )
+        return it
+
+    def _eval_ListComp(self, node: ast.ListComp) -> Taint | None:
+        out: Taint | None = None
+        for gen in node.generators:
+            out = _merge(out, self._eval_comprehension(gen))
+        return _merge(out, self.eval(node.elt))
+
+    _eval_SetComp = _eval_ListComp
+    _eval_GeneratorExp = _eval_ListComp
+
+    def _eval_DictComp(self, node: ast.DictComp) -> Taint | None:
+        out: Taint | None = None
+        for gen in node.generators:
+            out = _merge(out, self._eval_comprehension(gen))
+        return _merge(out, _merge(self.eval(node.key), self.eval(node.value)))
+
+    # -- statements --------------------------------------------------------
+
+    def exec_stmt(self, node: ast.stmt) -> None:
+        method = getattr(self, f"_exec_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        else:
+            # default: evaluate embedded expressions, then recurse bodies
+            for fname in ("test", "value", "exc", "msg", "iter", "context_expr"):
+                child = getattr(node, fname, None)
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            for bname in ("body", "orelse", "finalbody", "handlers"):
+                block = getattr(node, bname, None)
+                if isinstance(block, list):
+                    for item in block:
+                        if isinstance(item, ast.stmt):
+                            self.exec_stmt(item)
+                        elif isinstance(item, ast.ExceptHandler):
+                            for sub in item.body:
+                                self.exec_stmt(sub)
+
+    def _assign_target(self, target: ast.AST, taint: Taint | None) -> None:
+        if isinstance(target, ast.Name):
+            if taint is None:
+                self.env.pop(target.id, None)
+            else:
+                hop = f"assigned to {target.id} at {self._loc(target)}"
+                self.env[target.id] = _merge(self.env.get(target.id), taint.hop(hop)) or taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, taint)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # storing into a container/attribute taints the container
+            head = target
+            while isinstance(head, (ast.Attribute, ast.Subscript)):
+                head = head.value
+            if isinstance(head, ast.Name) and taint is not None:
+                hop = f"stored into {unparse_short(target)} at {self._loc(target)}"
+                self.env[head.id] = _merge(self.env.get(head.id), taint.hop(hop)) or taint
+
+    def _returns_secretkey(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        resolved = self._resolve_call(value)
+        if resolved is None:
+            return False
+        if resolved in self.config.secretkey_classes:
+            return True
+        info = self.project.function_at(resolved)
+        if info is None:
+            return False
+        ret = info.return_annotation
+        return ret in self.config.secretkey_classes or ret.rsplit(".", 1)[-1] == "SecretKey"
+
+    def _exec_Assign(self, node: ast.Assign) -> None:
+        taint = self.eval(node.value)
+        ann = self.module.annotations.get(node.lineno)
+        if ann is not None and ann.kind == "source":
+            taint = _merge(
+                taint,
+                Taint(
+                    origin=f"annotated source at {self._loc(node)}",
+                    source="annotated source",
+                ),
+            )
+        carrier = self._returns_secretkey(node.value) or (
+            isinstance(node.value, ast.Name) and node.value.id in self.carriers
+        )
+        for target in node.targets:
+            self._assign_target(target, taint)
+            if carrier and isinstance(target, ast.Name):
+                self.carriers.add(target.id)
+
+    def _exec_AnnAssign(self, node: ast.AnnAssign) -> None:
+        taint = self.eval(node.value) if node.value is not None else None
+        self._assign_target(node.target, taint)
+        ann = self.info.param_annotations  # noqa: F841  (annotation taint n/a)
+        resolved = ""
+        if node.annotation is not None:
+            from repro.sast.project import _annotation_to_str
+
+            resolved = _annotation_to_str(self.module, node.annotation)
+        if resolved.rsplit(".", 1)[-1] == "SecretKey" and isinstance(node.target, ast.Name):
+            self.carriers.add(node.target.id)
+
+    def _exec_AugAssign(self, node: ast.AugAssign) -> None:
+        taint = self.eval(node.value)
+        existing = None
+        if isinstance(node.target, ast.Name):
+            existing = self.env.get(node.target.id)
+        self._assign_target(node.target, _merge(existing, taint))
+
+    def _exec_Return(self, node: ast.Return) -> None:
+        taint = self.eval(node.value) if node.value is not None else None
+        self.return_taint = _merge(self.return_taint, taint)
+
+    def _exec_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def _branch(self, test: ast.expr, kind: str) -> None:
+        taint = self.eval(test)
+        if taint is not None and taint.real:
+            self._emit(
+                "SF001",
+                test,
+                f"secret-dependent {kind}: `{unparse_short(test)}` "
+                f"(condition derived from {taint.source})",
+                taint,
+                f"{kind} condition `{unparse_short(test)}`",
+            )
+
+    def _exec_If(self, node: ast.If) -> None:
+        self._branch(node.test, "branch")
+        for stmt in node.body:
+            self.exec_stmt(stmt)
+        for stmt in node.orelse:
+            self.exec_stmt(stmt)
+
+    def _exec_While(self, node: ast.While) -> None:
+        self._branch(node.test, "loop condition")
+        for stmt in node.body:
+            self.exec_stmt(stmt)
+        for stmt in node.orelse:
+            self.exec_stmt(stmt)
+
+    def _exec_Assert(self, node: ast.Assert) -> None:
+        self._branch(node.test, "assertion")
+        if node.msg is not None:
+            self.eval(node.msg)
+
+    def _exec_For(self, node: ast.For) -> None:
+        it = self.eval(node.iter)
+        self._bind_loop_target(node.target, node.iter, it)
+        for stmt in node.body:
+            self.exec_stmt(stmt)
+        for stmt in node.orelse:
+            self.exec_stmt(stmt)
+
+    def _exec_With(self, node: ast.With) -> None:
+        for item in node.items:
+            taint = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, taint)
+        for stmt in node.body:
+            self.exec_stmt(stmt)
+
+    def _exec_FunctionDef(self, node: ast.FunctionDef) -> None:
+        qual = f"{self.info.qualname}.{node.name}"
+        if qual in self.engine.summaries:
+            self.local_bindings[node.name] = qual
+
+    _exec_AsyncFunctionDef = _exec_FunctionDef
+
+    def _exec_ClassDef(self, node: ast.ClassDef) -> None:
+        pass                                  # methods are separate units
+
+    def _exec_Raise(self, node: ast.Raise) -> None:
+        if node.exc is not None:
+            self.eval(node.exc)
+
+
+def run_taint(project: Project, config: TaintConfig | None = None) -> list[Finding]:
+    """Run the secret-flow pass over a loaded project."""
+    engine = _Engine(project, config or TaintConfig())
+    engine.solve()
+    return engine.report()

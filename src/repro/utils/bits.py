@@ -9,7 +9,10 @@ These helpers provide both scalar (Python ``int``) and vectorized
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "hamming_weight",
@@ -46,7 +49,7 @@ def hamming_distance(a: int, b: int) -> int:
     return (a ^ b).bit_count()
 
 
-def hamming_weight_array(values: np.ndarray, width: int = 64) -> np.ndarray:
+def hamming_weight_array(values: NDArray[Any], width: int = 64) -> NDArray[np.int64]:  # sast: declassify(reason=Hamming-weight leakage model primitive; computing HW of secret intermediates is its job)
     """Vectorized Hamming weight of an unsigned integer array.
 
     Parameters

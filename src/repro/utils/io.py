@@ -14,11 +14,18 @@ from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
+from typing import Iterator
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+__all__ = [
+    "atomic_output_path",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+]
 
 
-def fsync_dir(path: str | os.PathLike) -> None:
+def fsync_dir(path: str | os.PathLike[str]) -> None:
     """fsync a directory so renames inside it survive a crash.
 
     Directories cannot be fsynced on some platforms/filesystems
@@ -37,7 +44,7 @@ def fsync_dir(path: str | os.PathLike) -> None:
         os.close(fd)
 
 
-def atomic_write_bytes(path: str | os.PathLike, blob: bytes) -> None:
+def atomic_write_bytes(path: str | os.PathLike[str], blob: bytes) -> None:
     """Crash-durable write: tmp file + fsync, rename, parent-dir fsync.
 
     Readers never observe a partial file (``os.replace`` is atomic) and
@@ -60,6 +67,37 @@ def atomic_write_bytes(path: str | os.PathLike, blob: bytes) -> None:
     fsync_dir(parent)
 
 
-def atomic_write_text(path: str | os.PathLike, content: str) -> None:
+def atomic_write_text(path: str | os.PathLike[str], content: str) -> None:
     """:func:`atomic_write_bytes` for text (UTF-8)."""
     atomic_write_bytes(path, content.encode("utf-8"))
+
+
+@contextmanager
+def atomic_output_path(path: str | os.PathLike[str]) -> Iterator[str]:
+    """Atomic writes for APIs that insist on a filename (np.savez, TRS).
+
+    Yields a temp path in the destination's directory; on clean exit the
+    temp file is fsynced and renamed over ``path`` with the same
+    durability contract as :func:`atomic_write_bytes`. On an exception
+    the temp file is removed and the destination is untouched::
+
+        with atomic_output_path(out) as tmp:
+            np.savez_compressed(tmp, traces=traces)
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=os.path.basename(path), suffix=".tmp")
+    os.close(fd)
+    try:
+        yield tmp
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    fsync_dir(parent)

@@ -68,7 +68,7 @@ class ChaCha20Prng:
     SHAKE context.
     """
 
-    def __init__(self, seed: bytes | int | str):
+    def __init__(self, seed: bytes | int | str) -> None:
         if isinstance(seed, int):
             seed = seed.to_bytes((seed.bit_length() + 7) // 8 or 1, "little", signed=False)
         elif isinstance(seed, str):

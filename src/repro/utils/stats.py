@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
 
 __all__ = [
     "pearson_corr",
@@ -89,7 +93,7 @@ def fisher_z_threshold(n_traces: int, confidence: float = 0.9999) -> float:
     return math.tanh(z / math.sqrt(n_traces - 3))
 
 
-def pearson_corr(x: np.ndarray, y: np.ndarray) -> float:
+def pearson_corr(x: NDArray[Any], y: NDArray[Any]) -> float:
     """Pearson correlation between two 1-D arrays (0.0 when degenerate)."""
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
@@ -105,12 +109,12 @@ def pearson_corr(x: np.ndarray, y: np.ndarray) -> float:
 
 def _finalize_pearson(
     count: int,
-    sum_h: np.ndarray,
-    sum_h2: np.ndarray,
-    sum_t: np.ndarray,
-    sum_t2: np.ndarray,
-    sum_ht: np.ndarray,
-) -> np.ndarray:
+    sum_h: FloatArray,
+    sum_h2: FloatArray,
+    sum_t: FloatArray,
+    sum_t2: FloatArray,
+    sum_ht: FloatArray,
+) -> FloatArray:
     """(G, T) correlation from the five raw-moment sums.
 
     Shared by the one-shot and streaming paths so both produce identical
@@ -123,17 +127,17 @@ def _finalize_pearson(
     denom = np.sqrt(np.outer(var_h, var_t))
     with np.errstate(divide="ignore", invalid="ignore"):
         corr = np.where(denom > 0, cov / np.where(denom > 0, denom, 1.0), 0.0)
-    return np.clip(corr, -1.0, 1.0)
+    return np.clip(corr, -1.0, 1.0).astype(np.float64)
 
 
-def _validate_pair(hyps: np.ndarray, traces: np.ndarray) -> None:
+def _validate_pair(hyps: NDArray[Any], traces: NDArray[Any]) -> None:
     if hyps.ndim != 2 or traces.ndim != 2 or hyps.shape[0] != traces.shape[0]:
         raise ValueError(
             f"expected (D,G) and (D,T) with matching D, got {hyps.shape} and {traces.shape}"
         )
 
 
-def batched_pearson(hyps: np.ndarray, traces: np.ndarray) -> np.ndarray:
+def batched_pearson(hyps: NDArray[Any], traces: NDArray[Any]) -> FloatArray:
     """Correlation of every hypothesis column with every trace sample.
 
     Parameters
@@ -174,11 +178,11 @@ class PearsonAccumulator:
     """
 
     count: int = 0
-    _sum_h: np.ndarray | None = field(default=None, repr=False)
-    _sum_h2: np.ndarray | None = field(default=None, repr=False)
-    _sum_t: np.ndarray | None = field(default=None, repr=False)
-    _sum_t2: np.ndarray | None = field(default=None, repr=False)
-    _sum_ht: np.ndarray | None = field(default=None, repr=False)
+    _sum_h: FloatArray | None = field(default=None, repr=False)
+    _sum_h2: FloatArray | None = field(default=None, repr=False)
+    _sum_t: FloatArray | None = field(default=None, repr=False)
+    _sum_t2: FloatArray | None = field(default=None, repr=False)
+    _sum_ht: FloatArray | None = field(default=None, repr=False)
 
     @property
     def n_guesses(self) -> int | None:
@@ -188,12 +192,12 @@ class PearsonAccumulator:
     def n_samples(self) -> int | None:
         return None if self._sum_t is None else int(self._sum_t.shape[0])
 
-    def update(self, hyps: np.ndarray, traces: np.ndarray) -> "PearsonAccumulator":
+    def update(self, hyps: NDArray[Any], traces: NDArray[Any]) -> "PearsonAccumulator":
         """Fold in one (D, G)/(D, T) batch of rows; returns self."""
         h = np.atleast_2d(np.asarray(hyps, dtype=np.float64))
         t = np.atleast_2d(np.asarray(traces, dtype=np.float64))
         _validate_pair(h, t)
-        if self._sum_h is not None and (
+        if self._sum_h is not None and self._sum_t is not None and (
             h.shape[1] != self._sum_h.shape[0] or t.shape[1] != self._sum_t.shape[0]
         ):
             raise ValueError(
@@ -208,6 +212,10 @@ class PearsonAccumulator:
             self._sum_t = np.zeros(t.shape[1])
             self._sum_t2 = np.zeros(t.shape[1])
             self._sum_ht = np.zeros((h.shape[1], t.shape[1]))
+        assert (
+            self._sum_h2 is not None and self._sum_t is not None
+            and self._sum_t2 is not None and self._sum_ht is not None
+        )
         self.count += h.shape[0]
         self._sum_h += h.sum(axis=0)
         self._sum_h2 += np.einsum("dg,dg->g", h, h)
@@ -218,8 +226,12 @@ class PearsonAccumulator:
 
     def merge(self, other: "PearsonAccumulator") -> "PearsonAccumulator":
         """Add another accumulator's sums into this one; returns self."""
-        if other.count == 0:
+        if other.count == 0 or other._sum_h is None:
             return self
+        assert (
+            other._sum_h2 is not None and other._sum_t is not None
+            and other._sum_t2 is not None and other._sum_ht is not None
+        )
         if self._sum_h is None:
             self.count = other.count
             self._sum_h = other._sum_h.copy()
@@ -228,6 +240,10 @@ class PearsonAccumulator:
             self._sum_t2 = other._sum_t2.copy()
             self._sum_ht = other._sum_ht.copy()
             return self
+        assert (
+            self._sum_h2 is not None and self._sum_t is not None
+            and self._sum_t2 is not None and self._sum_ht is not None
+        )
         if (
             other._sum_h.shape != self._sum_h.shape
             or other._sum_t.shape != self._sum_t.shape
@@ -241,10 +257,15 @@ class PearsonAccumulator:
         self._sum_ht += other._sum_ht
         return self
 
-    def correlation(self) -> np.ndarray:
+    def correlation(self) -> FloatArray:
         """The (G, T) Pearson correlation of everything folded so far."""
         if self.count < 2:
             raise ValueError("need at least two traces")
+        assert (
+            self._sum_h is not None and self._sum_h2 is not None
+            and self._sum_t is not None and self._sum_t2 is not None
+            and self._sum_ht is not None
+        )
         return _finalize_pearson(
             self.count, self._sum_h, self._sum_h2, self._sum_t, self._sum_t2, self._sum_ht
         )
@@ -255,8 +276,8 @@ class PearsonAccumulator:
 
 
 def streaming_pearson(
-    hyps: np.ndarray, traces: np.ndarray, chunk_rows: int = 4096
-) -> np.ndarray:
+    hyps: NDArray[Any], traces: NDArray[Any], chunk_rows: int = 4096
+) -> FloatArray:
     """Chunked equivalent of :func:`batched_pearson`.
 
     Processes ``chunk_rows`` traces at a time through a
@@ -287,10 +308,10 @@ class OnlineMoments:
     """
 
     count: int = 0
-    _mean: np.ndarray | None = field(default=None, repr=False)
-    _m2: np.ndarray | None = field(default=None, repr=False)
+    _mean: FloatArray | None = field(default=None, repr=False)
+    _m2: FloatArray | None = field(default=None, repr=False)
 
-    def update(self, batch: np.ndarray) -> None:
+    def update(self, batch: NDArray[Any]) -> None:
         """Fold a (D, T) batch of rows into the accumulator."""
         batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
         n_b = batch.shape[0]
@@ -303,6 +324,7 @@ class OnlineMoments:
             self._mean = mean_b
             self._m2 = m2_b
             return
+        assert self._m2 is not None
         n_a = self.count
         total = n_a + n_b
         delta = mean_b - self._mean
@@ -311,13 +333,13 @@ class OnlineMoments:
         self.count = total
 
     @property
-    def mean(self) -> np.ndarray:
+    def mean(self) -> FloatArray:
         if self._mean is None:
             raise ValueError("no data accumulated")
         return self._mean
 
     @property
-    def variance(self) -> np.ndarray:
+    def variance(self) -> FloatArray:
         """Sample variance (ddof=1)."""
         if self._m2 is None or self.count < 2:
             raise ValueError("need at least two rows for a variance")

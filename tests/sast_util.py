@@ -1,0 +1,49 @@
+"""Fixture helpers for the ``repro.sast`` test suite.
+
+The analyzer is purely static, so fixture packages are written to a
+temp directory and *parsed*, never imported — their imports need not
+resolve and they can contain deliberately broken patterns without
+polluting the test process.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.sast.cli import collect_findings
+from repro.sast.findings import Finding
+from repro.sast.project import Project, load_project
+
+
+def write_package(root: str, files: dict[str, str]) -> str:
+    """Write ``relative path -> source`` files (dedented) under root."""
+    for rel, source in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path) or root, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(textwrap.dedent(source))
+    return root
+
+
+def load_fixture(tmp_path, files: dict[str, str], package: str = "pkg") -> Project:
+    pkg_root = os.path.join(str(tmp_path), package)
+    os.makedirs(pkg_root, exist_ok=True)
+    write_package(pkg_root, files)
+    return load_project(pkg_root, package=package)
+
+
+def findings_for(tmp_path, files: dict[str, str], package: str = "pkg") -> list[Finding]:
+    return collect_findings(load_fixture(tmp_path, files, package))
+
+
+def by_rule(findings: list[Finding], rule: str) -> list[Finding]:
+    return [f for f in findings if f.rule == rule]
+
+
+def line_of(source: str, marker: str) -> int:
+    """1-based line number of the first line containing ``marker``."""
+    for i, line in enumerate(textwrap.dedent(source).splitlines(), start=1):
+        if marker in line:
+            return i
+    raise AssertionError(f"marker {marker!r} not found in fixture source")

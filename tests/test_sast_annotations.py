@@ -1,0 +1,70 @@
+"""The ``# sast:`` annotation grammar, including AN001 misuse findings."""
+
+from __future__ import annotations
+
+from tests.sast_util import by_rule, findings_for, line_of
+
+from repro.sast.annotations import extract_annotations
+
+
+def test_declassify_with_reason_parses():
+    src = "x = 1  # sast: declassify(reason=documented and reviewed)\n"
+    annotations, errors = extract_annotations(src, "m.py")
+    assert errors == []
+    ann = annotations[1]
+    assert ann.kind == "declassify"
+    assert ann.reason == "documented and reviewed"
+    assert ann.suppresses("SF001") and ann.suppresses("CC002")
+
+
+def test_declassify_rule_filter():
+    src = "x = 1  # sast: declassify(rules=SF001|DT002, reason=narrow waiver)\n"
+    annotations, errors = extract_annotations(src, "m.py")
+    assert errors == []
+    ann = annotations[1]
+    assert ann.rules == ("SF001", "DT002")
+    assert ann.suppresses("SF001") and not ann.suppresses("SF003")
+
+
+def test_declassify_without_reason_is_an001():
+    src = "x = 1  # sast: declassify\n"
+    annotations, errors = extract_annotations(src, "m.py")
+    assert annotations == {}
+    assert [e.rule for e in errors] == ["AN001"]
+    assert "reason" in errors[0].message
+
+
+def test_unknown_kind_and_unknown_rule_are_an001():
+    src = (
+        "a = 1  # sast: declasify(reason=typo in the kind)\n"
+        "b = 2  # sast: declassify(rules=ZZ999, reason=no such rule)\n"
+    )
+    _, errors = extract_annotations(src, "m.py")
+    assert sorted(e.line for e in errors) == [1, 2]
+    assert all(e.rule == "AN001" for e in errors)
+
+
+def test_mid_comment_mention_is_not_an_annotation():
+    src = "x = 1  # see docs about sast: annotations\n"
+    annotations, errors = extract_annotations(src, "m.py")
+    assert annotations == {} and errors == []
+
+
+def test_annotation_inside_string_is_ignored():
+    src = 's = "# sast: declassify"\n'
+    annotations, errors = extract_annotations(src, "m.py")
+    assert annotations == {} and errors == []
+
+
+def test_an001_surfaces_through_collect_findings(tmp_path):
+    src = """\
+    def f(sk):
+        if sk.f[0] > 0:  # sast: declassify
+            return 1
+        return 0
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    an = by_rule(findings, "AN001")
+    assert [f.line for f in an] == [line_of(src, "declassify")]
+    # the malformed declassify must NOT suppress the underlying finding
+    assert len(by_rule(findings, "SF001")) == 1

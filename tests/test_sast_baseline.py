@@ -1,0 +1,99 @@
+"""Baseline fingerprinting: round-trip, line-drift tolerance, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.sast_util import by_rule, findings_for, load_fixture
+
+from repro.sast.baseline import (
+    apply_baseline,
+    assign_occurrences,
+    fingerprint,
+    load_baseline,
+    render_baseline,
+)
+from repro.sast.cli import collect_findings
+
+_LEAKY = """\
+def leak(sk):
+    if sk.f[0] > 0:
+        return 1
+    return 0
+"""
+
+
+def _findings_and_root(tmp_path, files, package="pkg"):
+    project = load_fixture(tmp_path, files, package)
+    return collect_findings(project), project.root
+
+
+def test_round_trip_suppresses_everything(tmp_path):
+    findings, root = _findings_and_root(tmp_path, {"leak.py": _LEAKY})
+    assert findings
+    baseline_path = str(tmp_path / "baseline.json")
+    with open(baseline_path, "w") as fh:
+        fh.write(render_baseline(findings, root))
+    baseline = load_baseline(baseline_path)
+    fresh, stale = apply_baseline(findings, baseline, root, baseline_path)
+    assert fresh == [] and stale == []
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    findings, root = _findings_and_root(tmp_path / "a", {"leak.py": _LEAKY})
+    baseline = {fingerprint(f, root) for f in assign_occurrences(findings)}
+    # prepend a docstring + helper: every line number shifts, the
+    # fingerprint (function, normalized line text) does not
+    shifted = '"""Docstring pushing everything down."""\n\nX = 1\n\n' + _LEAKY
+    moved, moved_root = _findings_and_root(tmp_path / "b", {"leak.py": shifted})
+    assert [f.line for f in moved] != [f.line for f in findings]
+    fresh, stale = apply_baseline(moved, baseline, moved_root)
+    assert fresh == [] and stale == []
+
+
+def test_editing_the_flagged_line_invalidates_the_entry(tmp_path):
+    findings, root = _findings_and_root(tmp_path / "a", {"leak.py": _LEAKY})
+    baseline = {fingerprint(f, root) for f in assign_occurrences(findings)}
+    edited = _LEAKY.replace("sk.f[0] > 0", "sk.f[1] > 0")
+    new, new_root = _findings_and_root(tmp_path / "b", {"leak.py": edited})
+    fresh, stale = apply_baseline(new, baseline, new_root)
+    assert len(fresh) == len(new)          # the edited finding is new again
+    assert len(stale) == len(baseline)     # and the old entry is stale
+    assert all(f.rule == "BL001" for f in stale)
+
+
+def test_removed_finding_becomes_stale_entry(tmp_path):
+    findings, root = _findings_and_root(tmp_path / "a", {"leak.py": _LEAKY})
+    baseline = {fingerprint(f, root) for f in assign_occurrences(findings)}
+    clean = "def leak(sk):\n    return 0\n"
+    now, now_root = _findings_and_root(tmp_path / "b", {"leak.py": clean})
+    fresh, stale = apply_baseline(now, baseline, now_root, "bl.json")
+    assert fresh == []
+    assert [f.rule for f in stale] == ["BL001"] * len(baseline)
+    assert all(f.path == "bl.json" for f in stale)
+
+
+def test_occurrences_disambiguate_identical_lines(tmp_path):
+    src = """\
+    def twice(sk):
+        a = sk.f[0] % 3
+        a = sk.f[0] % 3
+        return a
+    """
+    findings = by_rule(findings_for(tmp_path, {"dup.py": src}), "SF003")
+    assert len(findings) == 2
+    fps = {fingerprint(f, str(tmp_path)) for f in assign_occurrences(findings)}
+    assert len(fps) == 2                   # occurrence index separates them
+    assert {fp[4] for fp in fps} == {0, 1}
+
+
+def test_malformed_baseline_raises(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        load_baseline(str(p))
+    p.write_text(json.dumps({"version": 1, "entries": "nope"}))
+    with pytest.raises(ValueError):
+        load_baseline(str(p))

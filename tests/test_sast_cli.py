@@ -1,0 +1,130 @@
+"""``repro-sast`` CLI: exit-code contract, JSON output, repo gate."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from tests.sast_util import line_of, write_package
+
+from repro.sast.cli import collect_findings, main
+from repro.sast.findings import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, RULES
+from repro.sast.project import load_project
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_LEAKY = """\
+def leak(sk):
+    if sk.f[0] > 0:
+        return 1
+    return 0
+"""
+
+_CLEAN = """\
+def fine(values):
+    return sum(values)
+"""
+
+
+def _pkg(tmp_path, files, name="pkg"):
+    root = os.path.join(str(tmp_path), name)
+    os.makedirs(root, exist_ok=True)
+    write_package(root, files)
+    return root
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    root = _pkg(tmp_path, {"ok.py": _CLEAN})
+    assert main([root]) == EXIT_CLEAN
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    root = _pkg(tmp_path, {"leak.py": _LEAKY})
+    assert main([root]) == EXIT_FINDINGS
+    out = capsys.readouterr()
+    assert "SF001" in out.out
+    assert "finding" in out.err
+
+
+def test_exit_two_on_bad_root(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == EXIT_ERROR
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule_filter(tmp_path, capsys):
+    root = _pkg(tmp_path, {"ok.py": _CLEAN})
+    assert main([root, "--rules", "SF001,NOPE9"]) == EXIT_ERROR
+    assert "NOPE9" in capsys.readouterr().err
+
+
+def test_exit_two_on_malformed_baseline(tmp_path, capsys):
+    root = _pkg(tmp_path, {"ok.py": _CLEAN})
+    bad = tmp_path / "bad.json"
+    bad.write_text("{")
+    assert main([root, "--baseline", str(bad)]) == EXIT_ERROR
+
+
+def test_rule_filter_restricts_report(tmp_path, capsys):
+    root = _pkg(tmp_path, {"leak.py": _LEAKY})
+    assert main([root, "--rules", "DT001"]) == EXIT_CLEAN
+
+
+def test_json_format_golden(tmp_path, capsys):
+    root = _pkg(tmp_path, {"leak.py": _LEAKY})
+    assert main([root, "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"findings", "count"}
+    assert payload["count"] == len(payload["findings"]) == 1
+    f = payload["findings"][0]
+    assert f["rule"] == "SF001"
+    assert f["path"].endswith("leak.py")
+    assert f["line"] == line_of(_LEAKY, "if sk.f[0]")
+    assert f["function"] == "pkg.leak.leak"
+    assert "SecretKey.f" in f["taint_chain"][0]
+
+
+def test_json_format_clean_tree(tmp_path, capsys):
+    root = _pkg(tmp_path, {"ok.py": _CLEAN})
+    assert main([root, "--format", "json"]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"findings": [], "count": 0}
+
+
+def test_write_then_check_baseline_cycle(tmp_path, capsys):
+    root = _pkg(tmp_path, {"leak.py": _LEAKY})
+    baseline = str(tmp_path / "bl.json")
+    assert main([root, "--write-baseline", "--baseline", baseline]) == EXIT_CLEAN
+    # baselined findings no longer fail the gate
+    assert main([root, "--baseline", baseline, "--check-baseline"]) == EXIT_CLEAN
+    # fixing the code makes the entry stale: plain run passes ...
+    write_package(root, {"leak.py": _CLEAN})
+    assert main([root, "--baseline", baseline]) == EXIT_CLEAN
+    # ... but --check-baseline fails with BL001 until the entry is removed
+    capsys.readouterr()
+    assert main([root, "--baseline", baseline, "--check-baseline"]) == EXIT_FINDINGS
+    assert "BL001" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_repo_gate_is_green():
+    """src/repro + the committed baseline must be clean (what `make sast`
+    and the CI job enforce)."""
+    root = os.path.join(_REPO_ROOT, "src", "repro")
+    baseline = os.path.join(_REPO_ROOT, "sast-baseline.json")
+    assert main([root, "--baseline", baseline, "--check-baseline"]) == EXIT_CLEAN
+
+
+def test_repo_baseline_documents_only_the_attack_surface():
+    """Accepted findings live exclusively in the faithfully-leaky layers
+    (falcon/, fpr/, math/) — everything else must stay finding-free."""
+    root = os.path.join(_REPO_ROOT, "src", "repro")
+    findings = collect_findings(load_project(root, package="repro"))
+    prefixes = {os.path.relpath(f.path, root).split(os.sep)[0] for f in findings}
+    assert prefixes <= {"falcon", "fpr", "math"}

@@ -1,0 +1,109 @@
+"""Concurrency/durability pass (CC001-CC002) fixtures."""
+
+from __future__ import annotations
+
+from tests.sast_util import by_rule, findings_for, line_of
+
+
+_POOL_FIXTURE = """\
+from concurrent.futures import ProcessPoolExecutor
+
+TOTALS = {}
+COUNTS = []
+
+def work(item):
+    TOTALS[item] = 1
+    COUNTS.append(item)
+    return item
+
+def helper(item):
+    global TOTALS
+    TOTALS = {}
+
+def chained(item):
+    helper(item)
+    return item
+
+def run(items):
+    with ProcessPoolExecutor() as ex:
+        list(ex.map(work, items))
+        fut = ex.submit(chained, items[0])
+    return fut
+"""
+
+
+def test_worker_reachable_module_state_mutation(tmp_path):
+    findings = findings_for(tmp_path, {"pool.py": _POOL_FIXTURE})
+    cc = by_rule(findings, "CC001")
+    lines = sorted(f.line for f in cc)
+    assert lines == [
+        line_of(_POOL_FIXTURE, "TOTALS[item] = 1"),
+        line_of(_POOL_FIXTURE, "COUNTS.append(item)"),
+        line_of(_POOL_FIXTURE, "    TOTALS = {}"),
+    ]
+    # the transitive callee (helper, via chained) is reached, and the
+    # parent-side run() itself is not flagged
+    assert all(f.function != "pkg.pool.run" for f in cc)
+
+
+def test_same_mutations_without_pool_are_clean(tmp_path):
+    src = _POOL_FIXTURE.replace(
+        "from concurrent.futures import ProcessPoolExecutor\n", ""
+    ).replace("with ProcessPoolExecutor() as ex:", "if items:")
+    src = src.replace("list(ex.map(work, items))", "work(items[0])")
+    src = src.replace("fut = ex.submit(chained, items[0])", "fut = chained(items[0])")
+    findings = findings_for(tmp_path, {"serial.py": src})
+    assert by_rule(findings, "CC001") == []
+
+
+def test_raw_write_modes_flagged(tmp_path):
+    src = """\
+    from pathlib import Path
+
+    def dump(path, text, blob):
+        with open(path, "w") as fh:
+            fh.write(text)
+        Path(path).write_bytes(blob)
+        with open(path) as fh:
+            return fh.read()
+
+    def journal(path, line):
+        with open(path, "a") as fh:
+            fh.write(line)
+    """
+    findings = findings_for(tmp_path, {"save.py": src})
+    cc = by_rule(findings, "CC002")
+    lines = sorted(f.line for f in cc)
+    # reads and append-mode opens are allowed
+    assert lines == [
+        line_of(src, 'open(path, "w")'),
+        line_of(src, "write_bytes(blob)"),
+    ]
+
+
+def test_atomic_output_path_block_is_exempt(tmp_path):
+    src = """\
+    import numpy as np
+    from repro.utils.io import atomic_output_path
+
+    def save(path, arr):
+        with atomic_output_path(path) as tmp:
+            with open(tmp, "wb") as fh:
+                np.save(fh, arr)
+
+    def save_raw(path, arr):
+        np.save(path, arr)
+    """
+    findings = findings_for(tmp_path, {"store.py": src})
+    cc = by_rule(findings, "CC002")
+    assert [f.line for f in cc] == [line_of(src, "np.save(path, arr)")]
+
+
+def test_utils_io_module_is_exempt(tmp_path):
+    src = """\
+    def atomic_write_bytes(path, blob):
+        with open(path, "wb") as fh:
+            fh.write(blob)
+    """
+    findings = findings_for(tmp_path, {"utils/io.py": src})
+    assert by_rule(findings, "CC002") == []

@@ -1,0 +1,107 @@
+"""Determinism pass (DT001-DT003) fixtures with exact rule/line pins."""
+
+from __future__ import annotations
+
+from tests.sast_util import by_rule, findings_for, line_of
+
+
+def test_unseeded_stdlib_random(tmp_path):
+    src = """\
+    import random
+
+    def draw():
+        return random.random()
+    """
+    findings = findings_for(tmp_path, {"draw.py": src})
+    dt = by_rule(findings, "DT001")
+    assert [f.line for f in dt] == [line_of(src, "random.random()")]
+
+
+def test_utils_rng_module_is_exempt(tmp_path):
+    src = """\
+    import os
+
+    def entropy():
+        return os.urandom(32)
+    """
+    findings = findings_for(tmp_path / "a", {"utils/rng.py": src})
+    assert by_rule(findings, "DT001") == []
+    # the same code elsewhere is a finding
+    findings = findings_for(tmp_path / "b", {"elsewhere.py": src})
+    assert len(by_rule(findings, "DT001")) == 1
+
+
+def test_legacy_numpy_random_and_seedless_default_rng(tmp_path):
+    src = """\
+    import numpy as np
+
+    def bad():
+        a = np.random.normal(0, 1)
+        b = np.random.default_rng()
+        return a, b
+
+    def good(seed):
+        return np.random.default_rng(seed)
+    """
+    findings = findings_for(tmp_path, {"nprng.py": src})
+    lines = sorted(f.line for f in by_rule(findings, "DT001"))
+    assert lines == [
+        line_of(src, "np.random.normal"),
+        line_of(src, "np.random.default_rng()"),
+    ]
+
+
+def test_wall_clock_flagged_outside_obs(tmp_path):
+    src = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+    findings = findings_for(tmp_path / "a", {"pipeline.py": src})
+    assert [f.line for f in by_rule(findings, "DT002")] == [line_of(src, "time.time()")]
+    # the telemetry layer owns timestamps
+    findings = findings_for(tmp_path / "b", {"obs/journal.py": src})
+    assert by_rule(findings, "DT002") == []
+
+
+def test_perf_counter_is_fine(tmp_path):
+    src = """\
+    import time
+
+    def elapsed():
+        t0 = time.perf_counter()
+        return time.perf_counter() - t0
+    """
+    findings = findings_for(tmp_path, {"timing.py": src})
+    assert by_rule(findings, "DT002") == []
+
+
+def test_unordered_iteration_into_digest(tmp_path):
+    src = """\
+    import hashlib
+
+    def manifest_digest(entries):
+        h = hashlib.sha256()
+        for key in entries.keys():
+            h.update(str(key).encode())
+        return h.hexdigest()
+
+    def stable_digest(entries):
+        h = hashlib.sha256()
+        for key in sorted(entries.keys()):
+            h.update(str(key).encode())
+        return h.hexdigest()
+
+    def plain_collect(entries):
+        out = []
+        for key in entries.keys():
+            out.append(key)
+        return out
+    """
+    findings = findings_for(tmp_path, {"digest.py": src})
+    dt = by_rule(findings, "DT003")
+    # only the unsorted iteration inside the digest context fires; the
+    # sorted() wrapper and the non-digest function are clean
+    assert [f.line for f in dt] == [line_of(src, "for key in entries.keys()")]
+    assert dt[0].function == "pkg.digest.manifest_digest"

@@ -1,0 +1,179 @@
+"""Secret-flow taint engine (SF001-SF004) against known fixture flows.
+
+Every test pins exact rule IDs and line numbers, so a propagation
+regression shows up as a missing/moved finding rather than a silently
+shrinking report.
+"""
+
+from __future__ import annotations
+
+import os
+
+from tests.sast_util import by_rule, findings_for, line_of, write_package
+
+from repro.sast.cli import collect_findings
+from repro.sast.project import load_project
+
+
+def test_secret_branch_flagged_with_chain(tmp_path):
+    src = """\
+    def leak(sk):
+        if sk.f[0] > 0:
+            return 1
+        return 0
+    """
+    findings = findings_for(tmp_path, {"attack.py": src})
+    sf = by_rule(findings, "SF001")
+    assert len(sf) == 1
+    f = sf[0]
+    assert f.line == line_of(src, "if sk.f[0] > 0")
+    assert f.function == "pkg.attack.leak"
+    assert "SecretKey.f" in f.taint_chain[0]
+    assert "branch" in f.taint_chain[-1]
+
+
+def test_secret_indexed_subscript(tmp_path):
+    src = """\
+    TABLE = [1, 2, 3, 4]
+
+    def select(sk):
+        return TABLE[sk.g[0]]
+    """
+    findings = findings_for(tmp_path, {"lut.py": src})
+    sf = by_rule(findings, "SF002")
+    assert [f.line for f in sf] == [line_of(src, "TABLE[sk.g[0]]")]
+    assert "SecretKey.g" in sf[0].taint_chain[0]
+
+
+def test_variable_time_operations(tmp_path):
+    src = """\
+    import math
+
+    def ops(sk):
+        a = sk.f[0] % 3
+        b = math.exp(sk.f[1])
+        c = 1 << sk.f[2]
+        d = sk.f[3].bit_length()
+        return a, b, c, d
+    """
+    findings = findings_for(tmp_path, {"vt.py": src})
+    lines = sorted(f.line for f in by_rule(findings, "SF003"))
+    assert lines == [
+        line_of(src, "% 3"),
+        line_of(src, "math.exp"),
+        line_of(src, "1 <<"),
+        line_of(src, "bit_length"),
+    ]
+
+
+def test_interprocedural_taint_reaches_callee_branch(tmp_path):
+    helper = """\
+    def branchy(x):
+        if x > 0:
+            return 1
+        return 0
+    """
+    main = """\
+    from pkg.helper import branchy
+
+    def drive(sk):
+        return branchy(sk.g[0])
+    """
+    findings = findings_for(tmp_path, {"helper.py": helper, "main.py": main})
+    sf = by_rule(findings, "SF001")
+    assert len(sf) == 1
+    f = sf[0]
+    assert f.path.endswith("helper.py")
+    assert f.line == line_of(helper, "if x > 0")
+    # the chain names the original SecretKey field, not just the parameter
+    assert "SecretKey.g" in f.taint_chain[0]
+    assert any("branchy" in hop for hop in f.taint_chain)
+
+
+def test_sampler_output_is_a_source(tmp_path):
+    files = {
+        "falcon/samplerz.py": """\
+        def samplerz(mu, sigma, sigmin, rng):
+            return 0
+        """,
+        "use.py": """\
+        from repro.falcon.samplerz import samplerz
+
+        def draw(rng):
+            z = samplerz(0.0, 1.0, 0.5, rng)
+            if z > 0:
+                return 1
+            return 0
+        """,
+    }
+    findings = findings_for(tmp_path, files, package="repro")
+    sf = by_rule(findings, "SF001")
+    assert len(sf) == 1
+    assert sf[0].line == line_of(files["use.py"], "if z > 0")
+    assert "samplerz" in sf[0].taint_chain[0]
+
+
+def test_len_sanitizes_taint(tmp_path):
+    src = """\
+    def shape_only(sk):
+        if len(sk.f) > 4:
+            return 1
+        return 0
+    """
+    findings = findings_for(tmp_path, {"ok.py": src})
+    assert by_rule(findings, "SF001") == []
+
+
+def test_source_and_sink_annotations(tmp_path):
+    src = """\
+    def emit(out):
+        limb = 7  # sast: source
+        out.write(limb)  # sast: sink
+        return limb
+    """
+    findings = findings_for(tmp_path, {"ann.py": src})
+    sf = by_rule(findings, "SF004")
+    assert [f.line for f in sf] == [line_of(src, "out.write")]
+
+
+def test_declassify_suppresses_and_bounds_taint(tmp_path):
+    src = """\
+    def report(sk):  # sast: declassify(reason=fixture exercises the boundary)
+        if sk.f[0] > 0:
+            return helper(sk.f[0])
+        return 0
+
+    def helper(x):
+        if x > 0:
+            return 1
+        return 0
+    """
+    findings = findings_for(tmp_path, {"decl.py": src})
+    # no findings inside the declassified function, and the taint must
+    # not leak through its call sites into helper() either
+    assert by_rule(findings, "SF001") == []
+
+
+def test_planted_branch_in_falcon_sign_copy(tmp_path):
+    """Acceptance: a planted secret-dependent branch in a fixture copy of
+    repro.falcon.sign is detected, chain naming the SecretKey field."""
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(here, "src", "repro", "falcon", "sign.py")) as fh:
+        original = fh.read()
+    anchor = "        t0, t1 = sign_target(sk, c)\n"
+    assert anchor in original, "sign.py anchor moved; update the fixture"
+    planted = original.replace(
+        anchor,
+        anchor + "        if sk.f[0] > 0:  # planted leak\n            continue\n",
+        1,
+    )
+    pkg_root = os.path.join(str(tmp_path), "repro")
+    write_package(pkg_root, {"falcon/sign.py": planted})
+    findings = collect_findings(load_project(pkg_root, package="repro"))
+    plant_line = planted.splitlines().index(
+        "        if sk.f[0] > 0:  # planted leak"
+    ) + 1
+    hits = [f for f in by_rule(findings, "SF001") if f.line == plant_line]
+    assert len(hits) == 1
+    assert "SecretKey.f" in hits[0].taint_chain[0]
+    assert hits[0].function == "repro.falcon.sign.sign"
