@@ -24,8 +24,10 @@ Message modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.falcon.hash_to_point import hash_to_point
 from repro.falcon.keygen import SecretKey
@@ -37,10 +39,13 @@ from repro.obs import metrics
 from repro.obs.spans import span
 from repro.utils.rng import ChaCha20Prng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.leakage.store import CampaignStore
+
 __all__ = ["CaptureCampaign", "capture_coefficient", "fft_to_doubles", "doubles_to_fft"]
 
 
-def fft_to_doubles(f_fft: np.ndarray) -> np.ndarray:
+def fft_to_doubles(f_fft: NDArray[np.complex128]) -> NDArray[np.float64]:
     """Interleave an (n/2,) complex FFT array into n real doubles.
 
     Index 2k is Re(slot k), index 2k+1 is Im(slot k) — the order the
@@ -52,13 +57,13 @@ def fft_to_doubles(f_fft: np.ndarray) -> np.ndarray:
     return out
 
 
-def doubles_to_fft(doubles: np.ndarray) -> np.ndarray:
+def doubles_to_fft(doubles: NDArray[Any]) -> NDArray[np.complex128]:
     """Inverse of :func:`fft_to_doubles`."""
     doubles = np.asarray(doubles, dtype=np.float64)
     return doubles[0::2] + 1j * doubles[1::2]
 
 
-def _is_normal(patterns: np.ndarray) -> np.ndarray:
+def _is_normal(patterns: NDArray[np.uint64]) -> NDArray[np.bool_]:
     e = (patterns >> np.uint64(52)) & np.uint64(0x7FF)
     return (e != 0) & (e != 0x7FF)
 
@@ -80,15 +85,17 @@ class CaptureCampaign:
     #: Optional hook transforming the (D, S) step-value matrix before the
     #: device emits samples — how countermeasures (masking, shuffling)
     #: are modeled (see :mod:`repro.countermeasures`).
-    value_transform: object = None
+    value_transform: Callable[
+        [NDArray[np.uint64], np.random.Generator], NDArray[np.uint64]
+    ] | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("direct", "hash"):
             raise ValueError(f"unknown capture mode {self.mode!r}")
-        self._c_fft: np.ndarray | None = None
-        self._secret_doubles: np.ndarray | None = None
+        self._c_fft: NDArray[np.complex128] | None = None
+        self._secret_doubles: NDArray[np.float64] | None = None
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         # The corpus is derived deterministically from (seed, mode, n);
         # drop it so shipping a campaign to a worker process stays cheap
         # and each worker rebuilds (and then reuses) its own copy.
@@ -125,15 +132,17 @@ class CaptureCampaign:
         self._secret_doubles = fft_to_doubles(fft.fft(self.sk.f))
 
     @property
-    def c_fft(self) -> np.ndarray:
+    def c_fft(self) -> NDArray[np.complex128]:
         if self._c_fft is None:
             self._build_corpus()
+        assert self._c_fft is not None
         return self._c_fft
 
     @property
-    def secret_doubles(self) -> np.ndarray:
+    def secret_doubles(self) -> NDArray[np.float64]:
         if self._secret_doubles is None:
             self._build_corpus()
+        assert self._secret_doubles is not None
         return self._secret_doubles
 
     @property
@@ -156,7 +165,7 @@ class CaptureCampaign:
                 "it multiplies to zero and leaks nothing"
             )
         rng = np.random.default_rng((self.device.seed, self.seed, target_index))
-        segments = []
+        segments: list[Segment] = []
         with span("capture", target=target_index, source="live"):
             for name, known in (
                 ("x_re", np.ascontiguousarray(self.c_fft[:, slot].real)),
@@ -194,7 +203,12 @@ class CaptureCampaign:
         """One TraceSet per secret double (the full-key campaign)."""
         return [self.capture(j) for j in range(self.n_targets)]
 
-    def materialize(self, path: str, targets=None, progress_callback=None):
+    def materialize(
+        self,
+        path: str,
+        targets: Iterable[int] | None = None,
+        progress_callback: Callable[[int, int, int], None] | None = None,
+    ) -> "CampaignStore":
         """Persist this campaign to a :class:`~repro.leakage.store.CampaignStore`.
 
         Capture once, attack many times: the returned store serves the

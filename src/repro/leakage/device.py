@@ -14,8 +14,10 @@ around 1k (paper Fig. 4 e-h).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.leakage.model import HammingWeightModel
 
@@ -46,7 +48,7 @@ class DeviceModel:
         """A fresh deterministic generator for one acquisition run."""
         return np.random.default_rng(self.seed)
 
-    def emit(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def emit(self, values: NDArray[Any], rng: np.random.Generator) -> NDArray[np.float32]:
         """Samples for a (D, S) matrix of step values -> (D, S*spp) floats.
 
         Each step value is held for ``samples_per_step`` oscilloscope

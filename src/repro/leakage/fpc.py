@@ -19,8 +19,10 @@ doubles of the slot and are a natural second-order target the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.fpr.trace import ADD_STEP_LABELS, MUL_STEP_LABELS
 from repro.leakage.device import DeviceModel
@@ -54,7 +56,7 @@ class FpcLayout:
 
     @classmethod
     def build(cls) -> "FpcLayout":
-        labels = []
+        labels: list[str] = []
         for name in FPC_MUL_NAMES:
             labels.extend(f"{name}.{lab}" for lab in MUL_STEP_LABELS)
         labels.extend(f"add_re.{lab}" for lab in ADD_STEP_LABELS)
@@ -62,7 +64,7 @@ class FpcLayout:
         return cls(labels=tuple(labels))
 
 
-def _add_step_values(x: np.ndarray, y: np.ndarray) -> np.ndarray:  # sast: declassify(reason=vectorized leakage model of fpr addition; mirrors the victim's data flow on purpose)
+def _add_step_values(x: NDArray[Any], y: NDArray[Any]) -> NDArray[np.uint64]:  # sast: declassify(reason=vectorized leakage model of fpr addition; mirrors the victim's data flow on purpose)
     """Vectorized intermediates of fpr addition (see fpr_add_trace)."""
     x = np.asarray(x, dtype=np.uint64)
     y = np.asarray(y, dtype=np.uint64)
@@ -88,8 +90,8 @@ def _add_step_values(x: np.ndarray, y: np.ndarray) -> np.ndarray:  # sast: decla
 
 
 def fpc_step_values(
-    x_re: int, x_im: int, y_re: np.ndarray, y_im: np.ndarray
-) -> tuple[np.ndarray, FpcLayout]:
+    x_re: int, x_im: int, y_re: NDArray[Any], y_im: NDArray[Any]
+) -> tuple[NDArray[np.uint64], FpcLayout]:
     """(D, S) intermediates of the full complex multiply per trace.
 
     ``x_re``/``x_im`` are the secret doubles' bit patterns (scalars);
@@ -117,11 +119,11 @@ def fpc_step_values(
 def synthesize_fpc_traces(
     x_re: int,
     x_im: int,
-    y_re: np.ndarray,
-    y_im: np.ndarray,
+    y_re: NDArray[Any],
+    y_im: NDArray[Any],
     device: DeviceModel | None = None,
     rng: np.random.Generator | None = None,
-) -> tuple[np.ndarray, np.ndarray, FpcLayout]:
+) -> tuple[NDArray[np.float32], NDArray[np.uint64], FpcLayout]:
     """Full-slot traces: (traces, step values, layout)."""
     dev = device if device is not None else DeviceModel()
     if rng is None:

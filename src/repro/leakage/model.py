@@ -10,8 +10,10 @@ model the attacker assumes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.utils.bits import hamming_weight_array
 
@@ -22,7 +24,7 @@ __all__ = ["HammingWeightModel", "HammingDistanceModel", "WeightedBitModel"]
 class HammingWeightModel:
     """signal = HW(value)."""
 
-    def signal(self, values: np.ndarray) -> np.ndarray:
+    def signal(self, values: NDArray[Any]) -> NDArray[np.float64]:
         """Noise-free signal for an array of (<= 64-bit) intermediates."""
         return hamming_weight_array(values).astype(np.float64)
 
@@ -31,7 +33,9 @@ class HammingWeightModel:
 class HammingDistanceModel:
     """signal = HD(value, previous value on the same bus)."""
 
-    def signal(self, values: np.ndarray, previous: np.ndarray | None = None) -> np.ndarray:
+    def signal(
+        self, values: NDArray[Any], previous: NDArray[Any] | None = None
+    ) -> NDArray[np.float64]:
         values = np.asarray(values, dtype=np.uint64)
         if previous is None:
             previous = np.zeros_like(values)
@@ -50,7 +54,7 @@ class WeightedBitModel:
 
     weights: tuple[float, ...] = field(default_factory=lambda: tuple([1.0] * 64))
 
-    def signal(self, values: np.ndarray) -> np.ndarray:
+    def signal(self, values: NDArray[Any]) -> NDArray[np.float64]:
         values = np.asarray(values, dtype=np.uint64)
         out = np.zeros(values.shape, dtype=np.float64)
         for i, w in enumerate(self.weights):

@@ -36,15 +36,20 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Protocol, runtime_checkable
 
 import numpy as np
+from numpy.typing import NDArray
 
+from repro.leakage.device import DeviceModel
 from repro.leakage.synth import TraceLayout
 from repro.leakage.traceset import Segment, TraceSet
 from repro.obs import metrics
 from repro.obs.spans import span
 from repro.utils.io import atomic_output_path, atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.leakage.capture import CaptureCampaign
 
 __all__ = [
     "TraceSource",
@@ -76,8 +81,13 @@ class TraceSource(Protocol):
     and everything above it accept either transparently.
     """
 
-    n_targets: int
-    n_traces: int
+    @property
+    def n_targets(self) -> int:  # pragma: no cover
+        ...
+
+    @property
+    def n_traces(self) -> int:  # pragma: no cover
+        ...
 
     def capture(self, target_index: int) -> TraceSet:  # pragma: no cover
         ...
@@ -91,7 +101,7 @@ class TraceSource(Protocol):
 # "close enough" (the significance bounds are computed from these counts).
 
 
-def meta_to_jsonable(obj):
+def meta_to_jsonable(obj: Any) -> Any:
     """Recursively convert a meta value into JSON-encodable form."""
     if isinstance(obj, tuple):
         return {"__tuple__": [meta_to_jsonable(v) for v in obj]}
@@ -106,7 +116,7 @@ def meta_to_jsonable(obj):
     return obj
 
 
-def meta_from_jsonable(obj):
+def meta_from_jsonable(obj: Any) -> Any:
     """Inverse of :func:`meta_to_jsonable`."""
     if isinstance(obj, dict):
         if set(obj.keys()) == {"__tuple__"}:
@@ -122,8 +132,8 @@ def meta_from_jsonable(obj):
 
 def write_traceset(path: str, traceset: TraceSet) -> None:
     """Persist one TraceSet to an .npz archive, metadata included."""
-    arrays: dict[str, np.ndarray] = {}
-    names = []
+    arrays: dict[str, NDArray[Any]] = {}
+    names: list[str] = []
     for i, seg in enumerate(traceset.segments):
         arrays[f"known_{i}"] = seg.known_y
         arrays[f"traces_{i}"] = seg.traces
@@ -161,7 +171,7 @@ def read_traceset(path: str) -> TraceSet:
     ]
     layout = TraceLayout(samples_per_step=int(data["spp"][0]))
     secret = int(data["true_secret"][0]) if bool(data["has_secret"][0]) else None
-    meta = {}
+    meta: dict[str, Any] = {}
     if "meta_json" in data:
         meta = meta_from_jsonable(json.loads(str(data["meta_json"])))
     return TraceSet(
@@ -196,7 +206,7 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
             int(seg.known_y.nbytes) + int(seg.traces.shape[0] * seg.traces.shape[1] * 4),
         )
     metrics.inc("store.shards_written", 1)
-    shard = {
+    shard: dict[str, Any] = {
         "target_index": traceset.target_index,
         "true_secret": traceset.true_secret,
         "segments": [seg.name for seg in traceset.segments],
@@ -221,11 +231,11 @@ def _read_shard(root: str, target_index: int, mmap: bool = True) -> TraceSet:
         raise StoreError(f"store has no complete shard for target {target_index}")
     with open(meta_path) as fh:
         shard = json.load(fh)
-    mode = "r" if mmap else None
-    segments = []
+    segments: list[Segment] = []
     for name in shard["segments"]:
         known = np.load(os.path.join(d, f"{name}.known.npy"))
-        traces = np.load(os.path.join(d, f"{name}.traces.npy"), mmap_mode=mode)
+        traces_path = os.path.join(d, f"{name}.traces.npy")
+        traces = np.load(traces_path, mmap_mode="r") if mmap else np.load(traces_path)
         segments.append(Segment(known_y=known, traces=traces, name=name))
         # Memory-mapped shards count bytes *exposed*; the page cache
         # decides what is physically read, but this is the upper bound
@@ -241,7 +251,7 @@ def _read_shard(root: str, target_index: int, mmap: bool = True) -> TraceSet:
     )
 
 
-def _device_to_jsonable(device) -> dict:
+def _device_to_jsonable(device: DeviceModel) -> dict[str, Any]:
     return {
         "gain": device.gain,
         "offset": device.offset,
@@ -253,9 +263,8 @@ def _device_to_jsonable(device) -> dict:
     }
 
 
-def _device_from_jsonable(spec: dict):
+def _device_from_jsonable(spec: dict[str, Any]) -> DeviceModel:
     from repro.leakage import model as model_mod
-    from repro.leakage.device import DeviceModel
 
     model_cls = getattr(model_mod, spec.get("model", "HammingWeightModel"))
     return DeviceModel(
@@ -297,7 +306,7 @@ class CampaignStore:
             raise StoreError(
                 f"store version {manifest['version']} is newer than this code ({_VERSION})"
             )
-        self.manifest = manifest
+        self.manifest: dict[str, Any] = manifest
 
     # -- TraceSource -------------------------------------------------------
 
@@ -344,7 +353,7 @@ class CampaignStore:
         return int(self.manifest["seed"])
 
     @property
-    def device(self):
+    def device(self) -> DeviceModel:
         """The acquisition device model recorded in the manifest."""
         return _device_from_jsonable(self.manifest["device"])
 
@@ -360,9 +369,9 @@ class CampaignStore:
     def materialize(
         cls,
         path: str,
-        campaign,
+        campaign: "CaptureCampaign",
         targets: Iterable[int] | None = None,
-        progress_callback=None,
+        progress_callback: Callable[[int, int, int], None] | None = None,
     ) -> "CampaignStore":
         """Capture every target of ``campaign`` into a store at ``path``.
 
@@ -374,7 +383,7 @@ class CampaignStore:
         """
         os.makedirs(path, exist_ok=True)
         target_list = list(targets) if targets is not None else list(range(campaign.n_targets))
-        entries: dict[str, dict] = {}
+        entries: dict[str, dict[str, Any]] = {}
         for done, j in enumerate(target_list, start=1):
             if _shard_complete(path, j):
                 with open(os.path.join(_shard_dir(path, j), _SHARD_META)) as fh:
@@ -390,7 +399,7 @@ class CampaignStore:
                 entries[str(j)] = {"n_kept": list(ts.meta.get("n_kept", ()))}
             if progress_callback is not None:
                 progress_callback(j, done, len(target_list))
-        manifest = {
+        manifest: dict[str, Any] = {
             "format": _FORMAT,
             "version": _VERSION,
             "n": campaign.sk.params.n,
@@ -413,12 +422,12 @@ class CampaignStore:
 
     # -- plumbing ----------------------------------------------------------
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         # Shipping a store to a worker process ships the path only; each
         # worker re-opens its own memmaps (file handles don't pickle).
         return {"path": self.path}
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self.__init__(state["path"])
 
     def __repr__(self) -> str:

@@ -10,8 +10,10 @@ intermediate is the 56-bit high partial product.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.fpr.trace import EXP_REBIAS, LOW_BITS, MUL_STEP_LABELS
 from repro.leakage.device import DeviceModel
@@ -25,7 +27,7 @@ _IMPLICIT = _U(1 << 52)
 _EXP_MASK = _U(0x7FF)
 
 
-def mul_step_values(x: np.ndarray | int, y: np.ndarray) -> np.ndarray:  # sast: declassify(reason=leakage model of fpr multiply intermediates; consumes the secret operand by design)
+def mul_step_values(x: NDArray[Any] | int, y: NDArray[Any]) -> NDArray[np.uint64]:  # sast: declassify(reason=leakage model of fpr multiply intermediates; consumes the secret operand by design)
     """(D, S) uint64 matrix of intermediates for x*y, one row per pair.
 
     ``x`` (secret) and ``y`` (known) are fpr bit patterns; ``x`` may be a
@@ -112,11 +114,11 @@ def trace_layout(device: DeviceModel) -> TraceLayout:
 
 
 def synthesize_mul_traces(
-    x: np.ndarray | int,
-    y: np.ndarray,
+    x: NDArray[Any] | int,
+    y: NDArray[Any],
     device: DeviceModel,
     rng: np.random.Generator | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[np.float32], NDArray[np.uint64]]:
     """Traces (D, T) plus the underlying step values (D, S) for x*y."""
     if rng is None:
         rng = device.rng()

@@ -11,8 +11,10 @@ both use the same secret with independent known inputs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.leakage.synth import TraceLayout
 
@@ -23,8 +25,8 @@ __all__ = ["Segment", "TraceSet"]
 class Segment:
     """Traces for one multiplication stream: secret * known_i."""
 
-    known_y: np.ndarray          # (D,) uint64 fpr patterns of the known operand
-    traces: np.ndarray           # (D, T) float32 samples
+    known_y: NDArray[np.uint64]  # (D,) uint64 fpr patterns of the known operand
+    traces: NDArray[np.float32]  # (D, T) float32 samples
     name: str = "seg"
 
     def __post_init__(self) -> None:
@@ -52,7 +54,7 @@ class TraceSet:
     segments: list[Segment]
     target_index: int = 0                 # which double inside FFT(f)
     true_secret: int | None = None        # ground-truth fpr pattern (sims only)
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_traces(self) -> int:

@@ -15,11 +15,17 @@ and to ingest externally captured float traces.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
+from repro.leakage.store import meta_from_jsonable, meta_to_jsonable
+from repro.leakage.synth import TraceLayout
+from repro.leakage.traceset import Segment, TraceSet
 from repro.utils.io import atomic_output_path
 
 __all__ = [
@@ -59,8 +65,8 @@ class TrsError(ValueError):
 class TrsData:
     """Contents of a TRS file."""
 
-    traces: np.ndarray        # (NT, NS) float32
-    data: np.ndarray          # (NT, DS) uint8 per-trace data (DS may be 0)
+    traces: NDArray[np.float32]  # (NT, NS) float32
+    data: NDArray[np.uint8]      # (NT, DS) uint8 per-trace data (DS may be 0)
     description: str = ""
 
 
@@ -74,8 +80,8 @@ def _encode_tlv(tag: int, payload: bytes) -> bytes:
 
 def write_trs(  # sast: declassify(reason=trace serialization; payload shape checks depend on trace dimensions, not on victim control flow)
     path: str,
-    traces: np.ndarray,
-    data: np.ndarray | None = None,
+    traces: NDArray[Any],
+    data: NDArray[Any] | None = None,
     description: str = "",
 ) -> None:
     """Write (D, T) float traces (+ optional (D, DS) per-trace data bytes)."""
@@ -106,7 +112,8 @@ def read_trs(path: str) -> TrsData:
     with open(path, "rb") as fh:
         blob = fh.read()
     pos = 0
-    nt = ns = None
+    nt: int | None = None
+    ns: int | None = None
     ds = 0
     coding = _CODING_FLOAT
     description = ""
@@ -154,7 +161,7 @@ def read_trs(path: str) -> TrsData:
     return TrsData(traces=traces, data=data, description=description)
 
 
-def traceset_to_trs(traceset, path_prefix: str) -> list[str]:
+def traceset_to_trs(traceset: "TraceSet", path_prefix: str) -> list[str]:
     """Export every segment of a TraceSet as `<prefix>_<segname>.trs`.
 
     The known operand pattern is stored as 8 little-endian data bytes
@@ -163,11 +170,7 @@ def traceset_to_trs(traceset, path_prefix: str) -> list[str]:
     name, target index, ``true_secret``, layout, ``meta``) as JSON, so
     :func:`trs_to_traceset` reconstructs the set losslessly.
     """
-    import json
-
-    from repro.leakage.store import meta_to_jsonable
-
-    paths = []
+    paths: list[str] = []
     for seg in traceset.segments:
         data = seg.known_y.astype("<u8").view(np.uint8).reshape(-1, 8)
         path = f"{path_prefix}_{seg.name}.trs"
@@ -184,10 +187,8 @@ def traceset_to_trs(traceset, path_prefix: str) -> list[str]:
     return paths
 
 
-def trs_to_segment(path: str):
+def trs_to_segment(path: str) -> Segment:
     """Import a TRS file (with 8-byte known-operand data) as a Segment."""
-    from repro.leakage.traceset import Segment
-
     trs = read_trs(path)
     if trs.data.shape[1] != 8:
         raise TrsError("expected 8 data bytes per trace (known operand pattern)")
@@ -199,10 +200,8 @@ def trs_to_segment(path: str):
     return Segment(known_y=known.astype(np.uint64), traces=trs.traces, name=name)
 
 
-def _parse_context(description: str) -> dict | None:
+def _parse_context(description: str) -> dict[str, Any] | None:
     """The JSON TraceSet context embedded in a falcon-down TRS export."""
-    import json
-
     try:
         ctx = json.loads(description)
     except (json.JSONDecodeError, ValueError):
@@ -212,21 +211,17 @@ def _parse_context(description: str) -> dict | None:
     return ctx
 
 
-def trs_to_traceset(paths: list[str]):
+def trs_to_traceset(paths: list[str]) -> TraceSet:
     """Rebuild a TraceSet from the TRS files of :func:`traceset_to_trs`.
 
     Segment order follows ``paths``; the context embedded in the
     descriptions restores target index, ``true_secret``, layout and
     ``meta`` exactly. All files must come from the same export.
     """
-    from repro.leakage.store import meta_from_jsonable
-    from repro.leakage.synth import TraceLayout
-    from repro.leakage.traceset import Segment, TraceSet
-
     if not paths:
         raise TrsError("no TRS files given")
-    segments = []
-    ctx0 = None
+    segments: list[Segment] = []
+    ctx0: dict[str, Any] | None = None
     for path in paths:
         trs = read_trs(path)
         if trs.data.shape[1] != 8:
@@ -242,6 +237,7 @@ def trs_to_traceset(paths: list[str]):
         segments.append(
             Segment(known_y=known.astype(np.uint64), traces=trs.traces, name=str(ctx["seg"]))
         )
+    assert ctx0 is not None
     return TraceSet(
         layout=TraceLayout(samples_per_step=int(ctx0["samples_per_step"])),
         segments=segments,

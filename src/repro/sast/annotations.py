@@ -52,6 +52,12 @@ class Annotation:
     def suppresses(self, rule: str) -> bool:
         return self.kind == "declassify" and (not self.rules or rule in self.rules)
 
+    @property
+    def is_blanket(self) -> bool:
+        """Declassify with no rule filter: a full declassification
+        boundary (sanitizes data flow), not just a finding waiver."""
+        return self.kind == "declassify" and not self.rules
+
 
 def extract_annotations(
     source: str, path: str
@@ -97,6 +103,10 @@ def extract_annotations(
             if rm is not None:
                 rules = tuple(r.strip() for r in rm.group(1).split("|") if r.strip())
                 rest = rest[rm.end():]
+                if not rules:
+                    # `rules=|` must not silently widen into a blanket waiver
+                    err(line, col, "declassify rules list is empty")
+                    continue
                 unknown = [r for r in rules if r not in RULES]
                 if unknown:
                     err(line, col, f"declassify names unknown rule(s): {', '.join(unknown)}")

@@ -40,6 +40,7 @@ from repro.sast.taint import run_taint
 __all__ = ["main", "collect_findings"]
 
 _DEFAULT_BASELINE = "sast-baseline.json"
+_DEFAULT_CONTRACT = "leakage-contract.json"
 
 
 def collect_findings(project: Project) -> list[Finding]:
@@ -68,8 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="import name of the root (default: the directory's basename)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental summary cache file; unchanged import-graph "
+        "components are replayed instead of re-analyzed",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -99,8 +105,185 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _collect_maybe_cached(project: Project, cache_path: str | None) -> list[Finding]:
+    """All findings, through the incremental cache when one is configured."""
+    if cache_path is None:
+        return collect_findings(project)
+    from repro.sast.cache import run_with_cache
+
+    findings, stats = run_with_cache(project, cache_path)
+    print(f"repro-sast: {stats.describe()}", file=sys.stderr)
+    return findings
+
+
+def _build_verify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sast verify",
+        description="Enforce the leakage contract: static findings must be "
+        "triaged, recorded oracle verdicts must hold, and (with --oracle) "
+        "declassify scopes inside the coverage boundary must execute.",
+    )
+    parser.add_argument(
+        "root", nargs="?", default="src/repro",
+        help="package directory to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--package", default=None,
+        help="import name of the root (default: the directory's basename)",
+    )
+    parser.add_argument(
+        "--contract", default=_DEFAULT_CONTRACT, metavar="PATH",
+        help=f"leakage contract file (default: {_DEFAULT_CONTRACT})",
+    )
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="run the dynamic taint oracle (needs numpy) and enforce fresh "
+        "verdicts instead of the recorded ones",
+    )
+    parser.add_argument(
+        "--write-contract", action="store_true",
+        help="regenerate the contract from current findings (runs the oracle), "
+        "carrying over reviewed classes/reasons by fingerprint",
+    )
+    parser.add_argument(
+        "--seeds", default=None, metavar="S1,S2",
+        help="comma-separated oracle key seeds (default: three fixed seeds)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="ring degree for the oracle workload (default: 8)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="violation report format (default: text)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental summary cache file (see the analyze mode)",
+    )
+    return parser
+
+
+def _run_verify(argv: list[str]) -> int:
+    from repro.sast.contract import (
+        build_contract,
+        load_contract,
+        render_contract,
+        verify_contract,
+    )
+    from repro.sast.oracle import (
+        OracleError,
+        declassify_watch_sites,
+        finding_sites,
+        run_oracle,
+    )
+
+    parser = _build_verify_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_ERROR if exc.code not in (0, None) else EXIT_CLEAN
+
+    try:
+        project = load_project(args.root, package=args.package)
+    except (FileNotFoundError, NotADirectoryError, OSError) as exc:
+        print(f"repro-sast: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    findings = _collect_maybe_cached(project, args.cache)
+
+    report = None
+    if args.oracle or args.write_contract:
+        oracle_kwargs: dict[str, object] = {}
+        if args.seeds:
+            oracle_kwargs["seeds"] = [s.strip() for s in args.seeds.split(",") if s.strip()]
+        if args.n is not None:
+            oracle_kwargs["n"] = args.n
+        try:
+            report = run_oracle(
+                project.root,
+                package=project.package,
+                sites=finding_sites(project, findings),
+                declassify=declassify_watch_sites(project),
+                **oracle_kwargs,  # type: ignore[arg-type]
+            )
+        except OracleError as exc:
+            print(f"repro-sast: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    if args.write_contract:
+        from repro.utils.io import atomic_write_text
+
+        previous = None
+        if os.path.exists(args.contract):
+            try:
+                previous = load_contract(args.contract)
+            except (ValueError, OSError) as exc:
+                print(f"repro-sast: warning: ignoring previous contract: {exc}",
+                      file=sys.stderr)
+        contract = build_contract(findings, project.root, report, previous)
+        atomic_write_text(args.contract, render_contract(contract))
+        unreached = [e for e in contract.entries if e.verdict == "UNREACHED"]
+        print(
+            f"repro-sast: wrote {len(contract.entries)} entries "
+            f"(+{len(contract.refuted)} refuted) to {args.contract}"
+        )
+        for entry in unreached:
+            print(f"repro-sast: warning: UNREACHED entry needs triage: "
+                  f"{entry.describe()}", file=sys.stderr)
+        return EXIT_CLEAN
+
+    try:
+        contract = load_contract(args.contract)
+    except FileNotFoundError:
+        print(f"repro-sast: error: contract not found: {args.contract}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    except (ValueError, OSError) as exc:
+        print(f"repro-sast: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    violations = verify_contract(
+        findings, contract, project.root, contract_path=args.contract, report=report,
+    )
+    if args.format == "sarif":
+        from repro.sast.baseline import assign_occurrences, fingerprint
+        from repro.sast.sarif import render_sarif
+
+        accepted = {**contract.entry_map(), **contract.refuted_map()}
+        suppressed = []
+        for f in assign_occurrences(list(findings)):
+            entry = accepted.get(fingerprint(f, project.root))
+            if entry is not None:
+                suppressed.append((f, entry.reason))
+        print(render_sarif(violations, project.root, contract=contract,
+                           suppressed=suppressed))
+    elif args.format == "json":
+        print(render_json(violations))
+    elif violations:
+        print(render_text(violations))
+    if violations:
+        print(
+            f"repro-sast: {len(violations)} contract violation"
+            f"{'s' if len(violations) != 1 else ''}",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS
+    mode = "fresh oracle verdicts" if report is not None else "recorded verdicts"
+    print(
+        f"repro-sast: contract holds ({len(contract.entries)} entries, "
+        f"{len(contract.refuted)} refuted; {mode})",
+        file=sys.stdout if args.format == "text" else sys.stderr,
+    )
+    return EXIT_CLEAN
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
+        if argv is None:
+            argv = sys.argv[1:]
+        if argv and argv[0] == "verify":
+            return _run_verify(argv[1:])
         return _run(argv)
     except BrokenPipeError:
         # stdout reader went away (e.g. `repro-sast ... | head`); exit
@@ -128,7 +311,7 @@ def _run(argv: list[str] | None = None) -> int:
         print(f"repro-sast: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
-    findings = collect_findings(project)
+    findings = _collect_maybe_cached(project, args.cache)
 
     if args.rules:
         wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
@@ -155,6 +338,7 @@ def _run(argv: list[str] | None = None) -> int:
         return EXIT_CLEAN
 
     stale: list[Finding] = []
+    before_baseline = findings
     if baseline_path is not None:
         try:
             baseline = load_baseline(baseline_path)
@@ -172,7 +356,16 @@ def _run(argv: list[str] | None = None) -> int:
         )
 
     report = findings + (stale if args.check_baseline else [])
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.sast.sarif import render_sarif
+
+        fresh = set(findings)
+        suppressed = [
+            (f, "accepted by the committed baseline")
+            for f in before_baseline if f not in fresh
+        ]
+        print(render_sarif(report, project.root, suppressed=suppressed))
+    elif args.format == "json":
         print(render_json(report))
     elif report:
         print(render_text(report, verbose_chains=not args.no_chains))

@@ -55,8 +55,15 @@ RULES: dict[str, str] = {
     "CC002": "file write bypasses repro.utils.io atomic_write_* (raw open/Path "
     "write modes, non-atomic np.save)",
     # -- annotations / baseline (meta) ------------------------------------
-    "AN001": "malformed sast annotation (unknown kind, or declassify without a reason)",
+    "AN001": "malformed sast annotation (unknown kind, declassify without a "
+    "reason, or a bad rule list)",
     "BL001": "stale baseline entry (matches no current finding)",
+    # -- leakage contract (CT) --------------------------------------------
+    "CT001": "finding not covered by the leakage contract (new leak chain)",
+    "CT002": "stale contract entry (matches no current finding)",
+    "CT003": "contract entry whose oracle verdict is UNREACHED or REFUTED",
+    "CT004": "refuted contract entry contradicted by a fresh CONFIRMED verdict",
+    "CT005": "dead declassify scope (annotated code never ran under the oracle workload)",
 }
 
 

@@ -1,0 +1,809 @@
+"""Interval abstract interpretation over Python ints for the taint pass.
+
+The SF002/SF003 rules are about *value-dependent cost*: a shift is
+variable-time when the amount can grow with the secret, a table lookup
+leaks when the index can range over the table. Many flagged sites in
+the ``fpr`` soft-float layer are provably bounded at compile time —
+``(x >> EXP_SHIFT) & _EXP_MASK`` is an 11-bit field whatever ``x`` is,
+an exponent difference clamped with ``min(d, 63)`` can never shift by
+more than a word. This module proves those bounds so the taint pass can
+drop the findings as false positives instead of baselining them.
+
+Three layers, all derived statically (nothing is imported):
+
+* :class:`Interval` — a classic ``[lo, hi]`` domain over ints with
+  ``None`` as ±infinity; transfer functions for the arithmetic the
+  ``fpr``/``falcon`` layers actually use (masks, shifts, ``min``/``max``,
+  ``bit_length``, …).
+* module-level constant resolution — ``_EXP_MASK = (1 << EXP_BITS) - 1``
+  style definitions are folded project-wide, across imports.
+* per-function **return-interval summaries** — a bounded fixpoint so
+  ``decompose(x)``'s three return components come back as
+  ``([0,1], [0,2047], [0,2^52-1])`` at every call site, tuple-aware.
+
+Soundness posture: the evaluator walks each body linearly with
+branch-join and early-exit refinement; every name assigned inside a
+loop body is widened to ⊤ before the body is interpreted (loop targets
+over ``range`` with bounded operands keep their range interval, which
+is iteration-invariant). Anything not provably an int stays ⊤. The
+consumer only ever uses the intervals to *suppress* findings, so ⊤
+always degrades to the old behaviour, never hides a new flow.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.sast.project import FunctionInfo, ModuleInfo, Project, dotted_parts
+
+__all__ = [
+    "Interval",
+    "IntervalAnalysis",
+    "IntervalEnv",
+    "TOP",
+    "block_terminates",
+    "build_interval_analysis",
+]
+
+_MAX_ROUNDS = 8
+_POW_SUPPRESS_MAX_EXP = 4
+_SUBSCRIPT_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Integer interval ``[lo, hi]``; ``None`` bounds are unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def finite(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    @property
+    def const(self) -> Optional[int]:
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    @property
+    def nonneg(self) -> bool:
+        return self.lo is not None and self.lo >= 0
+
+    def width(self) -> Optional[int]:
+        if not self.finite:
+            return None
+        assert self.lo is not None and self.hi is not None
+        return self.hi - self.lo + 1
+
+    def contains_zero(self) -> bool:
+        lo_ok = self.lo is None or self.lo <= 0
+        hi_ok = self.hi is None or self.hi >= 0
+        return lo_ok and hi_ok
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        lo = other.lo if self.lo is None else (
+            self.lo if other.lo is None else max(self.lo, other.lo)
+        )
+        hi = other.hi if self.hi is None else (
+            self.hi if other.hi is None else min(self.hi, other.hi)
+        )
+        if lo is not None and hi is not None and lo > hi:
+            # contradiction (dead branch): keep a point to stay harmless
+            return Interval(lo, lo)
+        return Interval(lo, hi)
+
+
+TOP = Interval(None, None)
+
+#: What an expression evaluates to: a scalar interval, a tuple of values
+#: (tuple-returning functions / tuple literals), or ⊤-as-Interval.
+Value = Union[Interval, tuple]
+
+
+def _as_interval(value: Optional[Value]) -> Interval:
+    return value if isinstance(value, Interval) else TOP
+
+
+def _corners(
+    a: Interval, b: Interval, op, clamp_b_nonneg: bool = False
+) -> Interval:
+    """Min/max over the four corners of two *finite* intervals."""
+    if not a.finite or not b.finite:
+        return TOP
+    assert a.lo is not None and a.hi is not None
+    assert b.lo is not None and b.hi is not None
+    b_lo, b_hi = b.lo, b.hi
+    if clamp_b_nonneg:
+        b_lo, b_hi = max(b_lo, 0), max(b_hi, 0)
+    vals = [op(x, y) for x in (a.lo, a.hi) for y in (b_lo, b_hi)]
+    return Interval(min(vals), max(vals))
+
+
+# -- transfer functions ----------------------------------------------------
+
+
+def iv_add(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+    hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+    return Interval(lo, hi)
+
+
+def iv_neg(a: Interval) -> Interval:
+    lo = None if a.hi is None else -a.hi
+    hi = None if a.lo is None else -a.lo
+    return Interval(lo, hi)
+
+
+def iv_sub(a: Interval, b: Interval) -> Interval:
+    return iv_add(a, iv_neg(b))
+
+
+def iv_mul(a: Interval, b: Interval) -> Interval:
+    return _corners(a, b, lambda x, y: x * y)
+
+
+def iv_floordiv(a: Interval, b: Interval) -> Interval:
+    if not b.finite or b.contains_zero():
+        return TOP
+    return _corners(a, b, lambda x, y: x // y)
+
+
+def iv_mod(a: Interval, b: Interval) -> Interval:
+    # Python's % takes the divisor's sign: x % d ∈ [0, d-1] for d > 0,
+    # (d+1, 0] for d < 0 — independent of the dividend.
+    if b.lo is not None and b.lo > 0 and b.hi is not None:
+        return Interval(0, b.hi - 1)
+    if b.hi is not None and b.hi < 0 and b.lo is not None:
+        return Interval(b.lo + 1, 0)
+    return TOP
+
+
+def iv_pow(a: Interval, b: Interval) -> Interval:
+    k = b.const
+    if k is None or k < 0 or k > 64 or not a.finite:
+        return TOP
+    assert a.lo is not None and a.hi is not None
+    if a.lo >= 0 or k % 2 == 1:
+        return Interval(a.lo**k, a.hi**k)
+    peak = max(abs(a.lo), abs(a.hi)) ** k
+    return Interval(0, peak)
+
+
+def iv_lshift(a: Interval, b: Interval) -> Interval:
+    if b.finite and b.hi is not None and b.hi > 4096:
+        return TOP      # keep the folded constants small
+    return _corners(a, b, lambda x, y: x << y, clamp_b_nonneg=True)
+
+
+def iv_rshift(a: Interval, b: Interval) -> Interval:
+    return _corners(a, b, lambda x, y: x >> y, clamp_b_nonneg=True)
+
+
+def iv_and(a: Interval, b: Interval) -> Interval:
+    # x & y with y ≥ 0 keeps only bits of y: result ∈ [0, y] ⊆ [0, y.hi].
+    bounds = [s.hi for s in (a, b) if s.nonneg and s.hi is not None]
+    if bounds:
+        return Interval(0, min(bounds))
+    return TOP
+
+
+def iv_or(a: Interval, b: Interval) -> Interval:
+    if a.nonneg and b.nonneg and a.finite and b.finite:
+        assert a.lo is not None and b.lo is not None
+        assert a.hi is not None and b.hi is not None
+        bits = max(a.hi.bit_length(), b.hi.bit_length())
+        return Interval(max(a.lo, b.lo), (1 << bits) - 1)
+    return TOP
+
+
+def iv_xor(a: Interval, b: Interval) -> Interval:
+    if a.nonneg and b.nonneg and a.finite and b.finite:
+        assert a.hi is not None and b.hi is not None
+        bits = max(a.hi.bit_length(), b.hi.bit_length())
+        return Interval(0, (1 << bits) - 1)
+    return TOP
+
+
+def iv_invert(a: Interval) -> Interval:
+    # ~x == -x - 1
+    return iv_sub(iv_neg(a), Interval(1, 1))
+
+
+def iv_abs(a: Interval) -> Interval:
+    if not a.finite:
+        if a.lo is not None and a.lo >= 0:
+            return a
+        return Interval(0, None)
+    assert a.lo is not None and a.hi is not None
+    if a.lo >= 0:
+        return a
+    if a.hi <= 0:
+        return Interval(-a.hi, -a.lo)
+    return Interval(0, max(-a.lo, a.hi))
+
+
+def iv_min(values: Sequence[Interval]) -> Interval:
+    los = [v.lo for v in values]
+    lo = None if any(x is None for x in los) else min(x for x in los if x is not None)
+    finite_his = [v.hi for v in values if v.hi is not None]
+    hi = min(finite_his) if finite_his else None
+    return Interval(lo, hi)
+
+
+def iv_max(values: Sequence[Interval]) -> Interval:
+    his = [v.hi for v in values]
+    hi = None if any(x is None for x in his) else max(x for x in his if x is not None)
+    finite_los = [v.lo for v in values if v.lo is not None]
+    lo = max(finite_los) if finite_los else None
+    return Interval(lo, hi)
+
+
+def iv_bit_length(a: Interval) -> Interval:
+    if not a.finite:
+        return Interval(0, None)
+    assert a.lo is not None and a.hi is not None
+    if a.lo >= 0:
+        return Interval(a.lo.bit_length(), a.hi.bit_length())
+    peak = max(abs(a.lo), abs(a.hi))
+    return Interval(0, peak.bit_length())
+
+
+_BINOPS = {
+    ast.Add: iv_add,
+    ast.Sub: iv_sub,
+    ast.Mult: iv_mul,
+    ast.FloorDiv: iv_floordiv,
+    ast.Mod: iv_mod,
+    ast.Pow: iv_pow,
+    ast.LShift: iv_lshift,
+    ast.RShift: iv_rshift,
+    ast.BitAnd: iv_and,
+    ast.BitOr: iv_or,
+    ast.BitXor: iv_xor,
+}
+
+_NEGATE = {
+    ast.Lt: ast.GtE,
+    ast.LtE: ast.Gt,
+    ast.Gt: ast.LtE,
+    ast.GtE: ast.Lt,
+    ast.Eq: ast.NotEq,
+    ast.NotEq: ast.Eq,
+}
+
+
+# -- project-wide analysis -------------------------------------------------
+
+
+class IntervalAnalysis:
+    """Folded module constants + per-function return-interval summaries."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: fully-qualified constant name -> value
+        self.consts: dict[str, int] = {}
+        #: function qualname -> return Value (Interval or tuple of Values)
+        self.returns: dict[str, Value] = {}
+
+    # constants ------------------------------------------------------------
+
+    def _fold_constants(self) -> None:
+        for _ in range(3):
+            changed = False
+            for qual in sorted(self.project.modules):
+                module = self.project.modules[qual]
+                env = _ModuleConstEnv(self, module)
+                for stmt in module.tree.body:
+                    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                        continue
+                    target = stmt.targets[0]
+                    if not isinstance(target, ast.Name):
+                        continue
+                    value = env.eval(stmt.value)
+                    const = _as_interval(value).const
+                    full = f"{qual}.{target.id}"
+                    if const is not None and self.consts.get(full) != const:
+                        self.consts[full] = const
+                        changed = True
+            if not changed:
+                break
+
+    def resolve_const(self, module: ModuleInfo, parts: list[str]) -> Optional[int]:
+        """``MANT_BITS`` / ``emu.MANT_BITS`` -> folded value, if known."""
+        local = f"{module.qualname}.{parts[0]}"
+        if len(parts) == 1 and local in self.consts:
+            return self.consts[local]
+        target = module.bindings.get(parts[0])
+        if target is None:
+            return None
+        full = ".".join([target] + parts[1:])
+        return self.consts.get(full)
+
+    # return summaries -----------------------------------------------------
+
+    def _solve_returns(self) -> None:
+        functions = sorted(self.project.functions)
+        for rounds in range(_MAX_ROUNDS):
+            changed: list[str] = []
+            for qual in functions:
+                info = self.project.functions[qual]
+                module = self.project.modules[info.module]
+                ret = _FunctionSummarizer(self, info, module).summarize()
+                if ret is not None and self.returns.get(qual) != ret:
+                    self.returns[qual] = ret
+                    changed.append(qual)
+            if not changed:
+                return
+        # did not converge: widen the still-moving summaries away
+        for qual in functions:
+            info = self.project.functions[qual]
+            module = self.project.modules[info.module]
+            ret = _FunctionSummarizer(self, info, module).summarize()
+            if ret is not None and self.returns.get(qual) != ret:
+                self.returns.pop(qual, None)
+
+    # suppression predicates (what the taint pass consumes) ----------------
+
+    def shift_amount_bounded(self, amount: Optional[Value]) -> bool:
+        """Shift amounts with compile-time bounds map to fixed-width
+        (barrel-shifter) shifts in the modeled C implementation."""
+        return _as_interval(amount).finite
+
+    def pow_exponent_bounded(self, exponent: Optional[Value]) -> bool:
+        k = _as_interval(exponent).const
+        return k is not None and 0 <= k <= _POW_SUPPRESS_MAX_EXP
+
+    def division_bounded(
+        self,
+        dividend: Optional[Value],
+        divisor: Optional[Value],
+        divisor_node: ast.expr | None = None,
+    ) -> bool:
+        """Division is data-independent when the divisor is a power-of-two
+        literal (exponent decrement / exact scaling) or a non-zero
+        constant applied to a compile-time-bounded dividend."""
+        if divisor_node is not None and isinstance(divisor_node, ast.Constant):
+            value = divisor_node.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if value > 0 and math.frexp(float(value))[0] == 0.5:
+                    return True
+        c = _as_interval(divisor).const
+        return c is not None and c != 0 and _as_interval(dividend).finite
+
+    def subscript_bounded(self, index: Optional[Value]) -> bool:
+        iv = _as_interval(index)
+        w = iv.width()
+        return w is not None and w <= _SUBSCRIPT_WINDOW
+
+    def receiver_bounded(self, receiver: Optional[Value]) -> bool:
+        return _as_interval(receiver).finite
+
+
+def build_interval_analysis(project: Project) -> IntervalAnalysis:
+    analysis = IntervalAnalysis(project)
+    analysis._fold_constants()
+    analysis._solve_returns()
+    return analysis
+
+
+# -- expression evaluation -------------------------------------------------
+
+
+class IntervalEnv:
+    """Per-function interval state driven by a statement walker.
+
+    The taint evaluator owns control flow; it calls :meth:`assign` /
+    :meth:`enter_branch` / :meth:`havoc_loop` at the matching points of
+    its own walk and :meth:`eval` wherever it needs a bound.
+    """
+
+    def __init__(
+        self, analysis: IntervalAnalysis, module: ModuleInfo,
+        info: FunctionInfo | None = None,
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.info = info
+        self.env: dict[str, Value] = {}
+
+    # -- environment -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Value]:
+        return dict(self.env)
+
+    def restore(self, saved: Mapping[str, Value]) -> None:
+        self.env = dict(saved)
+
+    def join_into(self, other: Mapping[str, Value]) -> None:
+        """Pointwise join of the current env with another branch's env."""
+        merged: dict[str, Value] = {}
+        for name in set(self.env) & set(other):
+            a, b = self.env[name], other[name]
+            if isinstance(a, Interval) and isinstance(b, Interval):
+                merged[name] = a.join(b)
+        self.env = merged
+
+    def set(self, name: str, value: Optional[Value]) -> None:
+        if value is None or (isinstance(value, Interval) and not value.finite
+                             and value.lo is None and value.hi is None):
+            self.env.pop(name, None)
+        else:
+            self.env[name] = value
+
+    # -- statements --------------------------------------------------------
+
+    def assign(self, targets: Iterable[ast.AST], value_node: ast.expr) -> None:
+        value = self.eval(value_node)
+        for target in targets:
+            self._bind(target, value)
+
+    def _bind(self, target: ast.AST, value: Optional[Value]) -> None:
+        if isinstance(target, ast.Name):
+            self.set(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elems: Sequence[Optional[Value]]
+            if isinstance(value, tuple) and len(value) == len(target.elts):
+                elems = list(value)
+            else:
+                elems = [None] * len(target.elts)
+            for elt, sub in zip(target.elts, elems):
+                self._bind(elt, sub)
+        # stores into attributes/subscripts don't affect name intervals
+
+    def aug_assign(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.target, ast.Name):
+            return
+        op = _BINOPS.get(type(node.op))
+        current = _as_interval(self.env.get(node.target.id))
+        value = _as_interval(self.eval(node.value))
+        self.set(node.target.id, op(current, value) if op else TOP)
+
+    def bind_loop_target(self, target: ast.AST, iter_node: ast.expr) -> None:
+        """``for i in range(a, b)`` binds ``i`` to ``[a, b-1]``; everything
+        else havocs the targets (element values are untracked)."""
+        rng = self._range_interval(iter_node)
+        if rng is not None and isinstance(target, ast.Name):
+            self.set(target.id, rng)
+            return
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "enumerate"
+            and isinstance(target, (ast.Tuple, ast.List))
+            and len(target.elts) == 2
+        ):
+            self._bind(target.elts[0], Interval(0, None))
+            self._bind(target.elts[1], None)
+            return
+        self._bind(target, None)
+
+    def _range_interval(self, iter_node: ast.expr) -> Optional[Interval]:
+        if not (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+            and 1 <= len(iter_node.args) <= 3
+            and not iter_node.keywords
+        ):
+            return None
+        args = [_as_interval(self.eval(a)) for a in iter_node.args]
+        if len(args) == 1:
+            start, stop = Interval(0, 0), args[0]
+        else:
+            start, stop = args[0], args[1]
+        if start.lo is None or stop.hi is None:
+            return None
+        return Interval(start.lo, stop.hi - 1)
+
+    def havoc_assigned(self, body: Sequence[ast.stmt]) -> None:
+        """Widen every name assigned inside a loop body to ⊤ before the
+        body is interpreted once (iteration k's value may feed k+1's)."""
+        for name in _assigned_names(body):
+            self.env.pop(name, None)
+
+    # -- branch refinement -------------------------------------------------
+
+    def refine(self, test: ast.expr, assume: bool) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self.refine(test.operand, not assume)
+            return
+        if isinstance(test, ast.BoolOp):
+            if assume and isinstance(test.op, ast.And):
+                for value in test.values:
+                    self.refine(value, True)
+            elif not assume and isinstance(test.op, ast.Or):
+                for value in test.values:
+                    self.refine(value, False)
+            return
+        if not isinstance(test, ast.Compare):
+            return
+        operands = [test.left] + list(test.comparators)
+        if not assume and len(test.ops) > 1:
+            return                      # which link failed is unknown
+        for op, left, right in zip(test.ops, operands, operands[1:]):
+            kind = type(op)
+            if not assume:
+                neg = _NEGATE.get(kind)
+                if neg is None:
+                    return
+                kind = neg
+            self._refine_pair(kind, left, right)
+            # a < b also means b > a: reuse the pair logic flipped
+            flipped = {
+                ast.Lt: ast.Gt, ast.LtE: ast.GtE,
+                ast.Gt: ast.Lt, ast.GtE: ast.LtE,
+                ast.Eq: ast.Eq, ast.NotEq: ast.NotEq,
+            }.get(kind)
+            if flipped is not None:
+                self._refine_pair(flipped, right, left)
+
+    def _refine_pair(self, kind: type, name_node: ast.expr, other: ast.expr) -> None:
+        if not isinstance(name_node, ast.Name):
+            return
+        bound = _as_interval(self.eval(other))
+        current = _as_interval(self.env.get(name_node.id))
+        refined: Interval
+        if kind is ast.Lt and bound.hi is not None:
+            refined = current.meet(Interval(None, bound.hi - 1))
+        elif kind is ast.LtE and bound.hi is not None:
+            refined = current.meet(Interval(None, bound.hi))
+        elif kind is ast.Gt and bound.lo is not None:
+            refined = current.meet(Interval(bound.lo + 1, None))
+        elif kind is ast.GtE and bound.lo is not None:
+            refined = current.meet(Interval(bound.lo, None))
+        elif kind is ast.Eq:
+            refined = current.meet(bound)
+        elif kind is ast.NotEq:
+            # holes are unrepresentable, but excluding an endpoint is not
+            c = bound.const
+            if c is None:
+                return
+            if current.lo == c:
+                refined = Interval(c + 1, current.hi)
+            elif current.hi == c:
+                refined = Interval(current.lo, c - 1)
+            else:
+                return
+        else:
+            return
+        self.set(name_node.id, refined)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> Optional[Value]:
+        if node is None:
+            return None
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            return TOP
+        out = method(node)
+        return out
+
+    def _eval_Constant(self, node: ast.Constant) -> Value:
+        if isinstance(node.value, bool):
+            return Interval(int(node.value), int(node.value))
+        if isinstance(node.value, int):
+            return Interval(node.value, node.value)
+        return TOP
+
+    def _eval_Name(self, node: ast.Name) -> Value:
+        if node.id in self.env:
+            return self.env[node.id]
+        const = self.analysis.resolve_const(self.module, [node.id])
+        if const is not None:
+            return Interval(const, const)
+        return TOP
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Value:
+        parts = dotted_parts(node)
+        if parts is not None:
+            const = self.analysis.resolve_const(self.module, parts)
+            if const is not None:
+                return Interval(const, const)
+        return TOP
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Value:
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            return TOP
+        left = _as_interval(self.eval(node.left))
+        right = _as_interval(self.eval(node.right))
+        return op(left, right)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Value:
+        operand = _as_interval(self.eval(node.operand))
+        if isinstance(node.op, ast.USub):
+            return iv_neg(operand)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Invert):
+            return iv_invert(operand)
+        if isinstance(node.op, ast.Not):
+            return Interval(0, 1)
+        return TOP
+
+    def _eval_Compare(self, node: ast.Compare) -> Value:
+        return Interval(0, 1)
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Value:
+        out: Optional[Interval] = None
+        for value in node.values:
+            iv = _as_interval(self.eval(value))
+            out = iv if out is None else out.join(iv)
+        return out if out is not None else TOP
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Value:
+        body = _as_interval(self.eval(node.body))
+        orelse = _as_interval(self.eval(node.orelse))
+        return body.join(orelse)
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Value:
+        return tuple(self.eval(elt) or TOP for elt in node.elts)
+
+    def _eval_Call(self, node: ast.Call) -> Value:
+        func = node.func
+        if isinstance(func, ast.Name):
+            args = [_as_interval(self.eval(a)) for a in node.args
+                    if not isinstance(a, ast.Starred)]
+            if len(args) == len(node.args) and args:
+                if func.id == "min":
+                    return iv_min(args)
+                if func.id == "max":
+                    return iv_max(args)
+                if func.id == "abs" and len(args) == 1:
+                    return iv_abs(args[0])
+                if func.id == "int" and len(args) == 1:
+                    # int() of a tracked int expression is the identity;
+                    # floats were never tracked so they arrive as ⊤
+                    return args[0]
+                if func.id == "pow" and len(args) == 2:
+                    return iv_pow(args[0], args[1])
+            if func.id == "len":
+                return Interval(0, None)
+            if func.id in ("bool", "isinstance", "issubclass", "hasattr"):
+                return Interval(0, 1)
+        if isinstance(func, ast.Attribute) and not node.args and not node.keywords:
+            if func.attr in ("bit_length", "bit_count"):
+                return iv_bit_length(_as_interval(self.eval(func.value)))
+        resolved = self.analysis.project.resolve(self.module, func)
+        if resolved is not None and resolved in self.analysis.returns:
+            return self.analysis.returns[resolved]
+        return TOP
+
+
+# -- function summaries ----------------------------------------------------
+
+
+class _ModuleConstEnv(IntervalEnv):
+    """Evaluator for module top-level constant folding (no local state)."""
+
+    def __init__(self, analysis: IntervalAnalysis, module: ModuleInfo) -> None:
+        super().__init__(analysis, module)
+
+    def _eval_Call(self, node: ast.Call) -> Value:
+        return TOP                       # no call folding at module level
+
+
+def _assigned_names(body: Sequence[ast.stmt]) -> set[str]:
+    names: set[str] = set()
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect_target(elt)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    collect_target(t)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.For)):
+                collect_target(node.target)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+    return names
+
+
+def block_terminates(body: Sequence[ast.stmt]) -> bool:
+    return any(
+        isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+        for stmt in body
+    )
+
+
+class _FunctionSummarizer:
+    """One linear walk of a function body collecting the return Value."""
+
+    def __init__(
+        self, analysis: IntervalAnalysis, info: FunctionInfo, module: ModuleInfo
+    ) -> None:
+        self.env = IntervalEnv(analysis, module, info)
+        self.info = info
+        self.ret: Optional[Value] = None
+
+    def summarize(self) -> Optional[Value]:
+        for stmt in self.info.node.body:
+            self.exec_stmt(stmt)
+        return self.ret
+
+    def _join_return(self, value: Optional[Value]) -> None:
+        value = value if value is not None else TOP
+        if self.ret is None:
+            self.ret = value
+        elif isinstance(self.ret, tuple) and isinstance(value, tuple) and (
+            len(self.ret) == len(value)
+        ):
+            self.ret = tuple(
+                _as_interval(a).join(_as_interval(b))
+                for a, b in zip(self.ret, value)
+            )
+        else:
+            self.ret = _as_interval(self.ret).join(_as_interval(value))
+
+    def exec_stmt(self, node: ast.stmt) -> None:
+        env = self.env
+        if isinstance(node, ast.Assign):
+            env.assign(node.targets, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                env.assign([node.target], node.value)
+        elif isinstance(node, ast.AugAssign):
+            env.aug_assign(node)
+        elif isinstance(node, ast.Return):
+            self._join_return(env.eval(node.value) if node.value else None)
+        elif isinstance(node, ast.If):
+            before = env.snapshot()
+            env.refine(node.test, True)
+            for stmt in node.body:
+                self.exec_stmt(stmt)
+            body_env = env.snapshot()
+            env.restore(before)
+            env.refine(node.test, False)
+            for stmt in node.orelse:
+                self.exec_stmt(stmt)
+            if block_terminates(node.body):
+                pass                    # fall-through env is the else env
+            elif block_terminates(node.orelse):
+                env.restore(body_env)
+            else:
+                env.join_into(body_env)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            env.havoc_assigned(node.body)
+            env.bind_loop_target(node.target, node.iter)
+            for stmt in node.body + node.orelse:
+                self.exec_stmt(stmt)
+        elif isinstance(node, ast.While):
+            env.havoc_assigned(node.body)
+            env.refine(node.test, True)
+            for stmt in node.body + node.orelse:
+                self.exec_stmt(stmt)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for stmt in node.body:
+                self.exec_stmt(stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body:
+                self.exec_stmt(stmt)
+            # handler/else/final bodies may observe partial state: havoc
+            for block in (node.handlers, node.orelse, node.finalbody):
+                for item in block:
+                    sub = item.body if isinstance(item, ast.ExceptHandler) else [item]
+                    self.env.havoc_assigned(sub)
+        # nested defs / classes don't touch the local env

@@ -45,11 +45,22 @@ class FunctionInfo:
     module: str                         # enclosing module qualname
     node: ast.FunctionDef | ast.AsyncFunctionDef
     class_name: str = ""                # enclosing class ("" for module functions)
-    params: tuple[str, ...] = ()
+    params: tuple[str, ...] = ()        # positional params, then keyword-only
+    n_positional: int = 0               # how many of `params` accept positionals
+    vararg: str | None = None           # `*args` name (taint slot len(params))
+    kwarg: str | None = None            # `**kwargs` name (slot len(params)+1)
     param_annotations: dict[str, str] = field(default_factory=dict)  # name -> resolved
     return_annotation: str = ""
     declassify: Annotation | None = None   # declassify on the def line
     is_source: bool = False                # '# sast: source' on the def line
+
+    @property
+    def vararg_slot(self) -> int:
+        return len(self.params)
+
+    @property
+    def kwarg_slot(self) -> int:
+        return len(self.params) + 1
 
 
 @dataclass
@@ -191,7 +202,8 @@ def _register_functions(
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             qualname = f"{prefix}.{stmt.name}"
             args = stmt.args
-            names = [a.arg for a in args.posonlyargs + args.args]
+            positional = [a.arg for a in args.posonlyargs + args.args]
+            names = positional + [a.arg for a in args.kwonlyargs]
             param_ann: dict[str, str] = {}
             for a in args.posonlyargs + args.args + args.kwonlyargs:
                 resolved = _annotation_to_str(module, a.annotation)
@@ -204,6 +216,9 @@ def _register_functions(
                 node=stmt,
                 class_name=class_name,
                 params=tuple(names),
+                n_positional=len(positional),
+                vararg=args.vararg.arg if args.vararg else None,
+                kwarg=args.kwarg.arg if args.kwarg else None,
                 param_annotations=param_ann,
                 return_annotation=_annotation_to_str(module, stmt.returns),
                 declassify=def_ann if def_ann is not None and def_ann.kind == "declassify" else None,

@@ -33,6 +33,12 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from repro.sast.findings import Finding
+from repro.sast.intervals import (
+    IntervalAnalysis,
+    IntervalEnv,
+    block_terminates,
+    build_interval_analysis,
+)
 from repro.sast.project import (
     FunctionInfo,
     ModuleInfo,
@@ -73,7 +79,15 @@ class TaintConfig:
         "repro.falcon.samplerz.samplerz_simple": "samplerz output (secret Gaussian sample)",
         "repro.falcon.samplerz.base_sampler": "base sampler output (secret half-Gaussian)",
         "repro.falcon.ffsampling.ffsampling": "ffSampling lattice point (secret-centered)",
+        # keygen-time discrete Gaussians: the drawn polynomials *become*
+        # sk.f / sk.g, so their values are secret from the first draw
+        "repro.math.gaussian.sample_dgauss": "keygen Gaussian draw (becomes sk.f/sk.g)",
+        "repro.math.gaussian.sample_poly_dgauss": "keygen Gaussian polynomial (becomes sk.f/sk.g)",
     })
+    #: Carrier attributes that are *public* by construction (the public
+    #: key and the parameter set): reading them off a SecretKey must not
+    #: smear the object's taint onto public data.
+    public_attrs: frozenset[str] = frozenset({"params", "h", "n", "q"})
     #: Calls that launder taint away (structure-only information).
     sanitizer_names: frozenset[str] = frozenset({
         "len", "range", "isinstance", "issubclass", "hasattr", "type", "id",
@@ -142,12 +156,18 @@ class _Engine:
     def __init__(self, project: Project, config: TaintConfig) -> None:
         self.project = project
         self.config = config
+        self.intervals: IntervalAnalysis = build_interval_analysis(project)
         self.summaries: dict[str, _Summary] = {}
         self.param_taints: dict[str, dict[int, Taint]] = {}
         self.callers: dict[str, set[str]] = {}
         self.units: dict[str, _AnalysisUnit] = {}
         for info in project.iter_functions():
-            summary = _Summary(declassified=info.declassify is not None)
+            # Only a blanket declassify is a data-flow boundary; a
+            # rules-filtered one waives specific findings but must not
+            # sanitize the values flowing through the function.
+            summary = _Summary(
+                declassified=info.declassify is not None and info.declassify.is_blanket
+            )
             if info.qualname in config.source_functions:
                 summary.source_return = Taint(
                     origin=config.source_functions[info.qualname],
@@ -258,6 +278,8 @@ class _Evaluator(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self._seen: set[tuple[str, int, int, str]] = set()
         self._sink_hit_lines: set[int] = set()
+        self.intervals: IntervalAnalysis = engine.intervals
+        self.ienv = IntervalEnv(engine.intervals, module, info)
 
     # -- driver ------------------------------------------------------------
 
@@ -277,12 +299,18 @@ class _Evaluator(ast.NodeVisitor):
             self.findings = []
             self._seen.clear()
             self._sink_hit_lines.clear()
+            self.ienv = IntervalEnv(self.engine.intervals, self.module, self.info)
             for stmt in body:
                 self.exec_stmt(stmt)
 
     def _seed_params(self) -> None:
         real = self.engine.param_taints.get(self.info.qualname, {})
-        for i, name in enumerate(self.info.params):
+        slots = list(enumerate(self.info.params))
+        if self.info.vararg is not None:
+            slots.append((self.info.vararg_slot, self.info.vararg))
+        if self.info.kwarg is not None:
+            slots.append((self.info.kwarg_slot, self.info.kwarg))
+        for i, name in slots:
             taints: Taint | None = None
             if not self.report:
                 taints = Taint(params=frozenset({i}))
@@ -373,18 +401,28 @@ class _Evaluator(ast.NodeVisitor):
 
     def _eval_Attribute(self, node: ast.Attribute) -> Taint | None:
         cfg = self.config
-        if node.attr in cfg.secret_attrs and self._is_carrier(node.value):
-            name = cfg.secret_attrs[node.attr]
-            return Taint(
-                origin=f"SecretKey.{name} ({unparse_short(node)} at {self._loc(node)})",
-                source=f"SecretKey.{name}",
-            )
+        if self._is_carrier(node.value):
+            if node.attr in cfg.secret_attrs:
+                name = cfg.secret_attrs[node.attr]
+                return Taint(
+                    origin=f"SecretKey.{name} ({unparse_short(node)} at {self._loc(node)})",
+                    source=f"SecretKey.{name}",
+                )
+            if node.attr in cfg.public_attrs:
+                # field-sensitive: the parameter set and the public key
+                # are public even when the carrier object is tainted
+                return None
         return self.eval(node.value)
 
     def _eval_Subscript(self, node: ast.Subscript) -> Taint | None:
         value = self.eval(node.value)
         index = self.eval(node.slice)
-        if index is not None and index.real and not isinstance(node.slice, ast.Constant):
+        if (
+            index is not None
+            and index.real
+            and not isinstance(node.slice, ast.Constant)
+            and not self.intervals.subscript_bounded(self.ienv.eval(node.slice))
+        ):
             self._emit(
                 "SF002",
                 node,
@@ -402,18 +440,32 @@ class _Evaluator(ast.NodeVisitor):
         if self.report:
             vartime = isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow))
             if vartime and out is not None and out.real:
-                op = type(node.op).__name__.lower()
-                self._emit(
-                    "SF003",
-                    node,
-                    f"secret operand in variable-time {op}: {unparse_short(node)}",
-                    out,
-                    f"variable-time {op}",
-                )
+                if isinstance(node.op, ast.Pow):
+                    bounded = self.intervals.pow_exponent_bounded(
+                        self.ienv.eval(node.right)
+                    )
+                else:
+                    bounded = self.intervals.division_bounded(
+                        self.ienv.eval(node.left),
+                        self.ienv.eval(node.right),
+                        node.right,
+                    )
+                if not bounded:
+                    op = type(node.op).__name__.lower()
+                    self._emit(
+                        "SF003",
+                        node,
+                        f"secret operand in variable-time {op}: {unparse_short(node)}",
+                        out,
+                        f"variable-time {op}",
+                    )
             elif (
                 isinstance(node.op, (ast.LShift, ast.RShift))
                 and right is not None
                 and right.real
+                and not self.intervals.shift_amount_bounded(
+                    self.ienv.eval(node.right)
+                )
             ):
                 self._emit(
                     "SF003",
@@ -438,6 +490,27 @@ class _Evaluator(ast.NodeVisitor):
         return _merge(test, _merge(self.eval(node.body), self.eval(node.orelse)))
 
     def _eval_Lambda(self, node: ast.Lambda) -> Taint | None:
+        # analyze the body in a scope where the lambda's parameters
+        # shadow outer names; closure taint still flows to sinks inside,
+        # and the returned taint marks the lambda *value* as secret-
+        # carrying (a later call of it propagates; see _eval_Call)
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            self.eval(default)
+        saved = {n: self.env[n] for n in names if n in self.env}
+        for n in names:
+            self.env.pop(n, None)
+        body_taint = self.eval(node.body)
+        for n in names:
+            self.env.pop(n, None)
+        self.env.update(saved)
+        if body_taint is not None:
+            return body_taint.hop(f"captured by lambda at {self._loc(node)}")
         return None
 
     def _eval_Call(self, node: ast.Call) -> Taint | None:
@@ -462,8 +535,23 @@ class _Evaluator(ast.NodeVisitor):
         if self.report:
             operand = any_taint if any_taint is not None else None
             if operand is not None and operand.real:
-                if (resolved in cfg.vartime_calls) or (
-                    isinstance(node.func, ast.Name) and node.func.id in cfg.vartime_names
+                is_pow_call = (
+                    resolved == "math.pow"
+                    or (isinstance(node.func, ast.Name) and node.func.id == "pow")
+                )
+                pow_bounded = (
+                    is_pow_call
+                    and len(node.args) == 2
+                    and self.intervals.pow_exponent_bounded(
+                        self.ienv.eval(node.args[1])
+                    )
+                )
+                if not pow_bounded and (
+                    (resolved in cfg.vartime_calls)
+                    or (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in cfg.vartime_names
+                    )
                 ):
                     self._emit(
                         "SF003", node,
@@ -475,6 +563,9 @@ class _Evaluator(ast.NodeVisitor):
                 and node.func.attr in cfg.vartime_methods
                 and receiver is not None
                 and receiver.real
+                and not self.intervals.receiver_bounded(
+                    self.ienv.eval(node.func.value)
+                )
             ):
                 self._emit(
                     "SF003", node,
@@ -485,6 +576,10 @@ class _Evaluator(ast.NodeVisitor):
         if resolved is None:
             if isinstance(node.func, ast.Name) and node.func.id in cfg.sanitizer_names:
                 return None
+            if isinstance(node.func, ast.Name):
+                # calling a local function value (e.g. a lambda closed
+                # over a secret): the callable itself carries the taint
+                any_taint = _merge(any_taint, self.env.get(node.func.id))
             out = any_taint
             return out.hop(f"through {short}() at {loc}") if out is not None else None
         if resolved in cfg.sanitizer_names or resolved.rsplit(".", 1)[-1] in (
@@ -510,23 +605,43 @@ class _Evaluator(ast.NodeVisitor):
                 if receiver is not None:
                     mapped.append((0, receiver))
         for i, t in enumerate(arg_taints):
-            if t is not None:
-                mapped.append((i + offset, t))
+            if t is None:
+                continue
+            idx = i + offset
+            if info is not None:
+                overflow = idx >= info.n_positional
+                starred = i < len(node.args) and isinstance(node.args[i], ast.Starred)
+                if (overflow or starred) and info.vararg is not None:
+                    idx = info.vararg_slot
+            mapped.append((idx, t))
         if info is not None:
             for name, t in kw_taints.items():
-                if t is not None and name in info.params:
+                if t is None:
+                    continue
+                if name in info.params:
                     mapped.append((info.params.index(name), t))
+                elif info.kwarg is not None:
+                    mapped.append((info.kwarg_slot, t))
+            if info.kwarg is not None:
+                for t in star_kw:
+                    if t is not None:
+                        mapped.append((info.kwarg_slot, t))
 
         # feed real argument taint into the callee's parameter state —
-        # unless this whole function is a declassification boundary, in
-        # which case its values are sanctioned and must not re-taint
-        # the helpers it calls.
+        # unless this whole function is a blanket declassification
+        # boundary, in which case its values are sanctioned and must not
+        # re-taint the helpers it calls.
+        blanket = self.info.declassify is not None and self.info.declassify.is_blanket
         self.engine.callers.setdefault(resolved, set()).add(self.info.qualname)
         for idx, t in mapped:
-            if t.real and self.info.declassify is None:
+            if t.real and not blanket:
                 pname = ""
                 if info is not None and idx < len(info.params):
                     pname = info.params[idx]
+                elif info is not None and idx == info.vararg_slot and info.vararg:
+                    pname = f"*{info.vararg}"
+                elif info is not None and idx == info.kwarg_slot and info.kwarg:
+                    pname = f"**{info.kwarg}"
                 fed = self.engine.feed_param(
                     resolved, idx,
                     t.hop(f"argument {pname or idx} to {short}() at {loc}"),
@@ -593,20 +708,40 @@ class _Evaluator(ast.NodeVisitor):
                 )
         return it
 
+    def _comp_scope_enter(self, node: ast.AST) -> tuple[set[str], dict[str, Taint]]:
+        """Comprehensions have their own scope: remember what their
+        targets shadow so the outer bindings are restored afterwards."""
+        names: set[str] = set()
+        for gen in getattr(node, "generators", []):
+            _collect_target_names(gen.target, names)
+        saved = {n: self.env[n] for n in names if n in self.env}
+        return names, saved
+
+    def _comp_scope_exit(self, names: set[str], saved: dict[str, Taint]) -> None:
+        for n in names:
+            self.env.pop(n, None)
+        self.env.update(saved)
+
     def _eval_ListComp(self, node: ast.ListComp) -> Taint | None:
+        names, saved = self._comp_scope_enter(node)
         out: Taint | None = None
         for gen in node.generators:
             out = _merge(out, self._eval_comprehension(gen))
-        return _merge(out, self.eval(node.elt))
+        out = _merge(out, self.eval(node.elt))
+        self._comp_scope_exit(names, saved)
+        return out
 
     _eval_SetComp = _eval_ListComp
     _eval_GeneratorExp = _eval_ListComp
 
     def _eval_DictComp(self, node: ast.DictComp) -> Taint | None:
+        names, saved = self._comp_scope_enter(node)
         out: Taint | None = None
         for gen in node.generators:
             out = _merge(out, self._eval_comprehension(gen))
-        return _merge(out, _merge(self.eval(node.key), self.eval(node.value)))
+        out = _merge(out, _merge(self.eval(node.key), self.eval(node.value)))
+        self._comp_scope_exit(names, saved)
+        return out
 
     # -- statements --------------------------------------------------------
 
@@ -679,6 +814,7 @@ class _Evaluator(ast.NodeVisitor):
         carrier = self._returns_secretkey(node.value) or (
             isinstance(node.value, ast.Name) and node.value.id in self.carriers
         )
+        self.ienv.assign(node.targets, node.value)
         for target in node.targets:
             self._assign_target(target, taint)
             if carrier and isinstance(target, ast.Name):
@@ -686,6 +822,8 @@ class _Evaluator(ast.NodeVisitor):
 
     def _exec_AnnAssign(self, node: ast.AnnAssign) -> None:
         taint = self.eval(node.value) if node.value is not None else None
+        if node.value is not None:
+            self.ienv.assign([node.target], node.value)
         self._assign_target(node.target, taint)
         ann = self.info.param_annotations  # noqa: F841  (annotation taint n/a)
         resolved = ""
@@ -701,7 +839,46 @@ class _Evaluator(ast.NodeVisitor):
         existing = None
         if isinstance(node.target, ast.Name):
             existing = self.env.get(node.target.id)
-        self._assign_target(node.target, _merge(existing, taint))
+        out = _merge(existing, taint)
+        # augmented assignments run the same variable-time operators as
+        # BinOp and historically escaped the SF003 check entirely
+        if self.report:
+            target_iv = None
+            if isinstance(node.target, ast.Name):
+                target_iv = self.ienv.eval(node.target)
+            value_iv = self.ienv.eval(node.value)
+            vartime = isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow))
+            if vartime and out is not None and out.real:
+                if isinstance(node.op, ast.Pow):
+                    bounded = self.intervals.pow_exponent_bounded(value_iv)
+                else:
+                    bounded = self.intervals.division_bounded(
+                        target_iv, value_iv, node.value
+                    )
+                if not bounded:
+                    op = type(node.op).__name__.lower()
+                    self._emit(
+                        "SF003",
+                        node,
+                        f"secret operand in variable-time {op}: {unparse_short(node)}",
+                        out,
+                        f"variable-time {op}",
+                    )
+            elif (
+                isinstance(node.op, (ast.LShift, ast.RShift))
+                and taint is not None
+                and taint.real
+                and not self.intervals.shift_amount_bounded(value_iv)
+            ):
+                self._emit(
+                    "SF003",
+                    node,
+                    f"shift by secret-dependent amount: {unparse_short(node)}",
+                    taint,
+                    "variable-width shift",
+                )
+        self.ienv.aug_assign(node)
+        self._assign_target(node.target, out)
 
     def _exec_Return(self, node: ast.Return) -> None:
         taint = self.eval(node.value) if node.value is not None else None
@@ -724,17 +901,31 @@ class _Evaluator(ast.NodeVisitor):
 
     def _exec_If(self, node: ast.If) -> None:
         self._branch(node.test, "branch")
+        before = self.ienv.snapshot()
+        self.ienv.refine(node.test, True)
         for stmt in node.body:
             self.exec_stmt(stmt)
+        body_env = self.ienv.snapshot()
+        self.ienv.restore(before)
+        self.ienv.refine(node.test, False)
         for stmt in node.orelse:
             self.exec_stmt(stmt)
+        if block_terminates(node.body):
+            pass                 # fall-through keeps the refined else env
+        elif block_terminates(node.orelse):
+            self.ienv.restore(body_env)
+        else:
+            self.ienv.join_into(body_env)
 
     def _exec_While(self, node: ast.While) -> None:
         self._branch(node.test, "loop condition")
+        self.ienv.havoc_assigned(node.body)
+        self.ienv.refine(node.test, True)
         for stmt in node.body:
             self.exec_stmt(stmt)
         for stmt in node.orelse:
             self.exec_stmt(stmt)
+        self.ienv.havoc_assigned(node.body)
 
     def _exec_Assert(self, node: ast.Assert) -> None:
         self._branch(node.test, "assertion")
@@ -743,11 +934,14 @@ class _Evaluator(ast.NodeVisitor):
 
     def _exec_For(self, node: ast.For) -> None:
         it = self.eval(node.iter)
+        self.ienv.havoc_assigned(node.body)
+        self.ienv.bind_loop_target(node.target, node.iter)
         self._bind_loop_target(node.target, node.iter, it)
         for stmt in node.body:
             self.exec_stmt(stmt)
         for stmt in node.orelse:
             self.exec_stmt(stmt)
+        self.ienv.havoc_assigned(node.body)
 
     def _exec_With(self, node: ast.With) -> None:
         for item in node.items:
@@ -770,6 +964,31 @@ class _Evaluator(ast.NodeVisitor):
     def _exec_Raise(self, node: ast.Raise) -> None:
         if node.exc is not None:
             self.eval(node.exc)
+
+    def _exec_Try(self, node: ast.Try) -> None:
+        for stmt in node.body:
+            self.exec_stmt(stmt)
+        for stmt in node.orelse:
+            self.exec_stmt(stmt)
+        # any prefix of the try body may have run before a handler does
+        self.ienv.havoc_assigned(node.body)
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.exec_stmt(stmt)
+        for stmt in node.finalbody:
+            self.exec_stmt(stmt)
+
+    _exec_TryStar = _exec_Try
+
+
+def _collect_target_names(target: ast.AST, into: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        into.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_target_names(elt, into)
+    elif isinstance(target, ast.Starred):
+        _collect_target_names(target.value, into)
 
 
 def run_taint(project: Project, config: TaintConfig | None = None) -> list[Finding]:

@@ -56,6 +56,102 @@ def test_annotation_inside_string_is_ignored():
     assert annotations == {} and errors == []
 
 
+def test_empty_rules_list_is_an001(tmp_path):
+    # `rules=|` parses to zero rule ids; accepting it would silently widen
+    # a narrow waiver into a suppress-everything one.
+    src = """\
+    def f(sk):
+        if sk.f[0] > 0:  # sast: declassify(rules=|, reason=oops)
+            return 1
+        return 0
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    an = by_rule(findings, "AN001")
+    assert [f.line for f in an] == [line_of(src, "declassify")]
+    assert "empty" in an[0].message
+    # the malformed waiver suppresses nothing
+    assert len(by_rule(findings, "SF001")) == 1
+
+
+def test_missing_comma_after_rules_is_an001():
+    src = "x = 1  # sast: declassify(rules=SF001 reason=forgot the comma)\n"
+    annotations, errors = extract_annotations(src, "m.py")
+    assert annotations == {}
+    assert [e.rule for e in errors] == ["AN001"]
+
+
+def test_def_line_rule_filter_scopes_to_listed_rules_only(tmp_path):
+    # A def-line declassify with rules= suppresses exactly those rules in
+    # the function body; other rules keep firing.
+    src = """\
+    def mixed(sk):  # sast: declassify(rules=SF001, reason=branch reviewed; timing still live)
+        if sk.f[0] > 0:
+            return sk.f[1] % 3
+        return 0
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    assert by_rule(findings, "SF001") == []
+    assert [f.line for f in by_rule(findings, "SF003")] == [line_of(src, "% 3")]
+
+
+def test_def_line_declassify_survives_decorators(tmp_path):
+    # stmt.lineno of a decorated def is the `def` line, so the annotation
+    # on that line must still attach to the function.
+    src = """\
+    def wraps(fn):
+        return fn
+
+    @wraps
+    def covered(sk):  # sast: declassify(rules=SF001|SF003, reason=leakage model boundary)
+        if sk.f[0] > 0:
+            return sk.f[1] % 3
+        return 0
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    assert by_rule(findings, "SF001") == []
+    assert by_rule(findings, "SF003") == []
+    assert by_rule(findings, "AN001") == []
+
+
+def test_outer_declassify_does_not_cover_nested_function(tmp_path):
+    # Declassify scopes to exactly the annotated def. A def nested inside
+    # it is a separate scope and must keep its findings.
+    src = """\
+    def outer(sk):  # sast: declassify(rules=SF001, reason=outer body reviewed)
+        if sk.f[0] > 0:
+            pass
+
+        def inner(x):
+            if x > 0:
+                return 1
+            return 0
+
+        return inner(sk.f[1])
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    sf = by_rule(findings, "SF001")
+    assert [f.line for f in sf] == [line_of(src, "if x > 0")]
+    assert sf[0].function == "pkg.m.outer.inner"
+
+
+def test_nested_function_declassify_does_not_cover_outer(tmp_path):
+    src = """\
+    def outer(sk):
+        def inner(x):  # sast: declassify(rules=SF001, reason=inner reviewed)
+            if x > 0:
+                return 1
+            return 0
+
+        if sk.f[0] > 0:
+            pass
+        return inner(sk.f[1])
+    """
+    findings = findings_for(tmp_path, {"m.py": src})
+    sf = by_rule(findings, "SF001")
+    assert [f.line for f in sf] == [line_of(src, "if sk.f[0] > 0")]
+    assert sf[0].function == "pkg.m.outer"
+
+
 def test_an001_surfaces_through_collect_findings(tmp_path):
     src = """\
     def f(sk):

@@ -1,0 +1,165 @@
+"""Interval abstract-interpretation precision pass.
+
+Two layers: unit tests for the value-range transfer functions, and
+end-to-end fixtures pinning which SF002/SF003 false positives the
+interval pass suppresses — and, just as important, which true leaks
+it must *not* suppress.
+"""
+
+from __future__ import annotations
+
+from tests.sast_util import by_rule, findings_for, line_of
+
+from repro.sast.intervals import (
+    TOP,
+    Interval,
+    iv_and,
+    iv_bit_length,
+    iv_lshift,
+    iv_mod,
+    iv_mul,
+    iv_or,
+    iv_rshift,
+)
+
+
+# -- domain unit tests -----------------------------------------------------
+
+
+def test_interval_basic_properties():
+    iv = Interval(0, 63)
+    assert iv.finite and iv.nonneg and iv.width() == 64 and iv.contains_zero()
+    assert Interval(5, 5).const == 5
+    assert not TOP.finite and TOP.width() is None
+
+
+def test_interval_join_meet():
+    assert Interval(0, 3).join(Interval(10, 12)) == Interval(0, 12)
+    assert Interval(0, 10).meet(Interval(5, 20)) == Interval(5, 10)
+    assert Interval(None, 5).join(Interval(2, None)) == TOP
+
+
+def test_shift_transfer_functions():
+    assert iv_lshift(Interval(1, 1), Interval(0, 52)) == Interval(1, 1 << 52)
+    assert iv_rshift(Interval(0, 255), Interval(0, 4)) == Interval(0, 255)
+    # huge shift amounts widen to TOP instead of materializing bignums
+    assert iv_lshift(Interval(1, 1), Interval(0, 10**6)) == TOP
+
+
+def test_bitwise_transfer_functions():
+    # x & mask with mask >= 0 is bounded by the mask
+    assert iv_and(TOP, Interval(0xFFF, 0xFFF)) == Interval(0, 0xFFF)
+    # _IMPLICIT | m for m in [0, 2^52) stays within the 53-bit mantissa
+    implicit = 1 << 52
+    got = iv_or(Interval(implicit, implicit), Interval(0, implicit - 1))
+    assert got == Interval(implicit, (1 << 53) - 1)
+
+
+def test_mod_and_bit_length():
+    # result of `x % q` depends only on the divisor's sign
+    assert iv_mod(TOP, Interval(12289, 12289)) == Interval(0, 12288)
+    assert iv_bit_length(Interval(0, 255)) == Interval(0, 8)
+    assert iv_mul(Interval(-2, 3), Interval(-5, 7)) == Interval(-15, 21)
+
+
+# -- end-to-end suppression fixtures ---------------------------------------
+
+
+def test_bounded_shift_and_subscript_suppressed(tmp_path):
+    """Shift amounts and indices proven compile-time bounded no longer
+    raise SF003/SF002; unbounded ones still do."""
+    src = """\
+    MANT_BITS = 52
+    TABLE = [0] * 64
+
+    def ops(sk):
+        s = sk.f[0]
+        e = min(s & 63, 52)
+        a = s << MANT_BITS        # bounded constant amount: suppressed
+        b = s >> e                # amount in [0, 52]: suppressed
+        c = TABLE[s & 63]         # index in [0, 63]: suppressed
+        d = 1 << s                # unbounded secret amount: SF003
+        return a, b, c, d
+    """
+    findings = findings_for(tmp_path, {"shifts.py": src})
+    sf3 = [f.line for f in by_rule(findings, "SF003")]
+    assert sf3 == [line_of(src, "1 << s")]
+    assert by_rule(findings, "SF002") == []
+
+
+def test_division_pow2_and_pow_const_suppressed(tmp_path):
+    src = """\
+    def ops(sk):
+        s = sk.f[0]
+        a = s % 4096              # power-of-two divisor: suppressed
+        b = s // 2                # power-of-two divisor: suppressed
+        c = (s & 255) % 3         # bounded dividend, const divisor: suppressed
+        d = s ** 2                # small constant exponent: suppressed
+        e = s % sk.g[0]           # secret divisor: SF003
+        return a, b, c, d, e
+    """
+    findings = findings_for(tmp_path, {"divs.py": src})
+    sf3 = [f.line for f in by_rule(findings, "SF003")]
+    assert sf3 == [line_of(src, "s % sk.g[0]")]
+
+
+def test_guard_refinement_bounds_branch_values(tmp_path):
+    """Range information learned from an `if` guard suppresses findings in
+    the guarded branch only."""
+    src = """\
+    def ops(sk):
+        d = sk.f[0].bit_length() - 53
+        if d < 0:
+            x = sk.f[1] << -d     # -d in [1, 53] via refinement: suppressed
+        else:
+            x = sk.f[1] >> d      # d only lower-bounded: SF003
+        return x
+    """
+    findings = findings_for(tmp_path, {"guard.py": src})
+    sf3 = sorted(f.line for f in by_rule(findings, "SF003"))
+    # bit_length on an unbounded secret is itself variable-time (true leak)
+    assert sf3 == [line_of(src, "bit_length"), line_of(src, "sk.f[1] >> d")]
+
+
+def test_loop_counter_subscript_suppressed(tmp_path):
+    src = """\
+    TABLE = [0] * 64
+
+    def ops(sk):
+        acc = 0
+        for i in range(64):
+            acc += TABLE[i] * sk.f[0]
+        return acc
+    """
+    findings = findings_for(tmp_path, {"loop.py": src})
+    assert by_rule(findings, "SF002") == []
+
+
+def test_havoc_keeps_loop_reassigned_names_unbounded(tmp_path):
+    """A bound learned before a loop must not persist once the loop body
+    reassigns the name (soundness: no false suppression)."""
+    src = """\
+    def ops(sk, m):
+        e = sk.f[0] & 7
+        for _ in range(4):
+            x = 1 << e            # e reassigned below; stale [0,7] bound: SF003
+            e = e + m
+        return x
+    """
+    findings = findings_for(tmp_path, {"havoc.py": src})
+    sf3 = [f.line for f in by_rule(findings, "SF003")]
+    assert sf3 == [line_of(src, "1 << e")]
+
+
+def test_public_attrs_are_not_secret_carriers(tmp_path):
+    """Field sensitivity: reading sk.n / sk.q / sk.h / sk.params yields
+    public values even though `sk` is a recognized carrier."""
+    src = """\
+    def ops(sk):
+        if sk.n > 256:
+            return sk.h[0] % sk.q
+        return sk.params
+    """
+    findings = findings_for(tmp_path, {"pub.py": src})
+    assert by_rule(findings, "SF001") == []
+    assert by_rule(findings, "SF003") == []

@@ -177,3 +177,88 @@ def test_planted_branch_in_falcon_sign_copy(tmp_path):
     assert len(hits) == 1
     assert "SecretKey.f" in hits[0].taint_chain[0]
     assert hits[0].function == "repro.falcon.sign.sign"
+
+
+# -- evaluator blind-spot regressions (one fixture per construct) ----------
+
+
+def test_comprehension_scope_shadowing_and_propagation(tmp_path):
+    """A comprehension target must (a) receive the iterable's taint inside
+    the comprehension and (b) not clobber a same-named outer binding."""
+    src = """\
+    TABLE = [0] * 16
+
+    def leak(sk):
+        x = sk.f[0]
+        sel = [TABLE[v] for v in sk.f]
+        masks = [x & 1 for x in range(4)]
+        if x > 0:
+            return sel
+        return masks
+    """
+    findings = findings_for(tmp_path, {"comp.py": src})
+    sf2 = by_rule(findings, "SF002")
+    assert [f.line for f in sf2] == [line_of(src, "TABLE[v]")]
+    sf1 = [f for f in by_rule(findings, "SF001") if f.line == line_of(src, "if x > 0")]
+    assert len(sf1) == 1, "outer `x` lost its taint across the comprehension scope"
+    assert "SecretKey.f" in sf1[0].taint_chain[0]
+
+
+def test_lambda_body_sinks_and_value_taint(tmp_path):
+    """Sinks inside a lambda body report, and a secret-capturing lambda
+    taints calls through the bound name."""
+    src = """\
+    def leak(sk):
+        key = sk.g[0]
+        conv = lambda v: v % key
+        probe = lambda: sk.f[0]
+        if probe() > 0:
+            return conv(1)
+        return 0
+    """
+    findings = findings_for(tmp_path, {"lam.py": src})
+    sf3 = [f for f in by_rule(findings, "SF003") if f.line == line_of(src, "v % key")]
+    assert len(sf3) == 1, "variable-time op inside lambda body not reported"
+    sf1 = [f for f in by_rule(findings, "SF001") if f.line == line_of(src, "if probe()")]
+    assert len(sf1) == 1, "lambda value taint lost across the call"
+    assert any("lambda" in hop for hop in sf1[0].taint_chain)
+
+
+def test_augmented_assignment_target_sinks(tmp_path):
+    """``x <<= secret`` / ``x %= secret`` are variable-time sinks even
+    though the operator never appears in an ast.BinOp."""
+    src = """\
+    def leak(sk):
+        x = 1
+        x <<= sk.f[0]
+        y = 100
+        y %= sk.g[0]
+        return x + y
+    """
+    findings = findings_for(tmp_path, {"aug.py": src})
+    lines = sorted(f.line for f in by_rule(findings, "SF003"))
+    assert lines == [line_of(src, "x <<="), line_of(src, "y %=")]
+
+
+def test_varargs_and_kwargs_propagation(tmp_path):
+    """Secrets passed through ``*args`` / ``**kwargs`` reach callee sinks."""
+    src = """\
+    def star_sink(*args):
+        if args[1] > 0:
+            return 1
+        return 0
+
+    def kw_sink(**opts):
+        if opts["level"] > 0:
+            return 1
+        return 0
+
+    def run(sk):
+        a = star_sink(0, sk.f[0])
+        b = kw_sink(level=sk.g[0])
+        return a, b
+    """
+    findings = findings_for(tmp_path, {"va.py": src})
+    sf1_lines = {f.line for f in by_rule(findings, "SF001")}
+    assert line_of(src, "if args[1] > 0") in sf1_lines, "*args taint dropped"
+    assert line_of(src, 'if opts["level"] > 0') in sf1_lines, "**kwargs taint dropped"
