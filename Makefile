@@ -54,15 +54,18 @@ typecheck:
 # (no baseline directory = recording-only run, always passes).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
-	$(PYTHON) -m pytest benchmarks/bench_e2e_key_recovery.py::test_streaming_cpa_matches_one_shot -q -s
+	$(PYTHON) -m pytest benchmarks/bench_e2e_key_recovery.py -q -s \
+		-k "capture_backend_throughput or streaming_cpa_matches_one_shot"
 	$(PYTHON) scripts/check_bench_regression.py --baseline bench-baseline --current .
 
-# CI-sized perf trajectory: the same two emitting benches at reduced
-# trace counts, then the regression gate.
+# CI-sized perf trajectory: the same emitting benches at reduced trace
+# counts, then the regression gate. The capture-backend microbench runs
+# in the same process as the throughput bench so its measured rates land
+# in BENCH_throughput.json's capture_backends block.
 bench-smoke:
 	FALCON_BENCH_TRACES=6000 FALCON_BENCH_THROUGHPUT_TRACES=800 \
 	$(PYTHON) -m pytest benchmarks/bench_e2e_key_recovery.py -q -s \
-		-k "e2e_key_recovery_and_forgery or streaming_cpa_matches_one_shot"
+		-k "e2e_key_recovery_and_forgery or capture_backend_throughput or streaming_cpa_matches_one_shot"
 	$(PYTHON) -m pytest benchmarks/bench_sast.py --benchmark-only -q -s
 	$(PYTHON) scripts/check_bench_regression.py --baseline bench-baseline --current .
 
@@ -70,6 +73,9 @@ bench-smoke:
 # tests mock: the 2-worker fan-out, a materialized campaign store, and
 # a checkpointed session resume. Catches pickling, per-target seeding,
 # shard layout, and fingerprint regressions in one run.
+# SMOKE_BACKEND selects the capture step-value engine; CI runs the
+# smoke once per backend to exercise both engines end to end.
+SMOKE_BACKEND ?= numpy-batch
 smoke:
 	$(PYTHON) -c "\
 	import shutil, tempfile, os; \
@@ -79,10 +85,10 @@ smoke:
 	work = tempfile.mkdtemp(prefix='falcon-verify-'); \
 	store = os.path.join(work, 'store'); sess = os.path.join(work, 'sess'); \
 	sk, pk = keygen(FalconParams.get(8), seed=b'verify'); \
-	r = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', store=store, session=sess); \
+	r = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', backend='$(SMOKE_BACKEND)', store=store, session=sess); \
 	print(r.summary()); \
 	assert r.key_correct and r.forgery_verifies, 'parallel smoke attack failed'; \
-	r2 = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', store=CampaignStore(store), session=sess); \
+	r2 = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', backend='$(SMOKE_BACKEND)', store=CampaignStore(store), session=sess); \
 	assert [c.pattern for c in r2.key_recovery.coefficients] == [c.pattern for c in r.key_recovery.coefficients], 'store-backed resume diverged'; \
 	assert r2.key_correct and r2.forgery_verifies, 'resumed smoke attack failed'; \
 	shutil.rmtree(work)"

@@ -53,8 +53,15 @@ def emit_bench(
     per_stage_s: dict[str, float] | None = None,
     traces_per_s: float | None = None,
     out_dir: str | None = None,
+    extra: dict | None = None,
 ) -> str:
-    """Write ``BENCH_<name>.json`` and return its path."""
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``extra`` merges additional top-level keys into the payload (the
+    gate ignores keys it does not track, but knows a few — e.g. the
+    per-backend ``capture_backends`` throughput block); it cannot
+    override the schema keys.
+    """
     payload = {
         "name": name,
         "params": dict(params),
@@ -63,6 +70,10 @@ def emit_bench(
         "traces_per_s": None if traces_per_s is None else float(traces_per_s),
         "peak_rss_mb": round(peak_rss_mb(), 1),
     }
+    for key, value in (extra or {}).items():
+        if key in payload:
+            raise ValueError(f"extra key {key!r} collides with the bench schema")
+        payload[key] = value
     out_dir = out_dir or os.environ.get("FALCON_BENCH_DIR") or "."
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

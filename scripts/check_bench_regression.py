@@ -55,6 +55,20 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
             f"{name}: traces_per_s {c_tps:.0f} vs baseline {b_tps:.0f} "
             f"(-{(1.0 - c_tps / b_tps) * 100.0:.0f}%, limit -{threshold * 100:.0f}%)"
         )
+    # per-backend capture throughput (optional block): gate each backend
+    # present in BOTH artifacts, so adding or dropping a backend is not a
+    # failure but slowing one down is
+    b_cb = baseline.get("capture_backends") or {}
+    c_cb = current.get("capture_backends") or {}
+    for backend in sorted(set(b_cb) & set(c_cb)):
+        b_rate = b_cb[backend].get("traces_per_s")
+        c_rate = c_cb[backend].get("traces_per_s")
+        if b_rate and c_rate and b_rate > 0 and c_rate < b_rate * (1.0 - threshold):
+            problems.append(
+                f"{name}: capture_backends[{backend}].traces_per_s {c_rate:.0f} "
+                f"vs baseline {b_rate:.0f} "
+                f"(-{(1.0 - c_rate / b_rate) * 100.0:.0f}%, limit -{threshold * 100:.0f}%)"
+            )
     return problems
 
 

@@ -163,6 +163,7 @@ def full_attack(
     message: bytes = b"arbitrary message chosen by the adversary",
     mode: str = "direct",
     seed: int = 2021,
+    backend: str = "numpy-batch",
     progress: bool = False,
     progress_callback: ProgressCallback | None = None,
     n_workers: int | None = None,
@@ -183,6 +184,11 @@ def full_attack(
     attacks fan out over that many worker processes, with results
     bit-identical to the serial run. ``progress_callback`` receives
     structured per-coefficient :class:`ProgressEvent` records.
+
+    ``backend`` selects the capture step-value engine (see
+    :mod:`repro.leakage.backend`): ``numpy-batch`` (vectorized,
+    default) or ``python-ref`` (per-value softfloat). The engines are
+    bit-exact, so the recovered key is identical either way.
 
     ``store`` separates capture cost from attack cost: a path (or
     :class:`~repro.leakage.store.CampaignStore`) makes the attack read
@@ -211,6 +217,7 @@ def full_attack(
             n_traces=n_traces,
             mode=mode,
             seed=seed,
+            backend=backend,
             value_transform=value_transform,
         )
         source = campaign

@@ -79,7 +79,8 @@ def cmd_capture(args) -> int:
     sk = secret_key_from_json(_read(args.sk))
     device = DeviceModel(noise_sigma=args.noise)
     ts = capture_coefficient(
-        sk, args.target, n_traces=args.traces, device=device, seed=args.capture_seed
+        sk, args.target, n_traces=args.traces, device=device, seed=args.capture_seed,
+        backend=args.backend,
     )
     ts.save(args.out)
     print(
@@ -162,6 +163,7 @@ def cmd_attack(args) -> int:  # sast: declassify(reason=CLI reports attack outco
             message=args.message.encode(),
             mode=args.mode,
             seed=args.seed,
+            backend=args.backend,
             store=args.store,
             session=args.resume,
             journal=journal,
@@ -218,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--traces", type=int, default=10_000)
     p.add_argument("--noise", type=float, default=10.0)
     p.add_argument("--capture-seed", type=int, default=2021)
+    p.add_argument(
+        "--backend", type=str, default="numpy-batch",
+        choices=("numpy-batch", "python-ref"),
+        help="step-value engine: 'numpy-batch' computes whole trace blocks "
+        "as uint64 array ops, 'python-ref' runs the per-value softfloat "
+        "reference (bit-exact, ~100x slower)",
+    )
     p.add_argument("--out", type=str, required=True, help=".npz traceset output")
     p.add_argument("--trs-prefix", type=str, default=None, help="also export Riscure TRS files")
     p.set_defaults(fn=cmd_capture)
@@ -253,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2021,
         help="capture campaign seed (drives the known-message corpus and "
         "the per-target acquisition RNG)",
+    )
+    p.add_argument(
+        "--backend", type=str, default="numpy-batch",
+        choices=("numpy-batch", "python-ref"),
+        help="capture step-value engine (bit-exact choices; 'numpy-batch' "
+        "makes the capture side ~100x faster)",
     )
     p.add_argument(
         "--message", type=str,

@@ -23,6 +23,7 @@ test suite asserts exactly that.
 
 from __future__ import annotations
 
+import math
 import struct
 
 __all__ = [
@@ -252,8 +253,6 @@ def fpr_sqrt(x: int) -> int:
 
 
 def _isqrt(v: int) -> int:
-    import math
-
     return math.isqrt(v)
 
 
@@ -304,6 +303,31 @@ def fpr_trunc(x: int) -> int:
     return -mag if s else mag
 
 
+def _as_i64(v: int) -> int:
+    """Reinterpret a 64-bit pattern as a signed two's-complement int."""
+    v &= 0xFFFFFFFFFFFFFFFF
+    return v - (1 << 64) if v & SIGN_BIT else v
+
+
 def fpr_lt(x: int, y: int) -> bool:
-    """Signed comparison x < y on bit patterns."""
-    return fpr_to_float(x) < fpr_to_float(y)
+    """Compare x < y directly on the bit patterns, as ``fpr.c`` does.
+
+    The sign-aware integer comparison: IEEE-754 patterns of equal sign
+    order like signed integers (reversed when both are negative, since
+    a larger magnitude pattern is a more negative value); on a sign
+    mismatch the negative operand is smaller — except ``-0 < +0``,
+    which is false (the zeros compare equal, both directions). No host
+    float round-trip: the comparison is exact integer arithmetic on the
+    operand words, so the sast taint pass sees the secret-dependent
+    compare instead of an opaque conversion.
+    """
+    sx = _as_i64(x)
+    sy = _as_i64(y)
+    if (sx | sy) >= 0:
+        # both non-negative: signed (equivalently unsigned) pattern order
+        return sx < sy
+    if (sx & sy) < 0:
+        # both negative: magnitude order is reversed
+        return sy < sx
+    # signs differ: the negative operand is smaller, unless both are zeros
+    return sx < 0 and ((x | y) & ~SIGN_BIT) != 0

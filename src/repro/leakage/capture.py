@@ -31,8 +31,9 @@ from numpy.typing import NDArray
 
 from repro.falcon.hash_to_point import hash_to_point
 from repro.falcon.keygen import SecretKey
+from repro.leakage.backend import DEFAULT_BACKEND, get_backend
 from repro.leakage.device import DeviceModel
-from repro.leakage.synth import mul_step_values, trace_layout
+from repro.leakage.synth import trace_layout
 from repro.leakage.traceset import Segment, TraceSet
 from repro.math import fft
 from repro.obs import metrics
@@ -42,7 +43,13 @@ from repro.utils.rng import ChaCha20Prng
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.leakage.store import CampaignStore
 
-__all__ = ["CaptureCampaign", "capture_coefficient", "fft_to_doubles", "doubles_to_fft"]
+__all__ = [
+    "CaptureConfig",
+    "CaptureCampaign",
+    "capture_coefficient",
+    "fft_to_doubles",
+    "doubles_to_fft",
+]
 
 
 def fft_to_doubles(f_fft: NDArray[np.complex128]) -> NDArray[np.float64]:
@@ -68,6 +75,24 @@ def _is_normal(patterns: NDArray[np.uint64]) -> NDArray[np.bool_]:
     return (e != 0) & (e != 0x7FF)
 
 
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Acquisition parameters independent of the victim key and device.
+
+    Groups the knobs a campaign needs beyond (sk, device) so callers —
+    the CLI, the pipeline, orchestration code — can pass one object
+    around. ``backend`` names the step-value engine
+    (:mod:`repro.leakage.backend`): ``numpy-batch`` (vectorized,
+    default) or ``python-ref`` (per-value softfloat reference); the two
+    are bit-exact, so the choice never changes a trace byte.
+    """
+
+    n_traces: int = 10_000
+    mode: str = "direct"          # "direct" | "hash"
+    seed: int = 2021
+    backend: str = DEFAULT_BACKEND
+
+
 @dataclass
 class CaptureCampaign:
     """A reusable acquisition session against one secret key.
@@ -82,16 +107,28 @@ class CaptureCampaign:
     n_traces: int = 10_000
     mode: str = "direct"          # "direct" | "hash"
     seed: int = 2021
+    #: Step-value engine (see :mod:`repro.leakage.backend`); bit-exact
+    #: across choices, so this is purely a capture-throughput knob.
+    backend: str = DEFAULT_BACKEND
     #: Optional hook transforming the (D, S) step-value matrix before the
     #: device emits samples — how countermeasures (masking, shuffling)
     #: are modeled (see :mod:`repro.countermeasures`).
     value_transform: Callable[
         [NDArray[np.uint64], np.random.Generator], NDArray[np.uint64]
     ] | None = None
+    #: Alternative constructor input: a :class:`CaptureConfig` overrides
+    #: the individual ``n_traces``/``mode``/``seed``/``backend`` fields.
+    config: CaptureConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.config is not None:
+            self.n_traces = self.config.n_traces
+            self.mode = self.config.mode
+            self.seed = self.config.seed
+            self.backend = self.config.backend
         if self.mode not in ("direct", "hash"):
             raise ValueError(f"unknown capture mode {self.mode!r}")
+        get_backend(self.backend)  # fail fast on unknown backend names
         self._c_fft: NDArray[np.complex128] | None = None
         self._secret_doubles: NDArray[np.float64] | None = None
 
@@ -174,7 +211,9 @@ class CaptureCampaign:
                 patterns = known.view(np.uint64)
                 keep = _is_normal(patterns)
                 patterns = patterns[keep]
-                values = mul_step_values(int(secret_pattern), patterns)
+                values = get_backend(self.backend).step_values(
+                    int(secret_pattern), patterns
+                )
                 if self.value_transform is not None:
                     values = self.value_transform(values, rng)
                 traces = self.device.emit(values, rng)
@@ -231,6 +270,7 @@ def capture_coefficient(
     device: DeviceModel | None = None,
     mode: str = "direct",
     seed: int = 2021,
+    backend: str = DEFAULT_BACKEND,
 ) -> TraceSet:
     """Convenience wrapper: one-shot capture of a single secret double."""
     campaign = CaptureCampaign(
@@ -239,5 +279,6 @@ def capture_coefficient(
         n_traces=n_traces,
         mode=mode,
         seed=seed,
+        backend=backend,
     )
     return campaign.capture(target_index)

@@ -61,8 +61,13 @@ class DeviceModel:
         noise = rng.normal(0.0, self.noise_sigma, size=expanded.shape)
         traces = (expanded + noise).astype(np.float32)
         if self.jitter:
+            # One gather instead of a per-trace np.roll loop: for shift
+            # s, np.roll puts a[(i - s) mod T] at column i, so building
+            # the whole (D, T) column-index matrix applies every trace's
+            # circular shift in a single take_along_axis (bit-identical
+            # to the loop — it is the same permutation).
             shifts = rng.integers(-self.jitter, self.jitter + 1, size=traces.shape[0])
-            for i, s in enumerate(shifts):
-                if s:
-                    traces[i] = np.roll(traces[i], int(s))
+            width = traces.shape[1]
+            cols = (np.arange(width)[None, :] - shifts[:, None]) % width
+            traces = np.take_along_axis(traces, cols, axis=1)
         return traces

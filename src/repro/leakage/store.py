@@ -353,6 +353,16 @@ class CampaignStore:
         return int(self.manifest["seed"])
 
     @property
+    def backend(self) -> str:
+        """Which step-value backend produced the shards.
+
+        Stores written before the backend was recorded predate the
+        pluggable engines; everything then went through the vectorized
+        path that became ``numpy-batch``.
+        """
+        return str(self.manifest.get("backend", "numpy-batch"))
+
+    @property
     def device(self) -> DeviceModel:
         """The acquisition device model recorded in the manifest."""
         return _device_from_jsonable(self.manifest["device"])
@@ -407,6 +417,7 @@ class CampaignStore:
             "n_traces": campaign.n_traces,
             "mode": campaign.mode,
             "seed": campaign.seed,
+            "backend": campaign.backend,
             "device": _device_to_jsonable(campaign.device),
             "targets": entries,
         }

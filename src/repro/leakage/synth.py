@@ -3,8 +3,14 @@
 Computes, for D (secret, known) operand pairs at once, the same
 architectural intermediates as :func:`repro.fpr.trace.fpr_mul_trace`
 (property-tested equal), maps them through the device model, and returns
-oscilloscope-style trace matrices. Everything fits in uint64: the widest
-intermediate is the 56-bit high partial product.
+oscilloscope-style trace matrices.
+
+The step-value computation itself is pluggable — see
+:mod:`repro.leakage.backend` for the ``python-ref`` (per-value
+softfloat) and ``numpy-batch`` (vectorized, bit-exact, orders of
+magnitude faster) implementations. :func:`mul_step_values` dispatches
+to the batch backend by default; hypothesis builders across the attack
+side all route through it.
 """
 
 from __future__ import annotations
@@ -15,78 +21,26 @@ from typing import Any
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.fpr.trace import EXP_REBIAS, LOW_BITS, MUL_STEP_LABELS
+from repro.fpr.trace import MUL_STEP_LABELS
+from repro.leakage.backend import CaptureBackend, DEFAULT_BACKEND, get_backend
 from repro.leakage.device import DeviceModel
 
 __all__ = ["mul_step_values", "trace_layout", "TraceLayout", "synthesize_mul_traces"]
 
-_U = np.uint64
-_MASK25 = _U((1 << LOW_BITS) - 1)
-_MANT_MASK = _U((1 << 52) - 1)
-_IMPLICIT = _U(1 << 52)
-_EXP_MASK = _U(0x7FF)
 
-
-def mul_step_values(x: NDArray[Any] | int, y: NDArray[Any]) -> NDArray[np.uint64]:  # sast: declassify(reason=leakage model of fpr multiply intermediates; consumes the secret operand by design)
+def mul_step_values(
+    x: NDArray[Any] | int,
+    y: NDArray[Any],
+    backend: str | CaptureBackend = DEFAULT_BACKEND,
+) -> NDArray[np.uint64]:  # sast: declassify(reason=leakage model of fpr multiply intermediates; consumes the secret operand by design)
     """(D, S) uint64 matrix of intermediates for x*y, one row per pair.
 
     ``x`` (secret) and ``y`` (known) are fpr bit patterns; ``x`` may be a
     scalar, broadcast against ``y``. Columns follow MUL_STEP_LABELS.
     Inputs must be nonzero normals (the capture layer filters zeros).
+    ``backend`` selects the implementation (bit-exact either way).
     """
-    y = np.asarray(y, dtype=np.uint64)
-    x = np.broadcast_to(np.asarray(x, dtype=np.uint64), y.shape).copy()
-    ex = (x >> _U(52)) & _EXP_MASK
-    ey = (y >> _U(52)) & _EXP_MASK
-    if np.any(ex == 0) or np.any(ey == 0) or np.any(ex == 0x7FF) or np.any(ey == 0x7FF):
-        raise ValueError("operands must be nonzero normal doubles")
-    mx = (x & _MANT_MASK) | _IMPLICIT
-    my = (y & _MANT_MASK) | _IMPLICIT
-
-    x_lo = mx & _MASK25
-    x_hi = mx >> _U(LOW_BITS)
-    y_lo = my & _MASK25
-    y_hi = my >> _U(LOW_BITS)
-
-    p_ll = x_lo * y_lo
-    p_lh = x_lo * y_hi
-    s_lo = (p_ll >> _U(LOW_BITS)) + p_lh
-    p_hl = x_hi * y_lo
-    s_mid = s_lo + p_hl
-    p_hh = x_hi * y_hi
-    s_hi = (s_mid >> _U(LOW_BITS)) + p_hh
-    sticky = (p_ll & _MASK25) | ((s_mid & _MASK25) << _U(LOW_BITS))
-
-    # The rounded result comes from the host FPU (IEEE-754, bit-exact
-    # with repro.fpr.emu.fpr_mul for normal in/out).
-    result = (x.view(np.float64) * y.view(np.float64)).view(np.uint64)
-    mant_out = result & _MANT_MASK
-    exp_out = (result >> _U(52)) & _EXP_MASK
-    sign_out = (x >> _U(63)) ^ (y >> _U(63))
-    exp_sum = ex + ey
-    exp_biased = (exp_sum - _U(EXP_REBIAS)) & _U(0xFFFFFFFF)
-
-    cols = {
-        "load_x_lo": x_lo,
-        "load_x_hi": x_hi,
-        "load_y_lo": y_lo,
-        "load_y_hi": y_hi,
-        "p_ll": p_ll,
-        "p_lh": p_lh,
-        "s_lo": s_lo,
-        "p_hl": p_hl,
-        "s_mid": s_mid,
-        "p_hh": p_hh,
-        "s_hi": s_hi,
-        "sticky": sticky,
-        "mant_out": mant_out,
-        "exp_sum": exp_sum,
-        "exp_biased": exp_biased,
-        "exp_out": exp_out,
-        "sign_out": sign_out,
-        "result": result,
-    }
-    return np.stack([cols[lab] for lab in MUL_STEP_LABELS], axis=-1)
+    return get_backend(backend).step_values(x, y)
 
 
 @dataclass(frozen=True)
@@ -118,10 +72,11 @@ def synthesize_mul_traces(
     y: NDArray[Any],
     device: DeviceModel,
     rng: np.random.Generator | None = None,
+    backend: str | CaptureBackend = DEFAULT_BACKEND,
 ) -> tuple[NDArray[np.float32], NDArray[np.uint64]]:
     """Traces (D, T) plus the underlying step values (D, S) for x*y."""
     if rng is None:
         rng = device.rng()
-    values = mul_step_values(x, y)
+    values = mul_step_values(x, y, backend=backend)
     traces = device.emit(values, rng)
     return traces, values

@@ -100,3 +100,30 @@ class TestGate:
         assert gate.compare(base, bench_payload(wall_s=12.6, traces_per_s=1000.0), 0.25)
         assert gate.compare(base, bench_payload(wall_s=10.0, traces_per_s=740.0), 0.25)
         assert not gate.compare(base, bench_payload(wall_s=12.4, traces_per_s=760.0), 0.25)
+
+    def test_capture_backends_block_gated(self):
+        """The per-backend capture throughput block regresses like any
+        other rate metric, but only for backends present in both
+        artifacts — and legacy artifacts without the block still pass."""
+        def with_backends(fast, ref=120_000.0):
+            payload = bench_payload(name="throughput")
+            payload["capture_backends"] = {
+                "numpy-batch": {"n_values": 200_000, "traces_per_s": fast},
+                "python-ref": {"n_values": 4_000, "traces_per_s": ref},
+            }
+            return payload
+
+        base = with_backends(7.4e6)
+        assert gate.compare(base, with_backends(7.0e6), 0.25) == []
+        problems = gate.compare(base, with_backends(3.0e6), 0.25)
+        assert len(problems) == 1
+        assert "capture_backends[numpy-batch]" in problems[0]
+        # both rates down: both named
+        assert len(gate.compare(base, with_backends(3.0e6, 60_000.0), 0.25)) == 2
+        # a backend dropped from (or absent in) either side is not a failure
+        dropped = with_backends(7.4e6)
+        del dropped["capture_backends"]["numpy-batch"]
+        assert gate.compare(base, dropped, 0.25) == []
+        legacy = bench_payload(name="throughput")
+        assert gate.compare(legacy, with_backends(7.4e6), 0.25) == []
+        assert gate.compare(with_backends(7.4e6), legacy, 0.25) == []

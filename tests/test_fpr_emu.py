@@ -192,3 +192,52 @@ class TestHelpers:
     @settings(max_examples=200)
     def test_lt_matches_host(self, x, y):
         assert emu.fpr_lt(bits(x), bits(y)) == (x < y)
+
+
+class TestFprLt:
+    """fpr_lt is an exact integer bit-pattern comparison (no host float
+    round-trip): signed order for same-sign patterns (reversed when both
+    are negative), sign decides on a mismatch, and the two zeros compare
+    equal in both directions."""
+
+    def test_zero_patterns(self):
+        pos0, neg0 = bits(0.0), bits(-0.0)
+        assert not emu.fpr_lt(pos0, neg0)
+        assert not emu.fpr_lt(neg0, pos0)
+        assert not emu.fpr_lt(pos0, pos0)
+        assert not emu.fpr_lt(neg0, neg0)
+        assert emu.fpr_lt(neg0, bits(1.0))
+        assert emu.fpr_lt(bits(-1.0), pos0)
+        assert not emu.fpr_lt(pos0, bits(-1e-300))
+        assert emu.fpr_lt(pos0, bits(1e-300))
+
+    def test_saturated_infinity_patterns(self):
+        """Overflowed fpr_mul saturates to the infinity pattern; the
+        comparison must keep ordering it against every finite value."""
+        huge = bits(1.5e308)
+        pos_inf = emu.fpr_mul(huge, huge)          # saturates to +inf
+        neg_inf = emu.fpr_mul(huge, emu.fpr_neg(huge))
+        assert pos_inf == bits(float("inf"))
+        assert neg_inf == bits(float("-inf"))
+        assert emu.fpr_lt(huge, pos_inf)
+        assert not emu.fpr_lt(pos_inf, huge)
+        assert emu.fpr_lt(neg_inf, emu.fpr_neg(huge))
+        assert emu.fpr_lt(neg_inf, pos_inf)
+        assert not emu.fpr_lt(pos_inf, pos_inf)
+        assert not emu.fpr_lt(neg_inf, neg_inf)
+        assert emu.fpr_lt(neg_inf, bits(0.0))
+        assert emu.fpr_lt(bits(-0.0), pos_inf)
+
+    def test_both_negative_order_reversed(self):
+        assert emu.fpr_lt(bits(-2.0), bits(-1.0))
+        assert not emu.fpr_lt(bits(-1.0), bits(-2.0))
+        assert not emu.fpr_lt(bits(-1.0), bits(-1.0))
+        assert emu.fpr_lt(bits(-1e300), bits(-1e-300))
+
+    @given(
+        st.one_of(normal_double(-900, 900), st.just(0.0), st.just(-0.0)),
+        st.one_of(normal_double(-900, 900), st.just(0.0), st.just(-0.0)),
+    )
+    @settings(max_examples=300)
+    def test_lt_matches_host_with_zeros(self, x, y):
+        assert emu.fpr_lt(bits(x), bits(y)) == (x < y)

@@ -94,6 +94,27 @@ class TestDeviceModel:
         peaks = out.argmax(axis=1)
         assert peaks.min() >= 3 and peaks.max() <= 7 and len(set(peaks)) > 1
 
+    def test_jitter_gather_matches_roll_loop(self):
+        """The vectorized jitter gather must be bit-identical to the
+        obvious per-trace np.roll loop it replaced."""
+        dev = DeviceModel(noise_sigma=3.0, jitter=4, samples_per_step=2, seed=99)
+        vals = np.random.default_rng(2).integers(
+            0, 1 << 56, size=(50, 9), dtype=np.uint64
+        )
+        fast = dev.emit(vals, dev.rng())
+
+        # reference: same rng consumption order, explicit roll loop
+        rng = dev.rng()
+        signal = dev.model.signal(vals) * dev.gain + dev.offset
+        expanded = np.repeat(signal, dev.samples_per_step, axis=1)
+        noise = rng.normal(0.0, dev.noise_sigma, size=expanded.shape)
+        slow = (expanded + noise).astype(np.float32)
+        shifts = rng.integers(-dev.jitter, dev.jitter + 1, size=slow.shape[0])
+        for i, s in enumerate(shifts):
+            if s:
+                slow[i] = np.roll(slow[i], int(s))
+        np.testing.assert_array_equal(fast, slow)
+
 
 class TestSynth:
     def test_trace_layout(self):

@@ -1,0 +1,221 @@
+"""Backend equivalence: python-ref and numpy-batch must be bit-exact.
+
+The ``python-ref`` backend *is* the leakage model (one softfloat
+``fpr_mul_trace`` per operand pair); ``numpy-batch`` re-implements the
+whole pipeline as uint64/int64 array ops, including the integer
+round-to-nearest-even and the fpr.c underflow-flush / overflow-saturate
+semantics the host FPU does not share. Every intermediate column must
+agree on every input — normal mid-range operands and the edge patterns
+where the rounding and exponent paths actually branch.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.falcon import FalconParams, keygen
+from repro.fpr import emu
+from repro.fpr.trace import MUL_STEP_LABELS, fpr_mul_trace
+from repro.leakage import (
+    BACKEND_NAMES,
+    CaptureBackend,
+    CaptureCampaign,
+    CaptureConfig,
+    DEFAULT_BACKEND,
+    CampaignStore,
+    DeviceModel,
+    capture_coefficient,
+    get_backend,
+    synthesize_mul_traces,
+)
+
+REF = get_backend("python-ref")
+BATCH = get_backend("numpy-batch")
+
+
+def _patterns(rng, n, emin, emax):
+    """Random sign/exponent/mantissa patterns with exponents in [emin, emax]."""
+    s = rng.integers(0, 2, n).astype(np.uint64) << np.uint64(63)
+    e = rng.integers(emin, emax + 1, n).astype(np.uint64) << np.uint64(52)
+    m = rng.integers(0, 1 << 52, n, dtype=np.uint64)
+    return s | e | m
+
+
+def _assert_columns_equal(x, y):
+    ref_vals = REF.step_values(x, y)
+    batch_vals = BATCH.step_values(x, y)
+    for i, label in enumerate(MUL_STEP_LABELS):
+        np.testing.assert_array_equal(
+            ref_vals[:, i], batch_vals[:, i], err_msg=f"column {label!r} diverged"
+        )
+    return batch_vals
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize(
+        "ex_range,ey_range",
+        [
+            ((900, 1200), (900, 1200)),   # the campaign's operating regime
+            ((1, 80), (1, 80)),           # products underflow-flush to zero
+            ((1980, 2046), (1980, 2046)),  # products overflow-saturate to inf
+            ((1, 2046), (1, 2046)),       # full normal range
+        ],
+        ids=["mid", "underflow", "overflow", "full"],
+    )
+    def test_random_batches_bit_exact(self, ex_range, ey_range):
+        rng = np.random.default_rng(hash(("backend", ex_range, ey_range)) & 0xFFFF)
+        x = _patterns(rng, 2000, *ex_range)
+        y = _patterns(rng, 2000, *ey_range)
+        batch_vals = _assert_columns_equal(x, y)
+        # and the packed result is exactly the softfloat's, including the
+        # flush/saturate cases where the host FPU would disagree
+        for d in range(0, 2000, 397):
+            assert int(batch_vals[d, -1]) == emu.fpr_mul(int(x[d]), int(y[d]))
+
+    def test_scalar_secret_broadcasts(self):
+        rng = np.random.default_rng(7)
+        y = _patterns(rng, 257, 1000, 1050)
+        x = int(np.float64(-3.714).view(np.uint64))
+        _assert_columns_equal(x, y)
+
+    def test_matches_per_value_trace(self):
+        """Both backends reproduce fpr_mul_trace's step list row by row."""
+        rng = np.random.default_rng(11)
+        x = _patterns(rng, 64, 1, 2046)
+        y = _patterns(rng, 64, 1, 2046)
+        batch_vals = BATCH.step_values(x, y)
+        for d in range(64):
+            trace = fpr_mul_trace(int(x[d]), int(y[d]))
+            assert trace.labels == list(MUL_STEP_LABELS)
+            np.testing.assert_array_equal(
+                batch_vals[d], np.array(trace.values, dtype=np.uint64)
+            )
+
+    def test_rounding_ties_and_carry(self):
+        """Crafted significands hitting ties-to-even and the all-ones
+        round-up that carries into a new exponent."""
+        mants = [0, (1 << 52) - 1, 1, 0xABCDEF, (1 << 51) + 1, (1 << 26) - 1]
+        pairs = [
+            (emu.compose(sx, ex, mx), emu.compose(sy, ey, my))
+            for mx in mants
+            for my in mants
+            for (sx, sy) in ((0, 0), (1, 0))
+            for (ex, ey) in ((1023, 1023), (1, 1022), (2046, 1), (1500, 600))
+        ]
+        x = np.array([p[0] for p in pairs], dtype=np.uint64)
+        y = np.array([p[1] for p in pairs], dtype=np.uint64)
+        _assert_columns_equal(x, y)
+
+    @given(
+        st.integers(0, 1), st.integers(1, 2046), st.integers(0, (1 << 52) - 1),
+        st.integers(0, 1), st.integers(1, 2046), st.integers(0, (1 << 52) - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_property_single_pairs(self, sx, ex, mx, sy, ey, my):
+        x = emu.compose(sx, ex, mx)
+        y = emu.compose(sy, ey, my)
+        batch_vals = BATCH.step_values(
+            np.array([x], dtype=np.uint64), np.array([y], dtype=np.uint64)
+        )
+        trace = fpr_mul_trace(x, y)
+        np.testing.assert_array_equal(
+            batch_vals[0], np.array(trace.values, dtype=np.uint64)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_zero_operand_rejected(self, backend):
+        y = np.array([np.float64(1.5).view(np.uint64)])
+        with pytest.raises(ValueError, match="nonzero normal"):
+            get_backend(backend).step_values(0, y)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_inf_operand_rejected(self, backend):
+        inf = struct.unpack("<Q", struct.pack("<d", float("inf")))[0]
+        y = np.array([np.float64(2.0).view(np.uint64)])
+        with pytest.raises(ValueError, match="nonzero normal"):
+            get_backend(backend).step_values(inf, y)
+
+
+class TestBackendRegistry:
+    def test_names_and_default(self):
+        assert set(BACKEND_NAMES) == {"python-ref", "numpy-batch"}
+        assert DEFAULT_BACKEND in BACKEND_NAMES
+
+    def test_get_backend_roundtrip(self):
+        for name in BACKEND_NAMES:
+            backend = get_backend(name)
+            assert isinstance(backend, CaptureBackend)
+            assert backend.name == name
+            assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown capture backend"):
+            get_backend("cuda-warp")
+        with pytest.raises(ValueError, match="unknown capture backend"):
+            CaptureCampaign(sk=_sk(), n_traces=10, backend="cuda-warp")
+
+    def test_capture_config_applies(self):
+        cfg = CaptureConfig(n_traces=33, mode="direct", seed=9, backend="python-ref")
+        camp = CaptureCampaign(sk=_sk(), config=cfg)
+        assert (camp.n_traces, camp.mode, camp.seed, camp.backend) == (
+            33, "direct", 9, "python-ref",
+        )
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return keygen(FalconParams.get(8), seed=b"backend")
+
+
+def _sk():
+    return keygen(FalconParams.get(8), seed=b"backend")[0]
+
+
+class TestCaptureUnderBothBackends:
+    def test_tracesets_byte_identical(self, kp):
+        """Same seed, either backend: the trace sets must match byte for
+        byte — backend choice is a speed knob, never a data change."""
+        sk, _ = kp
+        ref_ts = capture_coefficient(sk, 0, n_traces=120, seed=4, backend="python-ref")
+        fast_ts = capture_coefficient(sk, 0, n_traces=120, seed=4, backend="numpy-batch")
+        assert ref_ts.meta == fast_ts.meta
+        assert ref_ts.true_secret == fast_ts.true_secret
+        for a, b in zip(ref_ts.segments, fast_ts.segments):
+            assert a.name == b.name
+            assert a.known_y.tobytes() == b.known_y.tobytes()
+            assert a.traces.tobytes() == b.traces.tobytes()
+
+    def test_synthesize_backend_param(self):
+        dev = DeviceModel(noise_sigma=0.0)
+        y = (np.random.default_rng(3).standard_normal(40) + 2.5).view(np.uint64)
+        x = int(np.float64(1.618).view(np.uint64))
+        t_ref, v_ref = synthesize_mul_traces(x, y, dev, backend="python-ref")
+        t_fast, v_fast = synthesize_mul_traces(x, y, dev, backend="numpy-batch")
+        np.testing.assert_array_equal(v_ref, v_fast)
+        np.testing.assert_array_equal(t_ref, t_fast)
+
+    def test_store_roundtrip_records_backend(self, kp, tmp_path):
+        """Materializing under either backend yields byte-identical
+        shards; the manifest records which backend produced them."""
+        sk, _ = kp
+        stores = {}
+        for backend in BACKEND_NAMES:
+            camp = CaptureCampaign(sk=sk, n_traces=60, seed=5, backend=backend)
+            stores[backend] = camp.materialize(str(tmp_path / backend))
+        assert stores["python-ref"].backend == "python-ref"
+        assert stores["numpy-batch"].backend == "numpy-batch"
+        for j in stores["python-ref"].targets():
+            a = stores["python-ref"].capture(j, mmap=False)
+            b = stores["numpy-batch"].capture(j, mmap=False)
+            assert a.meta == b.meta
+            for seg_a, seg_b in zip(a.segments, b.segments):
+                assert seg_a.known_y.tobytes() == seg_b.known_y.tobytes()
+                assert seg_a.traces.tobytes() == seg_b.traces.tobytes()
+
+    def test_reopened_store_reports_backend(self, kp, tmp_path):
+        sk, _ = kp
+        camp = CaptureCampaign(sk=sk, n_traces=40, seed=6, backend="python-ref")
+        camp.materialize(str(tmp_path / "s"))
+        assert CampaignStore(str(tmp_path / "s")).backend == "python-ref"
