@@ -69,29 +69,16 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_sast.py --benchmark-only -q -s
 	$(PYTHON) scripts/check_bench_regression.py --baseline bench-baseline --current .
 
-# Tier-1 suite plus an end-to-end smoke of the moving parts the unit
-# tests mock: the 2-worker fan-out, a materialized campaign store, and
-# a checkpointed session resume. Catches pickling, per-target seeding,
-# shard layout, and fingerprint regressions in one run.
-# SMOKE_BACKEND selects the capture step-value engine; CI runs the
-# smoke once per backend to exercise both engines end to end.
+# End-to-end smoke of the moving parts the unit tests mock: the
+# 2-worker fan-out, a materialized campaign store, and a checkpointed
+# session resume (scripts/e2e_smoke.py). Catches pickling, per-target
+# seeding, shard layout, and fingerprint regressions in one run.
+# SMOKE_BACKEND selects the capture step-value engine and SMOKE_TARGET
+# the leakage surface; CI fans the smoke over both matrices.
 SMOKE_BACKEND ?= numpy-batch
+SMOKE_TARGET ?= fpr-mul
 smoke:
-	$(PYTHON) -c "\
-	import shutil, tempfile, os; \
-	from repro.falcon import FalconParams, keygen; \
-	from repro.attack import full_attack; \
-	from repro.leakage import CampaignStore; \
-	work = tempfile.mkdtemp(prefix='falcon-verify-'); \
-	store = os.path.join(work, 'store'); sess = os.path.join(work, 'sess'); \
-	sk, pk = keygen(FalconParams.get(8), seed=b'verify'); \
-	r = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', backend='$(SMOKE_BACKEND)', store=store, session=sess); \
-	print(r.summary()); \
-	assert r.key_correct and r.forgery_verifies, 'parallel smoke attack failed'; \
-	r2 = full_attack(sk, pk, n_traces=6000, n_workers=2, message=b'verify smoke', backend='$(SMOKE_BACKEND)', store=CampaignStore(store), session=sess); \
-	assert [c.pattern for c in r2.key_recovery.coefficients] == [c.pattern for c in r.key_recovery.coefficients], 'store-backed resume diverged'; \
-	assert r2.key_correct and r2.forgery_verifies, 'resumed smoke attack failed'; \
-	shutil.rmtree(work)"
+	$(PYTHON) scripts/e2e_smoke.py --backend $(SMOKE_BACKEND) --target $(SMOKE_TARGET)
 
 verify: test lint sast typecheck smoke
 

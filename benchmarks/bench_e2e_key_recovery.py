@@ -28,6 +28,9 @@ THROUGHPUT_TRACES = int(os.environ.get("FALCON_BENCH_THROUGHPUT_TRACES", "1500")
 #: Operand batch for the capture-backend microbench; python-ref runs a
 #: 1/50 slice of it (it is the slow path the speedup is measured against).
 BACKEND_VALUES = int(os.environ.get("FALCON_BENCH_BACKEND_VALUES", "200000"))
+#: Signings per target for the per-surface throughput block; every
+#: registered surface runs one campaign of this size.
+SURFACE_TRACES = int(os.environ.get("FALCON_BENCH_SURFACE_TRACES", "800"))
 
 _backend_stats: dict[str, dict[str, float]] = {}
 
@@ -78,6 +81,38 @@ def _capture_backend_stats() -> dict[str, dict[str, float]]:
         "traces_per_s": n_ref / max(t_ref, 1e-9),
     }
     return _backend_stats
+
+
+def _surface_stats(sk) -> dict[str, dict[str, float]]:
+    """End-to-end rate of every registered leakage surface.
+
+    One small capture+recover campaign per surface; the per-surface
+    trace-row rates land in the ``targets`` block of
+    ``BENCH_throughput.json``, which the regression gate checks
+    key-by-key (a surface present in both baseline and current run must
+    not slow down past the threshold).
+    """
+    from repro.targets import TARGET_NAMES
+
+    out: dict[str, dict[str, float]] = {}
+    for name in TARGET_NAMES:
+        campaign = CaptureCampaign(
+            sk=sk, n_traces=SURFACE_TRACES, device=DeviceModel(noise_sigma=2.0),
+            seed=2021, target=name,
+        )
+        with scoped_registry() as reg:
+            t0 = time.perf_counter()
+            recs, _ = recover_coefficients(campaign, AttackConfig())
+            wall = time.perf_counter() - t0
+        snap = reg.snapshot()
+        rows = snap.counters.get("cpa.rows_correlated", 0)
+        out[name] = {
+            "n_targets": campaign.n_targets,
+            "recovered_exact": sum(1 for r in recs if r.correct),
+            "wall_s": round(wall, 6),
+            "traces_per_s": rows / max(wall, 1e-9),
+        }
+    return out
 
 
 def test_e2e_key_recovery_and_forgery(victim, benchmark):
@@ -235,5 +270,8 @@ def test_streaming_cpa_matches_one_shot(victim):
         wall_s=t_chunked,
         per_stage_s=stage_seconds_from_snapshot(snap),
         traces_per_s=rows / max(t_chunked, 1e-9),
-        extra={"capture_backends": _capture_backend_stats()},
+        extra={
+            "capture_backends": _capture_backend_stats(),
+            "targets": _surface_stats(sk),
+        },
     )

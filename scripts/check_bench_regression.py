@@ -69,6 +69,20 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
                 f"vs baseline {b_rate:.0f} "
                 f"(-{(1.0 - c_rate / b_rate) * 100.0:.0f}%, limit -{threshold * 100:.0f}%)"
             )
+    # per-surface attack throughput (optional block): same both-sides
+    # rule, so registering a new leakage surface is not a failure but
+    # slowing an existing one down is
+    b_tg = baseline.get("targets") or {}
+    c_tg = current.get("targets") or {}
+    for target in sorted(set(b_tg) & set(c_tg)):
+        b_rate = b_tg[target].get("traces_per_s")
+        c_rate = c_tg[target].get("traces_per_s")
+        if b_rate and c_rate and b_rate > 0 and c_rate < b_rate * (1.0 - threshold):
+            problems.append(
+                f"{name}: targets[{target}].traces_per_s {c_rate:.0f} "
+                f"vs baseline {b_rate:.0f} "
+                f"(-{(1.0 - c_rate / b_rate) * 100.0:.0f}%, limit -{threshold * 100:.0f}%)"
+            )
     return problems
 
 

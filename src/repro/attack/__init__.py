@@ -39,6 +39,7 @@ from repro.attack.key_recovery import (
     recover_coefficients,
     recover_f,
     recover_full_key,
+    rebuild_signing_key,
 )
 from repro.attack.pipeline import full_attack, FullAttackReport
 from repro.attack.template import build_templates, template_scores, HwTemplates
@@ -72,6 +73,7 @@ __all__ = [
     "CoefficientRecovery",
     "recover_f",
     "recover_full_key",
+    "rebuild_signing_key",
     "recover_coefficients",
     "KeyRecoveryResult",
     "CoefficientRecord",

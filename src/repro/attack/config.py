@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.utils.registry import unknown_name_error
+
 __all__ = ["AttackConfig", "KNOWN_DISTINGUISHERS"]
 
 #: Names the distinguisher registry guarantees (kept here, not in
@@ -71,9 +73,8 @@ class AttackConfig:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {self.chunk_rows}")
         if self.distinguisher not in KNOWN_DISTINGUISHERS:
-            raise ValueError(
-                f"unknown distinguisher {self.distinguisher!r}; "
-                f"choose from {KNOWN_DISTINGUISHERS}"
+            raise unknown_name_error(
+                "distinguisher", self.distinguisher, dict.fromkeys(KNOWN_DISTINGUISHERS)
             )
         if self.profiling_traces < 1:
             raise ValueError(f"profiling_traces must be >= 1, got {self.profiling_traces}")

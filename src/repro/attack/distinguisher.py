@@ -53,6 +53,7 @@ from repro.attack.config import KNOWN_DISTINGUISHERS, AttackConfig
 from repro.attack.cpa import CpaResult, run_cpa
 from repro.obs import metrics
 from repro.obs.spans import span
+from repro.utils.registry import resolve_name
 from repro.utils.stats import OnlineMoments, PearsonAccumulator
 
 __all__ = [
@@ -343,12 +344,7 @@ def make_distinguisher(
     name: str, chunk_rows: int | None = None, **kwargs
 ) -> Distinguisher:
     """Instantiate a registered distinguisher by name."""
-    try:
-        cls = DISTINGUISHERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown distinguisher {name!r}; known: {sorted(DISTINGUISHERS)}"
-        ) from None
+    cls = resolve_name("distinguisher", name, DISTINGUISHERS)
     return cls(chunk_rows=chunk_rows, **kwargs)
 
 
@@ -386,10 +382,19 @@ def profile_distinguisher(
     classes cover the victim's range.
 
     Unprofiled distinguishers pass through untouched, so callers can
-    apply this unconditionally.
+    apply this unconditionally. Profiling models fpr-mul step leakage
+    specifically; other surfaces ship their own engines, so requesting
+    a profiled distinguisher against them is a configuration error.
     """
     if not dist.needs_profiling:
         return dist
+    target = getattr(source, "target", "fpr-mul")
+    if target != "fpr-mul":
+        raise ValueError(
+            f"distinguisher {dist.name!r} profiles fpr-mul step leakage; "
+            f"the {target!r} surface has its own engine — use the default "
+            "distinguisher with this target"
+        )
     with span("profile", distinguisher=dist.name):
         return _run_profiling(dist, source, config, labels)
 

@@ -35,6 +35,7 @@ from repro.obs import metrics, spans
 from repro.obs.journal import format_progress, progress_event_to_payload
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.spans import span
+from repro.targets import DEFAULT_TARGET, get_target
 
 __all__ = [
     "KeyRecoveryError",
@@ -46,6 +47,7 @@ __all__ = [
     "repair_exponents",
     "recover_coefficients",
     "recover_full_key",
+    "rebuild_signing_key",
     "forge",
 ]
 
@@ -135,7 +137,10 @@ class KeyRecoveryResult:
 
     ``recovered_sk`` is ``None`` when the campaign failed before a
     consistent key could be rebuilt (the per-coefficient evidence is
-    still in ``coefficients``/``records``).
+    still in ``coefficients``/``records``). Surfaces whose secret is
+    not key material (``has_forgery`` False, e.g. ``samplerz``) leave
+    the key fields empty and deliver ``recovered_values`` instead —
+    for samplerz, the per-call ffSampling sampler outputs.
     """
 
     f: list[int]
@@ -145,10 +150,11 @@ class KeyRecoveryResult:
     recovered_sk: SecretKey | None
     coefficients: list[CoefficientRecovery] = field(repr=False, default_factory=list)
     records: list[CoefficientRecord] = field(repr=False, default_factory=list)
+    recovered_values: list[int] | None = None
 
     @property
     def succeeded(self) -> bool:
-        return self.recovered_sk is not None
+        return self.recovered_sk is not None or self.recovered_values is not None
 
     @property
     def n_correct_coefficients(self) -> int:
@@ -399,7 +405,13 @@ def _init_worker(source, config: AttackConfig, distinguisher) -> None:
 def _attack_target(
     source, cfg: AttackConfig, target_index: int, distinguisher=None
 ) -> tuple[CoefficientRecovery, CoefficientRecord, MetricsSnapshot, list[spans.Span]]:
-    """Capture + per-coefficient DEMA for one target (the worker body).
+    """Capture + per-target recovery for one target (the worker body).
+
+    The surface object (:mod:`repro.targets`, resolved from the
+    source's ``target``) supplies the recovery engine and the
+    observability record; for the default fpr-mul surface that is
+    exactly :func:`~repro.attack.coefficient.recover_coefficient` plus
+    the record layout below it always had.
 
     Runs inside a scoped metrics registry and a detached span context,
     so the returned ``(snapshot, roots)`` telemetry is exactly this
@@ -407,19 +419,13 @@ def _attack_target(
     and the parent performs the single merge/attach either way.
     """
     start = time.perf_counter()
+    surface = get_target(getattr(source, "target", DEFAULT_TARGET))
     with metrics.scoped_registry() as reg, spans.detached() as roots:
         with span("coefficient", target=target_index):
             ts = source.capture(target_index)
-            rec = recover_coefficient(ts, cfg, distinguisher=distinguisher)
-    record = CoefficientRecord(
-        target_index=target_index,
-        elapsed_seconds=time.perf_counter() - start,
-        n_traces_requested=source.n_traces,
-        n_traces_kept=tuple(seg.n_traces for seg in ts.segments),
-        correct=rec.correct,
-        sign_margin=rec.sign.margin,
-        exponent_margin=rec.exponent.margin,
-        mantissa_margin=rec.mantissa_margin,
+            rec = surface.recover(ts, cfg, distinguisher=distinguisher)
+    record = surface.make_record(
+        rec, ts, time.perf_counter() - start, source.n_traces
     )
     return rec, record, reg.snapshot(), roots
 
@@ -570,7 +576,14 @@ def recover_full_key(
     session=None,
     journal=None,
 ) -> KeyRecoveryResult:
-    """Attack every secret double, then rebuild the entire signing key.
+    """Attack every target of the campaign's surface, then rebuild.
+
+    For the default fpr-mul surface that means: attack every secret
+    double, then rebuild the entire signing key
+    (:func:`rebuild_signing_key`). Other surfaces plug in their own
+    campaign-level rebuild — e.g. ``samplerz`` assembles the recovered
+    ffSampling sampler transcript into
+    :attr:`KeyRecoveryResult.recovered_values`.
 
     ``campaign`` is any :class:`~repro.leakage.store.TraceSource` (live
     campaign or disk-backed store). ``n_workers`` overrides
@@ -601,6 +614,26 @@ def recover_full_key(
             campaign, cfg, progress_callback=callback, session=session,
             journal=journal,
         )
+    surface = get_target(getattr(campaign, "target", DEFAULT_TARGET))
+    return surface.rebuild(recs, records, pk, _notify)
+
+
+def rebuild_signing_key(
+    recs: list[CoefficientRecovery],
+    records: list[CoefficientRecord],
+    pk: PublicKey,
+    _notify: ProgressCallback,
+) -> KeyRecoveryResult:
+    """The fpr-mul campaign-level rebuild: recovered doubles -> signing key.
+
+    Inverse FFT to f, g from the public key, (F, G) via NTRUSolve — with
+    the exponent-repair fallback in between. This is the body that
+    always ran at the end of :func:`recover_full_key`; it is a separate
+    function so the ``fpr-mul`` surface object
+    (:class:`repro.targets.fpr_mul.FprMulTarget`) can delegate to it.
+    On failure the raised :class:`KeyRecoveryError` carries the
+    per-coefficient evidence.
+    """
     try:
         with span("rebuild"):
             try:

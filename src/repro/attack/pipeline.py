@@ -29,6 +29,7 @@ from repro.leakage.device import DeviceModel
 from repro.obs import metrics, spans
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.spans import Span, span
+from repro.targets import DEFAULT_TARGET, get_target
 
 __all__ = ["AttackTelemetry", "FullAttackReport", "full_attack"]
 
@@ -97,6 +98,8 @@ class FullAttackReport:
     n_traces_correlated: int = 0
     n_workers: int = 1
     failure: str | None = None        # why recovery failed, if it did
+    #: Which leakage surface the campaign attacked (:mod:`repro.targets`).
+    target: str = DEFAULT_TARGET
     #: Metrics + span telemetry for the whole run (always collected; the
     #: instrumentation never influences the recovered key).
     telemetry: AttackTelemetry | None = field(default=None, repr=False)
@@ -123,6 +126,8 @@ class FullAttackReport:
         return sum(r.elapsed_seconds for r in self.records)
 
     def summary(self) -> str:
+        if self.target != DEFAULT_TARGET:
+            return self._summary_surface()
         lines = [
             f"FALCON-{self.n} full key extraction with {self.n_traces} measurements",
         ]
@@ -153,6 +158,31 @@ class FullAttackReport:
             lines.append(f"  wall clock: {self.elapsed_seconds:.1f}s")
         return "\n".join(lines)
 
+    def _summary_surface(self) -> str:
+        """Summary for non-key-material surfaces (no forgery stanza)."""
+        lines = [
+            f"FALCON-{self.n} {self.target} transcript extraction "
+            f"with {self.n_traces} measurements",
+        ]
+        if self.n_traces_correlated:
+            lines.append(
+                f"  trace rows correlated: {self.n_traces_correlated} "
+                f"(requested {self.n_traces} replays/call)"
+            )
+        if self.failure is not None:
+            lines.append(f"  recovery FAILED: {self.failure}")
+        if self.key_recovery.coefficients:
+            lines.append(
+                f"  sampler calls recovered exactly: "
+                f"{self.n_correct_coefficients}/{self.n_coefficients}"
+            )
+        lines.append(
+            f"  ffSampling sampler outputs recovered: "
+            f"{'YES' if self.key_correct else 'no'}"
+        )
+        lines.append(f"  wall clock: {self.elapsed_seconds:.1f}s")
+        return "\n".join(lines)
+
 
 def full_attack(
     sk: SecretKey,
@@ -164,6 +194,7 @@ def full_attack(
     mode: str = "direct",
     seed: int = 2021,
     backend: str = "numpy-batch",
+    target: str = DEFAULT_TARGET,
     progress: bool = False,
     progress_callback: ProgressCallback | None = None,
     n_workers: int | None = None,
@@ -190,6 +221,13 @@ def full_attack(
     default) or ``python-ref`` (per-value softfloat). The engines are
     bit-exact, so the recovered key is identical either way.
 
+    ``target`` selects the leakage surface (see :mod:`repro.targets`).
+    The default ``fpr-mul`` runs the paper's key-extraction attack and
+    ends in a forgery; ``samplerz`` attacks the discrete Gaussian
+    sampler instead, recovering ffSampling's per-call outputs
+    (``report.key_recovery.recovered_values``) — surfaces without key
+    material skip the forgery stage.
+
     ``store`` separates capture cost from attack cost: a path (or
     :class:`~repro.leakage.store.CampaignStore`) makes the attack read
     its traces from a disk-backed store — materialized on first use,
@@ -210,6 +248,8 @@ def full_attack(
     if n_workers is not None:
         cfg = dataclasses.replace(cfg, n_workers=n_workers)
 
+    surface = get_target(target)  # fail fast on unknown surface names
+
     def _execute() -> FullAttackReport:
         campaign = CaptureCampaign(
             sk=sk,
@@ -218,6 +258,7 @@ def full_attack(
             mode=mode,
             seed=seed,
             backend=backend,
+            target=target,
             value_transform=value_transform,
         )
         source = campaign
@@ -256,11 +297,20 @@ def full_attack(
                 n_traces_correlated=partial.n_traces_correlated,
                 n_workers=cfg.n_workers,
                 failure=str(exc),
+                target=target,
             )
-        key_correct = result.f == sk.f
-        with span("forge"):
-            sig = forge(result, message, seed=b"forgery")
-            ok = verify(pk, message, sig)
+        if surface.has_forgery:
+            key_correct = result.f == sk.f
+            with span("forge"):
+                sig = forge(result, message, seed=b"forgery")
+                ok = verify(pk, message, sig)
+        else:
+            # No key material to forge with; "correct" means the full
+            # recovered transcript matches the victim's ground truth.
+            key_correct = bool(result.coefficients) and all(
+                c.correct for c in result.coefficients
+            )
+            ok = False
         return FullAttackReport(
             n=sk.params.n,
             n_traces=n_traces,
@@ -271,12 +321,13 @@ def full_attack(
             elapsed_seconds=time.perf_counter() - start,
             n_traces_correlated=result.n_traces_correlated,
             n_workers=cfg.n_workers,
+            target=target,
         )
 
     if journal is not None:
         journal.emit(
             "run_start", n=sk.params.n, n_traces=n_traces, mode=mode,
-            seed=seed, n_workers=cfg.n_workers,
+            seed=seed, n_workers=cfg.n_workers, target=target,
         )
     # The run's telemetry is collected in an isolated scope and merged
     # back afterwards, so the report (and journal) see exactly this

@@ -61,9 +61,9 @@ def session_fingerprint(source, config: AttackConfig) -> dict:
 
     ``source`` is any :class:`~repro.leakage.store.TraceSource`; the
     fingerprint captures everything that influences a per-coefficient
-    result: the campaign identity (targets, trace count, mode, seed),
-    the device model, and the full attack configuration (distinguisher
-    included).
+    result: the campaign identity (surface, targets, trace count, mode,
+    seed), the device model, and the full attack configuration
+    (distinguisher included).
     """
     from repro.leakage.store import _device_to_jsonable
 
@@ -71,6 +71,7 @@ def session_fingerprint(source, config: AttackConfig) -> dict:
     return {
         "format": _FORMAT,
         "version": _VERSION,
+        "target": getattr(source, "target", "fpr-mul"),
         "n_targets": int(source.n_targets),
         "n_traces": int(source.n_traces),
         "mode": getattr(source, "mode", None),

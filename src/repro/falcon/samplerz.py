@@ -23,12 +23,23 @@ Both draw randomness from the ``rng`` objects of :mod:`repro.utils.rng`.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.falcon.params import SIGMA_MAX
 from repro.math.gaussian import sample_dgauss
 from repro.utils.rng import ChaCha20Prng, SystemRng
 
-__all__ = ["RCDT", "base_sampler", "samplerz", "samplerz_simple", "MAX_SIGMA"]
+__all__ = [
+    "RCDT",
+    "base_sampler",
+    "samplerz",
+    "samplerz_simple",
+    "MAX_SIGMA",
+    "SAMPLERZ_STEP_LABELS",
+    "SAMPLERZ_STEP_WIDTHS",
+    "SamplerZTrace",
+    "samplerz_trace",
+]
 
 MAX_SIGMA = SIGMA_MAX
 _INV_2SIGMA2_MAX = 1.0 / (2.0 * SIGMA_MAX * SIGMA_MAX)
@@ -102,3 +113,114 @@ def samplerz(mu: float, sigma: float, sigmin: float, rng: ChaCha20Prng | SystemR
 def samplerz_simple(mu: float, sigma: float, rng: ChaCha20Prng | SystemRng) -> int:
     """Reference rejection sampler with the same signature (for tests)."""
     return sample_dgauss(mu, sigma, rng)
+
+
+# -- instrumented execution (the samplerz leakage surface) ------------------
+#
+# Mirrors :mod:`repro.fpr.trace`: the same computation as :func:`samplerz`,
+# re-run with every architectural intermediate recorded in execution
+# order. The leakage simulator (:mod:`repro.targets.samplerz`) turns each
+# recorded value into trace samples; :func:`samplerz` itself stays
+# textually untouched so the leakage contract's reviewed findings on it
+# keep their fingerprints.
+
+#: Architectural intermediates of one accepted samplerz call, in
+#: execution order. The RCDT walk contributes one thermometer-comparison
+#: bit per table entry (``cmp_i = [u < RCDT[i]]``) — together they encode
+#: z0 in unary, which is exactly the single-bit leakage Bi-SamplerZ-style
+#: attacks consume — plus the rejection-loop iteration count, the 72-bit
+#: uniform draw as three 24-bit limbs, and the assembled outputs.
+SAMPLERZ_STEP_LABELS: tuple[str, ...] = (
+    "iters",                                        # rejection-loop trips until accept
+    "u_lo", "u_mid", "u_hi",                        # 72-bit RCDT draw, 24-bit limbs
+    *(f"cmp_{i:02d}" for i in range(len(RCDT))),    # thermometer bits of the RCDT walk
+    "z0",                                           # half-Gaussian base sample
+    "b",                                            # sign-flip bit
+    "z_val",                                        # z = b + (2b-1) z0, two's complement
+    "z_out",                                        # z + floor(mu), two's complement
+)
+
+#: Bit width of each step's value (upper bound; used by leakage scaling).
+SAMPLERZ_STEP_WIDTHS: dict[str, int] = {
+    "iters": 8,
+    "u_lo": 24,
+    "u_mid": 24,
+    "u_hi": 24,
+    **{f"cmp_{i:02d}": 1 for i in range(len(RCDT))},
+    "z0": 5,
+    "b": 1,
+    "z_val": 64,
+    "z_out": 64,
+}
+
+_U64 = (1 << 64) - 1
+_U24 = (1 << 24) - 1
+
+
+@dataclass(frozen=True)
+class SamplerZTrace:
+    """All intermediates of one instrumented samplerz call."""
+
+    mu: float
+    sigma: float
+    result: int                       # the returned sample z + floor(mu)
+    z: int                            # the center-relative draw b + (2b-1) z0
+    iters: int                        # rejection-loop iterations until accept
+    steps: tuple[tuple[str, int], ...]
+
+    def value(self, label: str) -> int:
+        for lab, val in self.steps:
+            if lab == label:
+                return val
+        raise KeyError(f"no step named {label!r}")
+
+    @property
+    def values(self) -> list[int]:
+        return [val for _, val in self.steps]
+
+    @property
+    def labels(self) -> list[str]:
+        return [lab for lab, _ in self.steps]
+
+
+def samplerz_trace(mu: float, sigma: float, sigmin: float, rng: ChaCha20Prng | SystemRng) -> SamplerZTrace:  # sast: declassify(reason=instrumented leakage model of samplerz; records secret-dependent intermediates by design (trace hook, mirrors fpr_mul_trace))
+    """Run :func:`samplerz` with every intermediate recorded.
+
+    Consumes ``rng`` byte-for-byte like :func:`samplerz` (9 RCDT bytes +
+    1 sign byte + one uniform per loop trip), so a traced execution and
+    a plain one driven by the same seeded stream return the same sample
+    — the recording is passive. Only the *accepted* iteration's RCDT
+    walk is recorded (the device triggers on the accept, as the paper's
+    bench triggers on the multiply), but the iteration count itself is a
+    step: rejection counts are the other classic samplerz side channel.
+    """
+    if not sigmin <= sigma <= SIGMA_MAX + 1e-9:
+        raise ValueError(f"sigma {sigma} outside [{sigmin}, {SIGMA_MAX}]")
+    s = math.floor(mu)
+    r = mu - s
+    dss = 1.0 / (2.0 * sigma * sigma)
+    ccs = sigmin / sigma
+    iters = 0
+    while True:
+        iters += 1
+        u = int.from_bytes(rng.randombytes(_RCDT_BITS // 8), "little")
+        z0 = 0
+        for threshold in RCDT:
+            z0 += u < threshold
+        b = rng.randombytes(1)[0] & 1
+        z = b + (2 * b - 1) * z0
+        x = ((z - r) ** 2) * dss - z0 * z0 * _INV_2SIGMA2_MAX
+        if rng.uniform() < ccs * math.exp(-x):
+            break
+    steps = (
+        ("iters", iters),
+        ("u_lo", u & _U24),
+        ("u_mid", (u >> 24) & _U24),
+        ("u_hi", (u >> 48) & _U24),
+        *((f"cmp_{i:02d}", 1 if u < RCDT[i] else 0) for i in range(len(RCDT))),
+        ("z0", z0),
+        ("b", b),
+        ("z_val", z & _U64),
+        ("z_out", (z + s) & _U64),
+    )
+    return SamplerZTrace(mu=mu, sigma=sigma, result=z + s, z=z, iters=iters, steps=steps)

@@ -39,6 +39,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.fpr.trace import EXP_REBIAS, LOW_BITS, MUL_STEP_LABELS
+from repro.utils.registry import resolve_name
 
 __all__ = [
     "CaptureBackend",
@@ -213,11 +214,5 @@ BACKEND_NAMES: tuple[str, ...] = tuple(sorted(BACKENDS))
 def get_backend(name: str | CaptureBackend) -> CaptureBackend:
     """Resolve a backend by name (a backend instance passes through)."""
     if isinstance(name, str):
-        try:
-            return BACKENDS[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown capture backend {name!r}; expected one of "
-                f"{', '.join(BACKEND_NAMES)}"
-            ) from None
+        return resolve_name("capture backend", name, BACKENDS)
     return name

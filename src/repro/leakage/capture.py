@@ -1,7 +1,10 @@
 """Measurement campaigns against FALCON signing.
 
-Replays the attacked computation — the coefficient-wise product
-FFT(c) (*) FFT(f) at line 3 of the signing algorithm — for many random
+A campaign records EM traces of one registered leakage surface
+(:mod:`repro.targets`, selected by ``target``). The default ``fpr-mul``
+surface — the paper's attack, implemented directly in this module —
+replays the attacked computation, the coefficient-wise product
+FFT(c) (*) FFT(f) at line 3 of the signing algorithm, for many random
 messages and records EM traces of the floating-point multiplications that
 involve one chosen secret double.
 
@@ -38,6 +41,7 @@ from repro.leakage.traceset import Segment, TraceSet
 from repro.math import fft
 from repro.obs import metrics
 from repro.obs.spans import span
+from repro.targets import DEFAULT_TARGET, get_target
 from repro.utils.rng import ChaCha20Prng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -84,13 +88,16 @@ class CaptureConfig:
     around. ``backend`` names the step-value engine
     (:mod:`repro.leakage.backend`): ``numpy-batch`` (vectorized,
     default) or ``python-ref`` (per-value softfloat reference); the two
-    are bit-exact, so the choice never changes a trace byte.
+    are bit-exact, so the choice never changes a trace byte. ``target``
+    names the leakage surface (:mod:`repro.targets`): which
+    secret-handling computation the campaign records.
     """
 
     n_traces: int = 10_000
     mode: str = "direct"          # "direct" | "hash"
     seed: int = 2021
     backend: str = DEFAULT_BACKEND
+    target: str = DEFAULT_TARGET
 
 
 @dataclass
@@ -110,6 +117,11 @@ class CaptureCampaign:
     #: Step-value engine (see :mod:`repro.leakage.backend`); bit-exact
     #: across choices, so this is purely a capture-throughput knob.
     backend: str = DEFAULT_BACKEND
+    #: Leakage surface (see :mod:`repro.targets`). The default
+    #: ``fpr-mul`` runs the original capture body below byte-for-byte;
+    #: any other registered surface owns its own acquisition
+    #: (:meth:`~repro.targets.TargetPoint.capture_traceset`).
+    target: str = DEFAULT_TARGET
     #: Optional hook transforming the (D, S) step-value matrix before the
     #: device emits samples — how countermeasures (masking, shuffling)
     #: are modeled (see :mod:`repro.countermeasures`).
@@ -126,11 +138,16 @@ class CaptureCampaign:
             self.mode = self.config.mode
             self.seed = self.config.seed
             self.backend = self.config.backend
+            self.target = self.config.target
         if self.mode not in ("direct", "hash"):
             raise ValueError(f"unknown capture mode {self.mode!r}")
         get_backend(self.backend)  # fail fast on unknown backend names
+        get_target(self.target)    # ... and unknown surface names
         self._c_fft: NDArray[np.complex128] | None = None
         self._secret_doubles: NDArray[np.float64] | None = None
+        #: Per-surface scratch (e.g. the samplerz surface's traced
+        #: signing); derived deterministically from (sk, seed).
+        self._surface_cache: dict[str, Any] = {}
 
     def __getstate__(self) -> dict[str, Any]:
         # The corpus is derived deterministically from (seed, mode, n);
@@ -139,6 +156,7 @@ class CaptureCampaign:
         state = dict(self.__dict__)
         state["_c_fft"] = None
         state["_secret_doubles"] = None
+        state["_surface_cache"] = {}
         return state
 
     # -- known-plaintext corpus -------------------------------------------
@@ -184,12 +202,20 @@ class CaptureCampaign:
 
     @property
     def n_targets(self) -> int:
-        return self.sk.params.n
+        return get_target(self.target).n_targets(self)
 
     # -- acquisition -------------------------------------------------------
 
     def capture(self, target_index: int) -> TraceSet:
-        """TraceSet for secret double ``target_index`` (0 .. n-1)."""
+        """TraceSet for target ``target_index`` of the selected surface.
+
+        For the default ``fpr-mul`` surface that is secret double
+        ``target_index`` (0 .. n-1), acquired by the original body
+        below; other surfaces dispatch to their own
+        :meth:`~repro.targets.TargetPoint.capture_traceset`.
+        """
+        if self.target != DEFAULT_TARGET:
+            return get_target(self.target).capture_traceset(self, target_index)
         n = self.sk.params.n
         if not 0 <= target_index < n:
             raise ValueError(f"target_index must be in 0..{n - 1}, got {target_index}")
@@ -271,8 +297,14 @@ def capture_coefficient(
     mode: str = "direct",
     seed: int = 2021,
     backend: str = DEFAULT_BACKEND,
+    target: str = DEFAULT_TARGET,
 ) -> TraceSet:
-    """Convenience wrapper: one-shot capture of a single secret double."""
+    """Convenience wrapper: one-shot capture of a single target.
+
+    ``target_index`` is a secret-double index for the default
+    ``fpr-mul`` surface and a surface-defined index (e.g. a SamplerZ
+    call number) otherwise.
+    """
     campaign = CaptureCampaign(
         sk=sk,
         device=device if device is not None else DeviceModel(),
@@ -280,5 +312,6 @@ def capture_coefficient(
         mode=mode,
         seed=seed,
         backend=backend,
+        target=target,
     )
     return campaign.capture(target_index)

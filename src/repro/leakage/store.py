@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Protocol, runtime_che
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.fpr.trace import MUL_STEP_LABELS
 from repro.leakage.device import DeviceModel
 from repro.leakage.synth import TraceLayout
 from repro.leakage.traceset import Segment, TraceSet
@@ -149,6 +150,10 @@ def write_traceset(path: str, traceset: TraceSet) -> None:
     arrays["meta_json"] = np.array(
         json.dumps(meta_to_jsonable(traceset.meta), sort_keys=True)
     )
+    # Non-default step layouts (other leakage surfaces) ride along; the
+    # fpr-mul default is omitted so pre-surface archives stay byte-stable.
+    if tuple(traceset.layout.labels) != MUL_STEP_LABELS:
+        arrays["labels"] = np.array(list(traceset.layout.labels))
     # np.savez appends ".npz" to bare paths, so hand it an open file on
     # the temp name instead; the rename keeps readers from ever seeing a
     # partially written archive.
@@ -169,7 +174,10 @@ def read_traceset(path: str) -> TraceSet:
         Segment(known_y=data[f"known_{i}"], traces=data[f"traces_{i}"], name=names[i])
         for i in range(len(names))
     ]
-    layout = TraceLayout(samples_per_step=int(data["spp"][0]))
+    labels = (
+        tuple(str(s) for s in data["labels"]) if "labels" in data else MUL_STEP_LABELS
+    )
+    layout = TraceLayout(samples_per_step=int(data["spp"][0]), labels=labels)
     secret = int(data["true_secret"][0]) if bool(data["has_secret"][0]) else None
     meta: dict[str, Any] = {}
     if "meta_json" in data:
@@ -213,6 +221,11 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
         "meta": meta_to_jsonable(traceset.meta),
         "samples_per_step": traceset.layout.samples_per_step,
     }
+    # Same convention as write_traceset: only non-default step layouts
+    # are recorded, keeping fpr-mul shards byte-identical to pre-surface
+    # stores (the byte-identity pin covers this).
+    if tuple(traceset.layout.labels) != MUL_STEP_LABELS:
+        shard["labels"] = list(traceset.layout.labels)
     # shard.json is written last: its presence marks the shard complete,
     # which is what lets an interrupted materialize() resume cleanly.
     atomic_write_text(
@@ -242,8 +255,9 @@ def _read_shard(root: str, target_index: int, mmap: bool = True) -> TraceSet:
         # the attack walks per coefficient.
         metrics.inc("store.bytes_read", int(known.nbytes) + int(traces.nbytes))
     metrics.inc("store.shards_read", 1)
+    labels = tuple(shard["labels"]) if "labels" in shard else MUL_STEP_LABELS
     return TraceSet(
-        layout=TraceLayout(samples_per_step=int(shard["samples_per_step"])),
+        layout=TraceLayout(samples_per_step=int(shard["samples_per_step"]), labels=labels),
         segments=segments,
         target_index=int(shard["target_index"]),
         true_secret=shard["true_secret"],
@@ -363,6 +377,15 @@ class CampaignStore:
         return str(self.manifest.get("backend", "numpy-batch"))
 
     @property
+    def target(self) -> str:
+        """Which leakage surface the shards record.
+
+        Stores written before surfaces were pluggable only ever held the
+        paper's fpr-mul captures; they default accordingly.
+        """
+        return str(self.manifest.get("target", "fpr-mul"))
+
+    @property
     def device(self) -> DeviceModel:
         """The acquisition device model recorded in the manifest."""
         return _device_from_jsonable(self.manifest["device"])
@@ -418,6 +441,7 @@ class CampaignStore:
             "mode": campaign.mode,
             "seed": campaign.seed,
             "backend": campaign.backend,
+            "target": campaign.target,
             "device": _device_to_jsonable(campaign.device),
             "targets": entries,
         }

@@ -127,3 +127,42 @@ class TestGate:
         legacy = bench_payload(name="throughput")
         assert gate.compare(legacy, with_backends(7.4e6), 0.25) == []
         assert gate.compare(with_backends(7.4e6), legacy, 0.25) == []
+
+    def test_targets_block_gated(self):
+        """Per-surface attack throughput is gated key-by-key like the
+        capture-backend block: a surface present in both artifacts must
+        not slow down, while adding or dropping a surface passes."""
+        def with_targets(fpr, samplerz=50_000.0):
+            payload = bench_payload(name="throughput")
+            payload["targets"] = {
+                "fpr-mul": {"n_targets": 8, "traces_per_s": fpr},
+                "samplerz": {"n_targets": 16, "traces_per_s": samplerz},
+            }
+            return payload
+
+        base = with_targets(20_000.0)
+        assert gate.compare(base, with_targets(18_000.0), 0.25) == []
+        problems = gate.compare(base, with_targets(9_000.0), 0.25)
+        assert len(problems) == 1
+        assert "targets[fpr-mul]" in problems[0]
+        # both surfaces down: both named
+        assert len(gate.compare(base, with_targets(9_000.0, 20_000.0), 0.25)) == 2
+        # a surface dropped from (or absent in) either side is not a failure
+        dropped = with_targets(20_000.0)
+        del dropped["targets"]["samplerz"]
+        assert gate.compare(base, dropped, 0.25) == []
+        legacy = bench_payload(name="throughput")
+        assert gate.compare(legacy, with_targets(20_000.0), 0.25) == []
+        assert gate.compare(with_targets(20_000.0), legacy, 0.25) == []
+
+    def test_both_blocks_gated_independently(self):
+        payload = bench_payload(name="throughput")
+        payload["capture_backends"] = {"numpy-batch": {"traces_per_s": 7.4e6}}
+        payload["targets"] = {"samplerz": {"traces_per_s": 50_000.0}}
+        slow = bench_payload(name="throughput")
+        slow["capture_backends"] = {"numpy-batch": {"traces_per_s": 3.0e6}}
+        slow["targets"] = {"samplerz": {"traces_per_s": 10_000.0}}
+        problems = gate.compare(payload, slow, 0.25)
+        assert len(problems) == 2
+        assert any("capture_backends[numpy-batch]" in p for p in problems)
+        assert any("targets[samplerz]" in p for p in problems)

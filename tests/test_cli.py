@@ -48,7 +48,7 @@ class TestCli:
         d, sk, _ = keyfiles
         ts = str(d / "ts.npz")
         rc = main([
-            "capture", "--sk", sk, "--target", "0", "--traces", "6000", "--out", ts,
+            "capture", "--sk", sk, "--index", "0", "--traces", "6000", "--out", ts,
             "--trs-prefix", str(d / "coef"),
         ])
         assert rc == 0
@@ -66,7 +66,7 @@ class TestCli:
         d, sk, _ = keyfiles
         ts = str(d / "ts_obs.npz")
         assert main([
-            "capture", "--sk", sk, "--target", "0", "--traces", "6000", "--out", ts,
+            "capture", "--sk", sk, "--index", "0", "--traces", "6000", "--out", ts,
         ]) == 0
         journal = str(d / "coeff.jsonl")
         metrics_out = str(d / "coeff_metrics.json")
@@ -120,3 +120,48 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestStoreInfo:
+    def test_reports_backend_and_target(self, tmp_path, capsys):
+        from repro.falcon import FalconParams, keygen
+        from repro.leakage import CaptureCampaign, DeviceModel
+
+        sk, _ = keygen(FalconParams.get(8), seed=b"cli-store")
+        CaptureCampaign(
+            sk=sk, device=DeviceModel(), n_traces=32, seed=3, target="samplerz"
+        ).materialize(tmp_path / "store", targets=[0])
+        assert main(["store-info", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "backend=numpy-batch" in out
+        assert "target=samplerz" in out
+
+    def test_legacy_manifest_without_backend_or_target(self, tmp_path, capsys):
+        """A hand-written pre-backend/pre-surface manifest (the on-disk
+        format of earlier releases) must still summarize cleanly, with
+        both fields defaulting to the only engines that existed then."""
+        import json
+
+        store = tmp_path / "legacy"
+        store.mkdir()
+        (store / "manifest.json").write_text(json.dumps({
+            "format": "falcon-down-campaign-store",
+            "version": 1,
+            "n": 8,
+            "n_targets": 8,
+            "n_traces": 100,
+            "mode": "direct",
+            "seed": 2021,
+            # no "backend" / "target": written before those keys existed
+            "device": {
+                "gain": 1.0, "offset": 0.0, "noise_sigma": 10.0,
+                "samples_per_step": 1, "jitter": 0.0, "seed": 2021,
+                "model": "HammingWeightModel",
+            },
+            "targets": {"0": {"n_kept": [100, 100]}},
+        }))
+        assert main(["store-info", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "backend=numpy-batch" in out
+        assert "target=fpr-mul" in out
+        assert "shards: 1/8 complete" in out

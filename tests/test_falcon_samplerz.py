@@ -5,7 +5,14 @@ import math
 import pytest
 
 from repro.falcon.params import SIGMA_MAX
-from repro.falcon.samplerz import RCDT, base_sampler, samplerz, samplerz_simple
+from repro.falcon.samplerz import (
+    RCDT,
+    SAMPLERZ_STEP_LABELS,
+    base_sampler,
+    samplerz,
+    samplerz_simple,
+    samplerz_trace,
+)
 from repro.math.gaussian import dgauss_pmf
 from repro.utils.rng import ChaCha20Prng
 
@@ -90,3 +97,59 @@ class TestSamplerZ:
         xs = [samplerz_simple(0.0, 1.7, rng) for _ in range(2000)]
         mean = sum(xs) / len(xs)
         assert abs(mean) < 0.2
+
+    @pytest.mark.parametrize("mu,sigma", [(0.0, 1.5), (2.3, 1.31), (-4.75, 1.7)])
+    def test_simple_sampler_matches_pmf(self, mu, sigma):
+        """Chi-square: the didactic CDT sampler against the exact pmf."""
+        stats = pytest.importorskip("scipy.stats")
+        rng = ChaCha20Prng(f"szs-{mu}-{sigma}".encode())
+        n = 5000
+        xs = [samplerz_simple(mu, sigma, rng) for _ in range(n)]
+        center = round(mu)
+        support = list(range(center - 5, center + 6))
+        observed = [sum(1 for x in xs if x == z) for z in support]
+        observed.append(n - sum(observed))
+        expected = [n * dgauss_pmf(z, mu, sigma) for z in support]
+        expected.append(n - sum(expected))
+        chi2, p = stats.chisquare(observed, f_exp=expected)
+        assert p > 1e-4, f"samplerz_simple deviates at mu={mu}, sigma={sigma} (chi2={chi2:.1f})"
+
+
+class TestSamplerZTrace:
+    SIGMIN = TestSamplerZ.SIGMIN
+
+    def test_stream_equivalent_to_plain_sampler(self):
+        """The instrumented hook consumes the identical RNG stream, so a
+        seeded stream of traced calls reproduces the plain sampler."""
+        for seed in (b"z", b"trace", b"stream-eq"):
+            plain_rng, trace_rng = ChaCha20Prng(seed), ChaCha20Prng(seed)
+            for _ in range(50):
+                z = samplerz(0.3, 1.5, self.SIGMIN, plain_rng)
+                tr = samplerz_trace(0.3, 1.5, self.SIGMIN, trace_rng)
+                assert tr.result == z
+
+    def test_rejection_counts_deterministic(self):
+        def iter_counts():
+            rng = ChaCha20Prng(b"iters")
+            return [samplerz_trace(1.7, 1.4, self.SIGMIN, rng).iters for _ in range(40)]
+
+        iters_a, iters_b = iter_counts(), iter_counts()
+        assert iters_a == iters_b
+        assert all(it >= 1 for it in iters_a)
+        assert max(iters_a) > 1, "a 40-draw run should reject at least once"
+
+    def test_step_layout_and_thermometer_code(self):
+        rng = ChaCha20Prng(b"layout")
+        for _ in range(30):
+            tr = samplerz_trace(-0.6, 1.6, self.SIGMIN, rng)
+            assert tuple(tr.labels) == SAMPLERZ_STEP_LABELS
+            z0 = tr.value("z0")
+            # the RCDT walk is a thermometer code: u < RCDT[i] exactly
+            # for the first z0 comparisons (RCDT is strictly decreasing)
+            cmps = [tr.value(f"cmp_{i:02d}") for i in range(len(RCDT))]
+            assert cmps == [1 if i < z0 else 0 for i in range(len(RCDT))]
+            b = tr.value("b")
+            assert b in (0, 1)
+            assert tr.z == b + (2 * b - 1) * z0
+            assert tr.value("z_val") == tr.z & (2**64 - 1)
+            assert tr.value("iters") == tr.iters
