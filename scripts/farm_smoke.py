@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the campaign orchestration service (repro.farm).
+
+Exercises the moving parts the unit tests isolate, together and for
+real: a 2-worker :class:`FarmService` drains two mixed-target n=8 jobs
+(fpr-mul key extraction + samplerz transcript recovery), with one job
+canceled mid-flight by the control plane and resumed from its
+checkpoints. Every farm result must be bit-identical to a direct
+``full_attack`` run of the same spec, and the resumed job must replay
+its surviving checkpoints instead of recomputing them.
+
+Run via ``make farm-smoke`` (CI runs it in the test matrix)::
+
+    PYTHONPATH=src python scripts/farm_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import tempfile
+import time
+
+from repro.farm.control import format_status
+from repro.farm.queue import FarmQueue
+from repro.farm.service import FarmLimits, FarmService
+from repro.farm.spec import CampaignSpec, JobState
+from repro.farm.worker import result_payload, run_campaign, worker_loop
+from repro.leakage.capture import CaptureConfig
+
+N_TRACES = 450
+SEED = 61
+
+
+def smoke_spec(key_seed: str, target: str) -> CampaignSpec:
+    return CampaignSpec(
+        key_seed=key_seed,
+        n=8,
+        capture=CaptureConfig(n_traces=N_TRACES, seed=SEED, target=target),
+        noise_sigma=2.0,
+        device_seed=17,
+    )
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  {'PASS' if ok else 'FAIL'}  {what}")
+    if not ok:
+        sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="farm directory (default: temp)")
+    args = parser.parse_args()
+
+    workdir = args.root or tempfile.mkdtemp(prefix="farm-smoke-")
+    queue = FarmQueue(workdir)
+    specs = {
+        "fprmul": smoke_spec("farm-smoke-key", "fpr-mul"),
+        "samplerz": smoke_spec("farm-smoke-key-sz", "samplerz"),
+    }
+    jobs = {name: queue.submit(spec) for name, spec in specs.items()}
+    victim_id = jobs["fprmul"].job_id
+    print(f"farm smoke in {workdir}")
+    print(format_status(queue.status()))
+
+    # -- cancel mid-flight, via the same worker body the service spawns --
+    print("\n[1/3] cancel one job mid-flight, keep its checkpoints")
+    worker = multiprocessing.Process(
+        target=worker_loop,
+        args=(workdir, "smoke-victim"),
+        kwargs={"lease_ttl": 30.0, "drain": True, "max_jobs": 1, "throttle_s": 0.3},
+    )
+    worker.start()
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if len(list(queue.session_dir(victim_id).glob("coeff_*.pkl"))) >= 1:
+            break
+        time.sleep(0.05)
+    queue.cancel(victim_id)
+    worker.join(timeout=120)
+    canceled = queue.get(victim_id)
+    checkpoints = len(list(queue.session_dir(victim_id).glob("coeff_*.pkl")))
+    check(canceled.state is JobState.CANCELED, "job canceled at a coefficient boundary")
+    check(checkpoints >= 1, f"{checkpoints} checkpoint(s) survive the cancellation")
+
+    # -- resume + drain with a 2-worker service --------------------------
+    print("\n[2/3] resume and drain with a 2-worker FarmService")
+    queue.resume(victim_id)
+    service = FarmService(workdir, limits=FarmLimits(lease_ttl=30.0), n_workers=2)
+    status = service.run_to_completion()
+    print(format_status(status))
+    check(status["counts"]["done"] == 2, "both jobs completed")
+    check(status["counts"]["failed"] == 0, "no job failed")
+    check(status["leases"] == {}, "no lease left behind")
+    resumed = queue.get(victim_id)
+    check(
+        int(resumed.result["checkpoints_restored"]) >= checkpoints,
+        "resumed job replayed its checkpoints instead of recomputing",
+    )
+
+    # -- bit-identity against direct full_attack runs --------------------
+    print("\n[3/3] farm results vs direct full_attack runs")
+    for name, spec in specs.items():
+        farm_result = queue.get(jobs[name].job_id).result
+        direct = result_payload(run_campaign(spec))
+        check(
+            farm_result["fingerprint"] == direct["fingerprint"],
+            f"{name}: farm fingerprint bit-identical to direct run",
+        )
+        check(bool(farm_result["succeeded"]), f"{name}: attack succeeded")
+
+    print("\nfarm smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ import dataclasses
 import pickle
 import sys
 import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable
@@ -547,23 +548,85 @@ def recover_coefficients(
             try:
                 while pending:
                     finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                    # One raising future must not discard its siblings:
+                    # several targets routinely land in one wait() batch,
+                    # and every successful sibling is real finished work
+                    # whose checkpoint a resume would otherwise redo.
+                    # Record all successes first, then surface the error.
+                    failure: BaseException | None = None
                     for fut in finished:
                         j = pending.pop(fut)
-                        _finish(j, fut.result())
+                        try:
+                            result = fut.result()
+                        except BaseException as exc:
+                            if failure is None:
+                                failure = exc
+                            continue
+                        _finish(j, result)
+                    if failure is not None:
+                        raise failure
             except BaseException:
-                # Preserve what finished (the checkpoints are already on
-                # disk); don't start queued targets we'll only throw away.
-                pool.shutdown(wait=False, cancel_futures=True)
+                # Cancel queued targets we'd only throw away, then drain
+                # the in-flight ones: their processes keep running until
+                # the `with` block joins them anyway, so waiting here is
+                # free — and every drained success is a checkpoint a
+                # resume won't have to recompute. Futures must be
+                # cancelled one by one: shutdown(cancel_futures=True)
+                # cancels on the executor's management thread without
+                # notifying waiters, so wait()ing on those futures
+                # deadlocks.
+                for fut in list(pending):
+                    if fut.cancel():
+                        del pending[fut]
+                drained, _ = wait(set(pending))
+                for fut in drained:
+                    j = pending.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BaseException:
+                        continue
+                    try:
+                        _finish(j, result)
+                    except BaseException:
+                        # _finish checkpoints before notifying; a callback
+                        # raising here must not mask the original error.
+                        continue
                 raise
     return recs, records
 
 
+class _NullSink:
+    """A write-only sink that discards everything (picklability probes)."""
+
+    def write(self, blob) -> int:
+        return len(blob)
+
+
+#: id(obj) -> (weakref guarding id reuse, verdict). Probing pickles the
+#: whole object graph; for a paper-scale campaign that is GBs of traces,
+#: so the verdict is cached per object. The weakref both invalidates the
+#: entry when the object dies and guards against id() reuse afterwards.
+_PICKLE_PROBES: dict[int, tuple] = {}
+
+
 def _picklable(obj) -> bool:
+    key = id(obj)
+    cached = _PICKLE_PROBES.get(key)
+    if cached is not None and cached[0]() is obj:
+        return cached[1]
     try:
-        pickle.dumps(obj)
-        return True
+        # Stream to a null sink: same traversal pickle.dumps would do,
+        # without materializing a multi-GB throwaway byte string.
+        pickle.Pickler(_NullSink(), protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+        verdict = True
     except Exception:
-        return False
+        verdict = False
+    try:
+        ref = weakref.ref(obj, lambda _r, _k=key: _PICKLE_PROBES.pop(_k, None))
+    except TypeError:
+        return verdict  # not weakref-able (e.g. a plain tuple); skip caching
+    _PICKLE_PROBES[key] = (ref, verdict)
+    return verdict
 
 
 def recover_full_key(

@@ -1,0 +1,60 @@
+"""Campaign orchestration: the attack farm (``repro.farm``).
+
+Everything a multi-tenant "attack farm" needs existed in pieces after
+PRs 1-7 — sharded :class:`~repro.leakage.store.CampaignStore`\\ s,
+resumable :class:`~repro.attack.session.AttackSession` checkpoints,
+streamable :class:`~repro.obs.journal.RunJournal` events, and a
+surface-parameterized :func:`~repro.attack.key_recovery.recover_full_key`.
+The paper's attack is embarrassingly parallel across coefficients *and*
+keys, so the missing layer was scheduling, not math. This package is
+that layer:
+
+:mod:`repro.farm.spec`
+    :class:`CampaignSpec` — one durable job description: (key seed,
+    :class:`~repro.leakage.capture.CaptureConfig`,
+    :class:`~repro.attack.config.AttackConfig`, leakage surface,
+    distinguisher, store policy) — plus the :class:`Job` record and its
+    JSON round-trip.
+:mod:`repro.farm.queue`
+    :class:`FarmQueue` — a crash-durable, directory-backed job queue.
+    Every mutation goes through :mod:`repro.utils.io` atomic writes, so
+    the queue survives restarts; leases are claimed atomically
+    (``os.link``), heartbeaten, and re-queued on expiry, so a killed
+    worker's job is picked up by a successor.
+:mod:`repro.farm.worker`
+    The worker body: lease a job, run capture/attack through the
+    existing :class:`~repro.attack.session.AttackSession` checkpoints
+    (a crashed worker's successor resumes bit-identically), heartbeat
+    while working, honor cancellation between coefficients.
+:mod:`repro.farm.service`
+    The asyncio orchestrator: spawn a worker-process pool, sweep
+    expired leases, enforce the store quota (oldest-completed
+    eviction), degrade gracefully to serial per-job attacks when
+    memory is tight, and expose :mod:`repro.obs` metrics as the
+    service health snapshot.
+:mod:`repro.farm.control`
+    The control plane: status/health reports, journal tailing for any
+    number of ``farm watch`` subscribers, and the minimal stdlib HTTP
+    endpoint.
+
+The CLI front door is ``repro-falcon farm submit/status/cancel/resume/
+watch/serve`` (see :mod:`repro.cli`); ``docs/orchestration.md`` walks
+the architecture and the job lifecycle.
+"""
+
+from __future__ import annotations
+
+from repro.farm.queue import FarmError, FarmQueue, JobCancelled
+from repro.farm.service import FarmLimits, FarmService
+from repro.farm.spec import CampaignSpec, Job, JobState
+
+__all__ = [
+    "CampaignSpec",
+    "Job",
+    "JobState",
+    "FarmError",
+    "FarmQueue",
+    "JobCancelled",
+    "FarmLimits",
+    "FarmService",
+]

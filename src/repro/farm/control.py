@@ -1,0 +1,246 @@
+"""The control plane: status rendering, journal tailing, HTTP endpoint.
+
+Three consumers see the same state three ways:
+
+* :func:`format_status` renders :meth:`FarmQueue.status` for a
+  terminal (``farm status``);
+* :func:`tail_events` / :func:`watch_events` stream a JSONL journal to
+  any number of independent subscribers — each keeps its own byte
+  offset, so ``farm watch`` in five terminals and an HTTP poller all
+  follow the same file without coordination, and a torn final line
+  (a writer mid-append) is simply not consumed until it completes;
+* :class:`FarmHTTPServer` is the minimal stdlib HTTP face: GET
+  ``/health``, ``/status``, ``/jobs``, ``/jobs/<id>``,
+  ``/journal?offset=N``; POST ``/submit``, ``/jobs/<id>/cancel``,
+  ``/jobs/<id>/resume``. JSON in, JSON out, no dependencies — enough
+  to script a farm from anything that can speak HTTP.
+
+Nothing here holds farm state: every request re-opens the queue
+directory, so the control plane can run in a different process (or
+machine, over a shared filesystem) from the service and the workers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterator, Optional, cast
+from urllib.parse import parse_qs, urlparse
+
+from repro.farm.queue import FarmError, FarmQueue
+from repro.farm.spec import CampaignSpec
+from repro.obs import metrics
+
+__all__ = [
+    "FarmHTTPServer",
+    "format_status",
+    "serve_http",
+    "tail_events",
+    "watch_events",
+]
+
+
+def format_status(status: dict[str, Any]) -> str:
+    """Human rendering of one :meth:`FarmQueue.status` snapshot."""
+    counts = status["counts"]
+    lines = [
+        f"farm {status['root']}",
+        "  queue: "
+        + "  ".join(f"{state}={counts[state]}" for state in sorted(counts)),
+        f"  store: {status['store_bytes']} bytes",
+    ]
+    limits = status.get("limits") or {}
+    if limits:
+        lines.append(
+            "  limits: "
+            + "  ".join(f"{k}={limits[k]}" for k in sorted(limits))
+        )
+    for job_id, lease in sorted(status.get("leases", {}).items()):
+        lines.append(
+            f"  lease {job_id}: worker={lease['worker']} "
+            f"expires_in={lease['expires_in_s']:.1f}s"
+        )
+    for bad in status.get("quarantined", []):
+        lines.append(f"  quarantined (unreadable record): {bad}")
+    for job in status.get("jobs", []):
+        extra = ""
+        if job["succeeded"] is not None:
+            extra = f"  succeeded={job['succeeded']}"
+        if job["error"]:
+            extra += f"  error={job['error'].splitlines()[0]}"
+        if job["store_evicted"]:
+            extra += "  store=evicted"
+        lines.append(
+            f"  {job['job_id']}  {job['state']:<8s} target={job['target']:<8s} "
+            f"n={job['n']} attempts={job['attempts']}{extra}"
+        )
+    return "\n".join(lines)
+
+
+def tail_events(path: str, offset: int = 0) -> tuple[list[dict[str, Any]], int]:
+    """Events appended since ``offset``; returns (events, new offset).
+
+    Only *complete* lines are consumed — the offset never advances past
+    a line without a trailing newline, so a writer caught mid-append is
+    re-read whole on the next call instead of being split or dropped.
+    Each subscriber owns its offset; the file is shared and read-only.
+    """
+    try:
+        fh = open(path, "rb")
+    except FileNotFoundError:
+        return [], offset
+    with fh:
+        fh.seek(offset)
+        blob = fh.read()
+    events: list[dict[str, Any]] = []
+    consumed = 0
+    for raw in blob.split(b"\n"):
+        end = consumed + len(raw) + 1
+        if end > len(blob):  # no trailing newline: torn/in-flight line
+            break
+        consumed = end
+        if raw.strip():
+            try:
+                events.append(json.loads(raw))
+            except json.JSONDecodeError:
+                continue  # torn by a crash; complete lines still count
+    return events, offset + consumed
+
+
+def watch_events(
+    path: str,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    from_start: bool = True,
+) -> Iterator[dict[str, Any]]:
+    """Generator form of :func:`tail_events`: yield events as they land.
+
+    ``stop`` is polled between reads so callers (CLI watch, tests) can
+    end the stream; without it the generator follows forever.
+    """
+    offset = 0
+    if not from_start:
+        _, offset = tail_events(path, 0)
+    while True:
+        events, offset = tail_events(path, offset)
+        yield from events
+        if stop is not None and stop():
+            return
+        if not events:
+            time.sleep(poll_s)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request = one queue open; the farm root comes from the server."""
+
+    def _farm_server(self) -> "FarmHTTPServer":
+        return cast("FarmHTTPServer", self.server)
+
+    def _send(self, code: int, payload: dict[str, Any] | list[Any]) -> None:
+        blob = json.dumps(payload, indent=1, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _queue(self) -> FarmQueue:
+        return FarmQueue(self._farm_server().farm_root)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # HTTP chatter stays out of the operator's terminal
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        queue = self._queue()
+        try:
+            if parts == ["status"]:
+                self._send(200, queue.status())
+            elif parts == ["health"]:
+                health = self._farm_server().health_fn
+                if health is not None:
+                    self._send(200, health())
+                else:
+                    self._send(
+                        200,
+                        {
+                            "queue": queue.status(),
+                            "metrics": metrics.current_registry()
+                            .snapshot()
+                            .to_jsonable(),
+                        },
+                    )
+            elif parts == ["jobs"]:
+                self._send(200, [job.to_jsonable() for job in queue.jobs()])
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, queue.get(parts[1]).to_jsonable())
+            elif parts == ["journal"]:
+                query = parse_qs(url.query)
+                offset = int(query.get("offset", ["0"])[0])
+                events, new_offset = tail_events(str(queue.journal_path), offset)
+                self._send(200, {"events": events, "offset": new_offset})
+            else:
+                self._send(404, {"error": f"unknown path {url.path!r}"})
+        except FarmError as exc:
+            self._send(404, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        queue = self._queue()
+        try:
+            if parts == ["submit"]:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                spec = CampaignSpec.from_jsonable(body)
+                job = queue.submit(spec)
+                self._send(200, job.to_jsonable())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._send(200, queue.cancel(parts[1]).to_jsonable())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "resume":
+                self._send(200, queue.resume(parts[1]).to_jsonable())
+            else:
+                self._send(404, {"error": f"unknown path {url.path!r}"})
+        except FarmError as exc:
+            self._send(409, {"error": str(exc)})
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad request: {exc}"})
+
+
+class FarmHTTPServer(ThreadingHTTPServer):
+    """The farm's HTTP face; state lives on disk, not in the server."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        farm_root: str,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        health_fn: Optional[Callable[[], dict[str, Any]]] = None,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.farm_root = farm_root
+        #: Optional richer health source (a live FarmService's .health).
+        self.health_fn = health_fn
+
+
+def serve_http(
+    farm_root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    health_fn: Optional[Callable[[], dict[str, Any]]] = None,
+) -> FarmHTTPServer:
+    """Start the HTTP endpoint on a daemon thread; returns the server.
+
+    ``port=0`` binds an ephemeral port (tests); the chosen address is
+    ``server.server_address``. Call ``server.shutdown()`` to stop.
+    """
+    server = FarmHTTPServer(farm_root, (host, port), health_fn=health_fn)
+    thread = threading.Thread(
+        target=server.serve_forever, name="farm-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,496 @@
+"""The durable job queue: atomic files, leases, heartbeats, re-queue.
+
+The queue is a directory, not a process — workers, the orchestrator,
+and the control plane are separate OS processes that all operate on the
+same layout and rendezvous purely through atomic filesystem operations::
+
+    <root>/
+      farm.json              # limits (concurrency, quota, lease TTL)
+      jobs/<id>.json         # one Job record per campaign (atomic writes)
+      leases/<id>.json       # exists while a worker owns the job
+      cancel/<id>            # cancellation request marker
+      stores/<id>/           # the job's materialized CampaignStore
+      sessions/<id>/         # the job's AttackSession checkpoints
+      journal.jsonl          # farm event stream (O_APPEND, multi-writer)
+
+Durability and mutual exclusion come from three primitives only:
+
+* **atomic record writes** — every ``jobs/<id>.json`` mutation goes
+  through :func:`repro.utils.io.atomic_write_text` (tmp + fsync +
+  rename + parent-dir fsync), so a restarted farm reads back exactly
+  the last complete state and a torn write is impossible by
+  construction. A file torn by other means (a dying filesystem, manual
+  meddling) is *quarantined*, never trusted: the queue keeps serving
+  every readable job.
+* **exclusive lease creation** — a worker claims a job by hard-linking
+  a fully-written temp file to ``leases/<id>.json`` (``os.link`` fails
+  atomically if the name exists), so two workers can never both win,
+  and the winner's lease is complete the instant it is visible.
+* **append-only journal** — events are single ``os.write`` calls on an
+  ``O_APPEND`` descriptor, safe for any number of concurrent writers;
+  readers tolerate a torn final line exactly like
+  :func:`repro.obs.journal.read_journal`.
+
+Leases carry a deadline. A worker heartbeats (rewrites its lease) while
+attacking; if the worker dies — SIGKILL, OOM, power — the deadline
+passes and any sweep (:meth:`FarmQueue.requeue_expired`) returns the
+job to ``pending``. The successor worker resumes from the job's
+:class:`~repro.attack.session.AttackSession` checkpoints, so the crash
+costs at most one coefficient of re-work and the final result is
+bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.farm.spec import CampaignSpec, Job, JobState
+from repro.obs import metrics
+from repro.utils.io import atomic_write_text, fsync_dir
+
+__all__ = [
+    "FarmError",
+    "FarmQueue",
+    "JobCancelled",
+    "wall_clock",
+]
+
+_FARM_CONFIG = "farm.json"
+_JOURNAL = "journal.jsonl"
+
+
+class FarmError(RuntimeError):
+    """The queue refused an operation (bad state, unknown job, quota)."""
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when its job's cancel marker appears."""
+
+
+def wall_clock() -> float:  # sast: declassify(rules=DT002, reason=lease deadlines and journal timestamps must be comparable across independent worker processes; they are operator metadata and never feed an attack result)
+    """The farm's clock: injectable for tests, wall time in production.
+
+    Lease deadlines must be meaningful *across* processes (the worker
+    that writes a deadline is never the process that checks it), so a
+    per-process monotonic clock cannot work here.
+    """
+    return time.time()
+
+
+Clock = Callable[[], float]
+
+
+class FarmQueue:
+    """Operations on one farm directory (safe from any process)."""
+
+    def __init__(
+        self, root: str | os.PathLike[str], clock: Clock | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.clock: Clock = clock if clock is not None else wall_clock
+        for sub in ("jobs", "leases", "cancel", "stores", "sessions", "journals"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def job_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / f"{job_id}.json"
+
+    def lease_path(self, job_id: str) -> Path:
+        return self.root / "leases" / f"{job_id}.json"
+
+    def cancel_path(self, job_id: str) -> Path:
+        return self.root / "cancel" / job_id
+
+    def store_dir(self, job_id: str) -> Path:
+        return self.root / "stores" / job_id
+
+    def session_dir(self, job_id: str) -> Path:
+        return self.root / "sessions" / job_id
+
+    def job_journal_path(self, job_id: str) -> Path:
+        """The per-job RunJournal sink (`farm watch <job>` streams this)."""
+        return self.root / "journals" / f"{job_id}.jsonl"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / _JOURNAL
+
+    # -- farm limits -------------------------------------------------------
+
+    def write_limits(self, limits: dict[str, Any]) -> None:
+        atomic_write_text(
+            self.root / _FARM_CONFIG, json.dumps(limits, indent=1, sort_keys=True)
+        )
+
+    def read_limits(self) -> dict[str, Any]:
+        path = self.root / _FARM_CONFIG
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return dict(loaded) if isinstance(loaded, dict) else {}
+
+    # -- journal -----------------------------------------------------------
+
+    def journal(self, event: str, **payload: Any) -> None:
+        """Append one event; a single O_APPEND write, multi-process safe."""
+        record: dict[str, Any] = {"ts": round(self.clock(), 6), "event": event}
+        record.update(payload)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = os.open(self.journal_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    # -- job records -------------------------------------------------------
+
+    def _write_job(self, job: Job) -> None:
+        atomic_write_text(self.job_path(job.job_id), job.encode())
+
+    def save(self, job: Job) -> None:
+        """Persist an updated job record (atomic, crash-durable)."""
+        self._write_job(job)
+
+    def _read_job(self, path: Path) -> Job | None:
+        """One job record, or None when the file is torn/foreign."""
+        try:
+            return Job.decode(path.read_text())
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+
+    def get(self, job_id: str) -> Job:
+        job = self._read_job(self.job_path(job_id))
+        if job is None:
+            raise FarmError(f"no readable job {job_id!r} in {self.root}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Every readable job, in submission order; torn files skipped."""
+        out: list[Job] = []
+        for path in sorted((self.root / "jobs").glob("*.json")):
+            job = self._read_job(path)
+            if job is not None:
+                out.append(job)
+        return out
+
+    def quarantined(self) -> list[str]:
+        """Job files present on disk but unreadable (torn/foreign)."""
+        bad: list[str] = []
+        for path in sorted((self.root / "jobs").glob("*.json")):
+            if self._read_job(path) is None:
+                bad.append(path.stem)
+        return bad
+
+    # -- submission --------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seqs = [0]
+        for path in (self.root / "jobs").glob("*.json"):
+            head = path.stem.split("-", 1)[0]
+            if head.isdigit():
+                seqs.append(int(head))
+        return max(seqs) + 1
+
+    def submit(self, spec: CampaignSpec, job_id: str | None = None) -> Job:
+        """Enqueue one campaign; returns the durable Job record.
+
+        Ids sort in submission order (``<seq>-<spec digest>``) so FIFO
+        scheduling falls out of a directory listing. Submitting an id
+        that already exists is refused — resubmission of the same
+        campaign is :meth:`resume`, not a duplicate job.
+        """
+        if job_id is None:
+            job_id = f"{self._next_seq():06d}-{spec.digest()}"
+        if self.job_path(job_id).exists():
+            raise FarmError(f"job {job_id!r} already exists; use resume to re-run it")
+        job = Job(job_id=job_id, spec=spec, submitted_at=self.clock())
+        self._write_job(job)
+        metrics.inc("farm.jobs_submitted", 1)
+        self.journal("submitted", job=job_id, target=spec.target, n=spec.n)
+        return job
+
+    # -- leasing -----------------------------------------------------------
+
+    def _read_lease(self, job_id: str) -> dict[str, Any] | None:
+        try:
+            loaded = json.loads(self.lease_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def _write_lease_exclusive(self, job_id: str, lease: dict[str, Any]) -> bool:
+        """Atomically create the lease file with full content: the claim.
+
+        The content is written to a temp name first and hard-linked into
+        place — ``os.link`` fails if the lease exists, so exactly one
+        claimant wins and the winner's lease is never observable torn.
+        """
+        lease_path = self.lease_path(job_id)
+        fd, tmp = tempfile.mkstemp(dir=lease_path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(lease, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            try:
+                os.link(tmp, lease_path)
+            except FileExistsError:
+                return False
+            fsync_dir(lease_path.parent)
+            return True
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def active_leases(self) -> dict[str, dict[str, Any]]:
+        out: dict[str, dict[str, Any]] = {}
+        for path in sorted((self.root / "leases").glob("*.json")):
+            lease = self._read_lease(path.stem)
+            if lease is not None:
+                out[path.stem] = lease
+        return out
+
+    def claim(
+        self, worker_id: str, lease_ttl: float, max_concurrent: int | None = None
+    ) -> Job | None:
+        """Lease the oldest pending job, or None when nothing is claimable.
+
+        ``max_concurrent`` is the farm's back-pressure valve: when that
+        many leases are already active, the worker backs off instead of
+        piling more concurrent captures onto the machine. The check is
+        advisory (two workers can race past it by one job) — the hard
+        invariant, single ownership per job, is the atomic lease link.
+        """
+        if max_concurrent is not None and len(self.active_leases()) >= max_concurrent:
+            return None
+        now = self.clock()
+        for job in self.jobs():
+            if job.state is not JobState.PENDING:
+                continue
+            if self.cancel_requested(job.job_id):
+                continue
+            lease = {
+                "job": job.job_id,
+                "worker": worker_id,
+                "taken_at": now,
+                "deadline": now + lease_ttl,
+            }
+            if not self._write_lease_exclusive(job.job_id, lease):
+                continue  # lost the race for this job; try the next one
+            job.state = JobState.RUNNING
+            job.attempts += 1
+            job.error = None
+            self._write_job(job)
+            metrics.inc("farm.jobs_leased", 1)
+            self.journal(
+                "leased", job=job.job_id, worker=worker_id, attempt=job.attempts
+            )
+            return job
+        return None
+
+    def heartbeat(self, job_id: str, worker_id: str, lease_ttl: float) -> None:
+        """Extend the caller's lease; refuses if the lease changed hands."""
+        lease = self._read_lease(job_id)
+        if lease is None or lease.get("worker") != worker_id:
+            raise FarmError(
+                f"lease on {job_id!r} is no longer held by {worker_id!r} "
+                "(expired and re-queued?); abandon the job"
+            )
+        now = self.clock()
+        lease["deadline"] = now + lease_ttl
+        lease["heartbeat_at"] = now
+        # The owner may rewrite its own lease; os.replace keeps readers
+        # from ever seeing a partial file.
+        atomic_write_text(self.lease_path(job_id), json.dumps(lease, sort_keys=True))
+        metrics.inc("farm.heartbeats", 1)
+
+    def _release_lease(self, job_id: str) -> None:
+        try:
+            os.unlink(self.lease_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    def requeue_expired(self) -> list[str]:
+        """Return every job with a dead owner to the pending state.
+
+        Three shapes of death are swept: a lease past its deadline (the
+        worker stopped heartbeating), a torn lease file (the filesystem
+        died mid-claim — unreadable means unowned), and a ``running``
+        job with no lease at all (a previous sweep crashed between
+        unlink and rewrite). The job's checkpoints are untouched, so
+        the successor resumes instead of restarting.
+        """
+        now = self.clock()
+        requeued: list[str] = []
+        for path in sorted((self.root / "leases").glob("*.json")):
+            job_id = path.stem
+            lease = self._read_lease(job_id)
+            if lease is not None and float(lease.get("deadline", 0.0)) > now:
+                continue
+            self._release_lease(job_id)
+            job = self._read_job(self.job_path(job_id))
+            if job is not None and job.state is JobState.RUNNING:
+                job.state = JobState.PENDING
+                self._write_job(job)
+                requeued.append(job_id)
+                metrics.inc("farm.leases_expired", 1)
+                self.journal(
+                    "lease_expired",
+                    job=job_id,
+                    worker=None if lease is None else lease.get("worker"),
+                )
+        for job in self.jobs():
+            if job.state is JobState.RUNNING and self._read_lease(job.job_id) is None:
+                job.state = JobState.PENDING
+                self._write_job(job)
+                requeued.append(job.job_id)
+                metrics.inc("farm.leases_expired", 1)
+                self.journal("orphan_requeued", job=job.job_id)
+        return requeued
+
+    # -- completion / failure / cancellation -------------------------------
+
+    def _next_done_seq(self) -> int:
+        seqs = [0]
+        for job in self.jobs():
+            if job.done_seq is not None:
+                seqs.append(int(job.done_seq))
+        return max(seqs) + 1
+
+    def complete(self, job_id: str, worker_id: str, result: dict[str, Any]) -> Job:
+        job = self.get(job_id)
+        job.state = JobState.DONE
+        job.result = result
+        job.error = None
+        job.done_seq = self._next_done_seq()
+        self._write_job(job)
+        self._release_lease(job_id)
+        metrics.inc("farm.jobs_completed", 1)
+        self.journal(
+            "done", job=job_id, worker=worker_id,
+            succeeded=bool(result.get("succeeded")),
+        )
+        return job
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> Job:
+        job = self.get(job_id)
+        job.state = JobState.FAILED
+        job.error = error
+        self._write_job(job)
+        self._release_lease(job_id)
+        metrics.inc("farm.jobs_failed", 1)
+        self.journal("failed", job=job_id, worker=worker_id, error=error)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation: pending jobs stop immediately, running
+        jobs stop at the next coefficient boundary (the worker checks
+        the marker from its progress callback)."""
+        job = self.get(job_id)
+        marker = self.cancel_path(job_id)
+        fd = os.open(marker, os.O_WRONLY | os.O_CREAT, 0o644)
+        os.close(fd)
+        fsync_dir(marker.parent)
+        if job.state is JobState.PENDING:
+            job.state = JobState.CANCELED
+            self._write_job(job)
+        metrics.inc("farm.jobs_cancel_requested", 1)
+        self.journal("cancel_requested", job=job_id)
+        return job
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return self.cancel_path(job_id).exists()
+
+    def mark_canceled(self, job_id: str, worker_id: str) -> Job:
+        """A worker acknowledging the cancel marker mid-job."""
+        job = self.get(job_id)
+        job.state = JobState.CANCELED
+        self._write_job(job)
+        self._release_lease(job_id)
+        metrics.inc("farm.jobs_canceled", 1)
+        self.journal("canceled", job=job_id, worker=worker_id)
+        return job
+
+    def resume(self, job_id: str) -> Job:
+        """Return a canceled/failed job to the queue.
+
+        The session checkpoints and any materialized store survive
+        cancellation, so the resumed job re-attacks only the missing
+        coefficients and its final result is bit-identical to a job
+        that was never interrupted.
+        """
+        job = self.get(job_id)
+        if job.state not in (JobState.CANCELED, JobState.FAILED):
+            raise FarmError(
+                f"job {job_id!r} is {job.state.value}; only canceled/failed "
+                "jobs can be resumed"
+            )
+        try:
+            os.unlink(self.cancel_path(job_id))
+        except FileNotFoundError:
+            pass
+        job.state = JobState.PENDING
+        job.error = None
+        self._write_job(job)
+        metrics.inc("farm.jobs_resumed", 1)
+        self.journal("resumed", job=job_id)
+        return job
+
+    # -- accounting --------------------------------------------------------
+
+    def store_bytes(self) -> int:
+        """Total bytes of all per-job campaign stores under the farm."""
+        total = 0
+        for base, _dirs, files in os.walk(self.root / "stores"):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(base, name))
+                except OSError:
+                    continue
+        return total
+
+    def status(self) -> dict[str, Any]:
+        """Queue/lease/quota state in one JSON-able snapshot."""
+        jobs = self.jobs()
+        counts: dict[str, int] = {s.value: 0 for s in JobState}
+        for job in jobs:
+            counts[job.state.value] += 1
+        leases = self.active_leases()
+        now = self.clock()
+        limits = self.read_limits()
+        return {
+            "root": str(self.root),
+            "counts": counts,
+            "quarantined": self.quarantined(),
+            "leases": {
+                job_id: {
+                    "worker": lease.get("worker"),
+                    "expires_in_s": round(float(lease.get("deadline", now)) - now, 3),
+                }
+                for job_id, lease in leases.items()
+            },
+            "store_bytes": self.store_bytes(),
+            "limits": limits,
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "state": job.state.value,
+                    "target": job.spec.target,
+                    "n": job.spec.n,
+                    "attempts": job.attempts,
+                    "succeeded": None
+                    if job.result is None
+                    else bool(job.result.get("succeeded")),
+                    "error": job.error,
+                    "store_evicted": job.store_evicted,
+                }
+                for job in jobs
+            ],
+        }

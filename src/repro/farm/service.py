@@ -1,0 +1,277 @@
+"""The farm orchestrator: worker pool, lease sweeper, quota, health.
+
+:class:`FarmService` is the always-on piece: an asyncio event loop
+supervising a pool of worker *processes* (the attack is CPU-bound
+Python — threads would serialize on the GIL, and the per-job engine
+already fans out with ``ProcessPoolExecutor``, so workers must be real
+processes with the service as their non-daemonic parent). The event
+loop itself only schedules: it sweeps expired leases back into the
+queue, enforces the store quota, restarts dead workers, and answers
+health queries — all cheap, all I/O-shaped, which is exactly what
+asyncio is for.
+
+Back-pressure and degradation are deliberately boring:
+
+* **max concurrent jobs** — workers check the active-lease count at
+  claim time (:meth:`FarmQueue.claim`), so the limit holds even for
+  workers the service did not spawn.
+* **store quota** — when the per-job campaign stores exceed
+  ``max_store_bytes``, the sweeper evicts oldest-*completed* stores
+  first (``done_seq`` order): a completed job's evidence lives on in
+  its result payload and session checkpoints, so its store is pure
+  cache; running/pending jobs' stores are never touched.
+* **memory degradation** — when ``MemAvailable`` is below the
+  configured floor, newly spawned workers run their per-job attack
+  serially (``job_workers=1``) instead of fanning out, trading wall
+  clock for not getting OOM-killed mid-campaign.
+
+Health is the :mod:`repro.obs` metrics snapshot plus the queue status —
+one JSON document, served identically by ``farm status`` and the HTTP
+endpoint (:mod:`repro.farm.control`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import shutil
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.farm.queue import FarmQueue
+from repro.farm.spec import JobState
+from repro.farm.worker import worker_loop
+from repro.obs import metrics
+
+__all__ = ["FarmLimits", "FarmService", "available_memory_bytes"]
+
+
+@dataclass(frozen=True)
+class FarmLimits:
+    """The farm's resource policy, persisted to ``farm.json``.
+
+    Persisting the limits beside the queue means every worker — even
+    one started by hand on another terminal — honors the same
+    back-pressure, and a restarted service resumes the same policy.
+    """
+
+    #: Leases allowed out at once (claim-time back-pressure valve).
+    max_concurrent: int = 4
+    #: Total bytes of per-job campaign stores before oldest-completed
+    #: eviction kicks in. ``None`` disables the quota.
+    max_store_bytes: Optional[int] = None
+    #: Seconds a worker may go silent before its lease is re-queued.
+    lease_ttl: float = 30.0
+    #: ``MemAvailable`` floor below which new workers attack serially.
+    min_free_bytes: int = 256 * 1024 * 1024
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, obj: dict[str, Any]) -> "FarmLimits":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in obj.items() if k in fields})
+
+
+def available_memory_bytes() -> Optional[int]:
+    """``MemAvailable`` from /proc/meminfo, or None off-Linux."""
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class FarmService:
+    """Supervise workers and invariants for one farm directory."""
+
+    def __init__(
+        self,
+        root: str,
+        limits: Optional[FarmLimits] = None,
+        n_workers: int = 2,
+        job_workers: Optional[int] = None,
+        throttle_s: float = 0.0,
+        sweep_every: float = 1.0,
+    ) -> None:
+        self.queue = FarmQueue(root)
+        self.limits = limits if limits is not None else FarmLimits()
+        self.n_workers = n_workers
+        self.job_workers = job_workers
+        self.throttle_s = throttle_s
+        self.sweep_every = sweep_every
+        self.degraded = False
+        self._procs: list[multiprocessing.Process] = []
+        self._worker_seq = 0
+        self.queue.write_limits(self.limits.to_jsonable())
+
+    # -- worker pool -------------------------------------------------------
+
+    def _effective_job_workers(self) -> Optional[int]:
+        """Per-job fan-out, degraded to serial when memory is tight."""
+        avail = available_memory_bytes()
+        if avail is not None and avail < self.limits.min_free_bytes:
+            if not self.degraded:
+                self.degraded = True
+                metrics.inc("farm.degraded_to_serial", 1)
+                self.queue.journal("degraded", reason="low_memory", available=avail)
+            return 1
+        self.degraded = False
+        return self.job_workers
+
+    def spawn_worker(self, drain: bool = False) -> multiprocessing.Process:
+        """Start one worker process against this farm's queue."""
+        self._worker_seq += 1
+        worker_id = f"worker-{self._worker_seq:03d}"
+        proc = multiprocessing.Process(
+            target=worker_loop,
+            args=(str(self.queue.root), worker_id),
+            kwargs={
+                "lease_ttl": self.limits.lease_ttl,
+                "drain": drain,
+                "throttle_s": self.throttle_s,
+                "job_workers": self._effective_job_workers(),
+            },
+            name=worker_id,
+        )
+        proc.start()
+        self._procs.append(proc)
+        metrics.inc("farm.workers_spawned", 1)
+        self.queue.journal("worker_spawned", worker=worker_id, pid=proc.pid)
+        return proc
+
+    def alive_workers(self) -> list[multiprocessing.Process]:
+        return [p for p in self._procs if p.is_alive()]
+
+    def stop(self) -> None:
+        """Terminate the pool; leases expire and jobs re-queue for later."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+        self._procs.clear()
+
+    # -- invariants --------------------------------------------------------
+
+    def sweep(self) -> dict[str, Any]:
+        """One maintenance pass: expired leases + store quota."""
+        requeued = self.queue.requeue_expired()
+        evicted = self.enforce_store_quota()
+        return {"requeued": requeued, "evicted": evicted}
+
+    def enforce_store_quota(self) -> list[str]:
+        """Evict oldest-completed campaign stores until under quota.
+
+        Only ``done`` jobs' stores are candidates (a completed job's
+        store is re-materializable cache; its result and checkpoints
+        survive eviction), ordered by completion sequence so the
+        longest-finished evidence goes first.
+        """
+        quota = self.limits.max_store_bytes
+        if quota is None:
+            return []
+        evicted: list[str] = []
+        used = self.queue.store_bytes()
+        if used <= quota:
+            return evicted
+        candidates = sorted(
+            (
+                job
+                for job in self.queue.jobs()
+                if job.state is JobState.DONE
+                and not job.store_evicted
+                and job.done_seq is not None
+            ),
+            key=lambda job: (job.done_seq or 0, job.job_id),
+        )
+        for job in candidates:
+            if used <= quota:
+                break
+            store = self.queue.store_dir(job.job_id)
+            freed = 0
+            if store.exists():
+                for base_files in store.rglob("*"):
+                    if base_files.is_file():
+                        try:
+                            freed += base_files.stat().st_size
+                        except OSError:
+                            continue
+                shutil.rmtree(store, ignore_errors=True)
+            job.store_evicted = True
+            self.queue.save(job)
+            used -= freed
+            evicted.append(job.job_id)
+            metrics.inc("farm.stores_evicted", 1)
+            metrics.inc("farm.store_bytes_evicted", freed)
+            self.queue.journal("store_evicted", job=job.job_id, freed=freed)
+        return evicted
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """The service health snapshot: metrics + queue + pool state."""
+        snap = metrics.current_registry().snapshot()
+        return {
+            "queue": self.queue.status(),
+            "limits": self.limits.to_jsonable(),
+            "workers_alive": len(self.alive_workers()),
+            "degraded_to_serial": self.degraded,
+            "available_memory_bytes": available_memory_bytes(),
+            "metrics": snap.to_jsonable(),
+        }
+
+    # -- orchestration loops -----------------------------------------------
+
+    async def run_until_drained(self, respawn: bool = True) -> dict[str, Any]:
+        """Drive the farm until no pending/running work remains.
+
+        Spawns the worker pool in drain mode and supervises: sweep
+        expired leases and the quota every ``sweep_every`` seconds, and
+        (``respawn``) replace dead workers while claimable work exists —
+        this is what turns a SIGKILLed worker into a resumed job rather
+        than a stuck farm. Returns the final queue status.
+        """
+        for _ in range(self.n_workers):
+            self.spawn_worker(drain=True)
+        try:
+            while True:
+                await asyncio.sleep(self.sweep_every)
+                self.sweep()
+                status = self.queue.status()
+                counts = status["counts"]
+                outstanding = counts["pending"] + counts["running"]
+                if outstanding == 0:
+                    break
+                alive = self.alive_workers()
+                if respawn and counts["pending"] > 0 and len(alive) < self.n_workers:
+                    self.spawn_worker(drain=True)
+            # Let drain-mode workers notice the empty queue and exit.
+            for proc in self.alive_workers():
+                await asyncio.to_thread(proc.join, 10.0)
+        finally:
+            self.stop()
+        self.sweep()
+        return self.queue.status()
+
+    async def serve_forever(self) -> None:
+        """The always-on mode: keep the pool full, sweep forever."""
+        for _ in range(self.n_workers):
+            self.spawn_worker(drain=False)
+        try:
+            while True:
+                await asyncio.sleep(self.sweep_every)
+                self.sweep()
+                while len(self.alive_workers()) < self.n_workers:
+                    self.spawn_worker(drain=False)
+        finally:
+            self.stop()
+
+    def run_to_completion(self) -> dict[str, Any]:
+        """Synchronous front door for :meth:`run_until_drained`."""
+        return asyncio.run(self.run_until_drained())

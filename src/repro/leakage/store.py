@@ -206,12 +206,16 @@ def _write_shard(root: str, traceset: TraceSet) -> None:
         with atomic_output_path(os.path.join(d, f"{seg.name}.known.npy")) as tmp:
             with open(tmp, "wb") as fh:
                 np.save(fh, seg.known_y)
+        # Stored verbatim: the capture layer already emits float32, and a
+        # surface that produces a different dtype must round-trip it —
+        # forcing float32 here would silently corrupt wider traces.
+        stored = np.ascontiguousarray(seg.traces)
         with atomic_output_path(os.path.join(d, f"{seg.name}.traces.npy")) as tmp:
             with open(tmp, "wb") as fh:
-                np.save(fh, np.ascontiguousarray(seg.traces, dtype=np.float32))
+                np.save(fh, stored)
         metrics.inc(
             "store.bytes_written",
-            int(seg.known_y.nbytes) + int(seg.traces.shape[0] * seg.traces.shape[1] * 4),
+            int(seg.known_y.nbytes) + int(stored.nbytes),
         )
     metrics.inc("store.shards_written", 1)
     shard: dict[str, Any] = {

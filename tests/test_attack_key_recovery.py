@@ -192,6 +192,144 @@ class TestParallelEngine:
             assert rec.n_traces_used == sum(rec.n_traces_kept)
 
 
+class _FailingSource:
+    """Picklable TraceSource proxy that fails one target's capture.
+
+    Module-level so ProcessPoolExecutor can ship it to workers; every
+    fingerprint-relevant attribute delegates to the wrapped campaign,
+    so a session bound through the proxy resumes with the real one.
+    """
+
+    def __init__(self, inner, fail_index):
+        self.inner = inner
+        self.fail_index = fail_index
+
+    def capture(self, target_index):
+        if target_index == self.fail_index:
+            raise RuntimeError("injected capture failure")
+        return self.inner.capture(target_index)
+
+    @property
+    def n_targets(self):
+        return self.inner.n_targets
+
+    @property
+    def n_traces(self):
+        return self.inner.n_traces
+
+    @property
+    def target(self):
+        return self.inner.target
+
+    @property
+    def mode(self):
+        return self.inner.mode
+
+    @property
+    def seed(self):
+        return self.inner.seed
+
+    @property
+    def device(self):
+        return self.inner.device
+
+
+class TestFailurePathPreservesSiblings:
+    """Regression: one raising future must not discard its siblings'
+    finished work — their checkpoints survive and a resume skips them."""
+
+    def test_failed_batch_preserves_sibling_checkpoints(self, tmp_path):
+        from repro.attack import AttackConfig, recover_coefficients
+        from repro.attack.session import AttackSession
+        from repro.leakage import CaptureCampaign, DeviceModel
+
+        sk, _ = keygen(FalconParams.get(8), seed=b"par-fail")
+        campaign = CaptureCampaign(
+            sk=sk, n_traces=300, device=DeviceModel(), seed=43
+        )
+        cfg = AttackConfig(n_workers=2)
+        sess = tmp_path / "sess"
+        with pytest.raises(RuntimeError, match="injected capture failure"):
+            recover_coefficients(
+                _FailingSource(campaign, fail_index=0), cfg,
+                session=AttackSession(sess),
+            )
+        saved = sorted(int(p.stem.split("_")[1]) for p in sess.glob("coeff_*.pkl"))
+        assert saved, "siblings in flight when target 0 failed must be checkpointed"
+        assert 0 not in saved  # the failing target itself never finished
+
+        # resume against the healthy campaign: every checkpointed sibling
+        # replays from disk instead of being re-attacked
+        restored = []
+
+        def cb(ev):
+            if ev.stage == "coefficient" and ev.message == "restored from checkpoint":
+                restored.append(ev.record.target_index)
+
+        recs, _ = recover_coefficients(
+            campaign, cfg, session=AttackSession(sess), progress_callback=cb
+        )
+        assert sorted(restored) == saved
+        clean, _ = recover_coefficients(campaign, AttackConfig(n_workers=1))
+        assert [r.pattern for r in recs] == [r.pattern for r in clean]
+
+
+class TestPicklableProbe:
+    def test_verdict_cached_per_object(self):
+        import gc
+
+        from repro.attack import key_recovery as kr
+
+        class Probe:
+            reduced = 0
+
+            def __reduce__(self):
+                type(self).reduced += 1
+                return (dict, ())
+
+        p = Probe()
+        assert kr._picklable(p) is True
+        assert Probe.reduced == 1
+        assert kr._picklable(p) is True
+        assert Probe.reduced == 1  # cached: no second full traversal
+        key = id(p)
+        assert key in kr._PICKLE_PROBES
+        del p
+        gc.collect()
+        assert key not in kr._PICKLE_PROBES  # weakref evicts dead entries
+
+    def test_unpicklable_object_cached_false(self):
+        from repro.attack import key_recovery as kr
+
+        class Holder:
+            def __init__(self):
+                self.fn = lambda: None  # closures do not pickle
+
+        h = Holder()
+        assert kr._picklable(h) is False
+        assert kr._picklable(h) is False  # cached verdict, same answer
+
+    def test_probe_streams_instead_of_materializing(self):
+        """The probe must not build the full pickle byte string."""
+        import pickle as _pickle
+
+        from repro.attack import key_recovery as kr
+
+        calls = {"dumps": 0}
+        orig = _pickle.dumps
+
+        def counting_dumps(*a, **kw):
+            calls["dumps"] += 1
+            return orig(*a, **kw)
+
+        _pickle.dumps = counting_dumps
+        try:
+            assert kr._picklable((1, 2, 3)) is True
+        finally:
+            _pickle.dumps = orig
+        assert calls["dumps"] == 0
+
+
 class TestEndToEnd:
     def test_key_recovered(self, attack_report):
         """The paper's headline claim at laptop scale (n=8, 6k traces)."""

@@ -1,0 +1,260 @@
+"""Farm end-to-end: worker kill/resume bit-identity, quota, control plane."""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.farm.control import serve_http
+from repro.farm.queue import FarmQueue
+from repro.farm.service import FarmLimits, FarmService
+from repro.farm.spec import CampaignSpec, JobState
+from repro.farm.worker import result_payload, run_campaign, worker_loop
+from repro.leakage.capture import CaptureConfig
+
+N_TRACES = 450
+SEED = 61
+
+
+def farm_spec(key_seed: str, target: str = "fpr-mul") -> CampaignSpec:
+    return CampaignSpec(
+        key_seed=key_seed,
+        n=8,
+        capture=CaptureConfig(n_traces=N_TRACES, seed=SEED, target=target),
+        noise_sigma=2.0,
+        device_seed=17,
+    )
+
+
+def _wait_for(predicate, timeout_s: float = 90.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+class TestFarmEndToEnd:
+    """The acceptance scenario: concurrent mixed-target campaigns, one
+    worker SIGKILLed mid-job, everything finishes bit-identical to
+    direct ``full_attack`` runs."""
+
+    def test_kill_mid_job_then_bit_identical_completion(self, tmp_path):
+        root = str(tmp_path / "farm")
+        queue = FarmQueue(root)
+        specs = {
+            "alpha": farm_spec("alpha"),
+            "beta": farm_spec("beta", target="samplerz"),
+            "gamma": farm_spec("gamma"),
+        }
+        jobs = {name: queue.submit(s) for name, s in specs.items()}
+        first = jobs["alpha"].job_id
+
+        # A throttled worker leases the first job; we SIGKILL it once it
+        # has checkpointed a couple of coefficients — no cleanup handler
+        # runs, exactly like an OOM kill or power loss.
+        victim = multiprocessing.Process(
+            target=worker_loop,
+            args=(root, "doomed"),
+            kwargs={"lease_ttl": 1.0, "drain": True, "max_jobs": 1,
+                    "throttle_s": 0.4},
+        )
+        victim.start()
+        _wait_for(
+            lambda: len(list(queue.session_dir(first).glob("coeff_*.pkl"))) >= 2,
+            what="the doomed worker to checkpoint two coefficients",
+        )
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+
+        # mid-flight status reflects the claim (a lease from a now-dead
+        # worker, one running job, the rest pending)
+        status = queue.status()
+        assert status["counts"]["running"] == 1
+        assert status["counts"]["pending"] == 2
+        assert status["leases"][first]["worker"] == "doomed"
+
+        time.sleep(1.1)  # lease TTL passes with no heartbeats
+        assert queue.requeue_expired() == [first]
+        survivors = list(queue.session_dir(first).glob("coeff_*.pkl"))
+        assert len(survivors) >= 2, "kill must not destroy finished checkpoints"
+        assert queue.get(first).state is JobState.PENDING
+
+        # a successor drains the whole queue, resuming the killed job
+        finished = worker_loop(root, "successor", lease_ttl=30.0, drain=True)
+        assert finished == 3
+
+        for name, job in jobs.items():
+            done = queue.get(job.job_id)
+            assert done.state is JobState.DONE, done.error
+            assert done.result["succeeded"] is True
+            direct = result_payload(run_campaign(specs[name]))
+            assert done.result["fingerprint"] == direct["fingerprint"], (
+                f"farm result for {name} is not bit-identical to the "
+                "direct full_attack run"
+            )
+        # the successor replayed the survivors instead of recomputing
+        resumed = queue.get(first)
+        assert resumed.attempts == 2
+        assert resumed.result["checkpoints_restored"] >= 2
+        # final status: all done, nothing leased, stores accounted
+        status = queue.status()
+        assert status["counts"]["done"] == 3
+        assert status["leases"] == {}
+        assert status["store_bytes"] > 0
+
+    def test_cancel_mid_job_then_resume_bit_identical(self, tmp_path):
+        root = str(tmp_path / "farm")
+        queue = FarmQueue(root)
+        spec = farm_spec("delta")
+        job = queue.submit(spec)
+        worker = multiprocessing.Process(
+            target=worker_loop,
+            args=(root, "w1"),
+            kwargs={"lease_ttl": 30.0, "drain": True, "throttle_s": 0.3},
+        )
+        worker.start()
+        _wait_for(
+            lambda: len(list(queue.session_dir(job.job_id).glob("coeff_*.pkl"))) >= 1,
+            what="the worker to checkpoint one coefficient",
+        )
+        queue.cancel(job.job_id)
+        worker.join(timeout=90)
+        assert worker.exitcode == 0
+        canceled = queue.get(job.job_id)
+        assert canceled.state is JobState.CANCELED
+        checkpoints = len(list(queue.session_dir(job.job_id).glob("coeff_*.pkl")))
+        assert checkpoints >= 1
+
+        queue.resume(job.job_id)
+        assert worker_loop(root, "w2", lease_ttl=30.0, drain=True) == 1
+        done = queue.get(job.job_id)
+        assert done.state is JobState.DONE
+        assert done.result["checkpoints_restored"] >= checkpoints
+        direct = result_payload(run_campaign(spec))
+        assert done.result["fingerprint"] == direct["fingerprint"]
+
+
+@pytest.fixture(scope="module")
+def drained_farm(tmp_path_factory):
+    """A 2-worker FarmService run to completion over two campaigns."""
+    root = str(tmp_path_factory.mktemp("farm-service"))
+    queue = FarmQueue(root)
+    a = queue.submit(farm_spec("service-a"))
+    b = queue.submit(farm_spec("service-b", target="samplerz"))
+    service = FarmService(root, limits=FarmLimits(lease_ttl=30.0), n_workers=2)
+    status = service.run_to_completion()
+    return root, queue, service, status, a, b
+
+
+class TestFarmService:
+    def test_service_drains_queue_with_worker_pool(self, drained_farm):
+        _, queue, _, status, a, b = drained_farm
+        assert status["counts"]["done"] == 2
+        assert status["counts"]["failed"] == 0
+        for job in (a, b):
+            done = queue.get(job.job_id)
+            assert done.state is JobState.DONE
+            assert done.result["succeeded"] is True
+
+    def test_health_snapshot_shape(self, drained_farm):
+        _, _, service, _, _, _ = drained_farm
+        health = service.health()
+        assert health["queue"]["counts"]["done"] == 2
+        assert health["limits"]["max_concurrent"] == 4
+        assert health["workers_alive"] == 0
+        assert "counters" in health["metrics"]
+
+    def test_store_quota_evicts_oldest_completed(self, drained_farm):
+        root, queue, _, _, a, b = drained_farm
+        used = queue.store_bytes()
+        assert used > 0
+        first_done = min(
+            queue.jobs(), key=lambda j: j.done_seq or 0
+        )
+        service = FarmService(
+            root,
+            limits=FarmLimits(max_store_bytes=used - 1, lease_ttl=30.0),
+            n_workers=0,
+        )
+        evicted = service.enforce_store_quota()
+        assert evicted == [first_done.job_id]
+        assert not queue.store_dir(first_done.job_id).exists()
+        assert queue.get(first_done.job_id).store_evicted is True
+        # the result and checkpoints survive the eviction
+        assert queue.get(first_done.job_id).result["succeeded"] is True
+        assert list(queue.session_dir(first_done.job_id).glob("coeff_*.pkl"))
+        # under quota now: the second store is untouched
+        other = b.job_id if first_done.job_id == a.job_id else a.job_id
+        assert queue.store_dir(other).exists()
+
+    def test_memory_pressure_degrades_to_serial(self, tmp_path, monkeypatch):
+        service = FarmService(str(tmp_path / "farm"), job_workers=4, n_workers=0)
+        monkeypatch.setattr(
+            "repro.farm.service.available_memory_bytes", lambda: 1
+        )
+        assert service._effective_job_workers() == 1
+        assert service.degraded is True
+        monkeypatch.setattr(
+            "repro.farm.service.available_memory_bytes", lambda: 1 << 40
+        )
+        assert service._effective_job_workers() == 4
+        assert service.degraded is False
+
+
+class TestHTTPControlPlane:
+    def _get(self, url):
+        with urllib.request.urlopen(url) as resp:
+            return json.loads(resp.read())
+
+    def _post(self, url, payload=None):
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(url, data=data, method="POST")
+        with urllib.request.urlopen(req) as resp:
+            return json.loads(resp.read())
+
+    def test_http_round_trip(self, tmp_path):
+        root = str(tmp_path / "farm")
+        FarmQueue(root)  # initialize the layout
+        server = serve_http(root)
+        host, port = server.server_address[0], server.server_address[1]
+        base = f"http://{host}:{port}"
+        try:
+            job = self._post(base + "/submit", farm_spec("http").to_jsonable())
+            assert job["state"] == "pending"
+            job_id = job["job_id"]
+
+            status = self._get(base + "/status")
+            assert status["counts"]["pending"] == 1
+            assert self._get(base + "/jobs")[0]["job_id"] == job_id
+            assert self._get(f"{base}/jobs/{job_id}")["job_id"] == job_id
+
+            assert self._post(f"{base}/jobs/{job_id}/cancel")["state"] == "canceled"
+            assert self._post(f"{base}/jobs/{job_id}/resume")["state"] == "pending"
+
+            # journal streaming with offset paging: a second poll from the
+            # returned offset sees only what happened since
+            page = self._get(base + "/journal")
+            assert [e["event"] for e in page["events"]] == [
+                "submitted", "cancel_requested", "resumed",
+            ]
+            again = self._get(f"{base}/journal?offset={page['offset']}")
+            assert again["events"] == []
+
+            health = self._get(base + "/health")
+            assert "queue" in health and "metrics" in health
+
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(f"{base}/jobs/no-such-job")
+            assert err.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._post(f"{base}/jobs/{job_id}/resume")  # pending: refused
+            assert err.value.code == 409
+        finally:
+            server.shutdown()

@@ -154,3 +154,44 @@ class TestStoreDrivenAttack:
         rec_disk = recover_coefficient(store.capture(4), cfg)
         assert rec_live.pattern == rec_disk.pattern
         assert rec_live.correct == rec_disk.correct
+
+
+class TestBytesWrittenAccounting:
+    """store.bytes_written must reflect the stored arrays' real nbytes,
+    not a hard-coded 4-bytes-per-element float32 assumption."""
+
+    def test_bytes_written_matches_stored_nbytes(self, campaign, tmp_path):
+        from repro.obs import metrics
+
+        with metrics.scoped_registry() as reg:
+            store = campaign.materialize(str(tmp_path / "acct"))
+        expected = 0
+        for j in range(store.n_targets):
+            ts = campaign.capture(j)
+            expected += sum(
+                int(seg.known_y.nbytes) + int(seg.traces.nbytes)
+                for seg in ts.segments
+            )
+        assert reg.snapshot().counters["store.bytes_written"] == expected
+
+    def test_non_float32_shard_counted_and_preserved(self, campaign, tmp_path):
+        from repro.leakage.store import _write_shard
+        from repro.obs import metrics
+
+        ts = campaign.capture(0)
+        for seg in ts.segments:
+            # a hypothetical wide surface: float64 traces (assigned after
+            # construction; __post_init__ normalizes only at build time)
+            seg.traces = seg.traces.astype(np.float64)
+        with metrics.scoped_registry() as reg:
+            _write_shard(str(tmp_path / "wide"), ts)
+        expected = sum(
+            int(seg.known_y.nbytes) + int(seg.traces.nbytes)
+            for seg in ts.segments
+        )
+        assert reg.snapshot().counters["store.bytes_written"] == expected
+        stored = np.load(
+            tmp_path / "wide" / "target_00000"
+            / f"{ts.segments[0].name}.traces.npy"
+        )
+        assert stored.dtype == np.float64  # dtype survives the round trip
