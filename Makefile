@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint sast sast-oracle sast-contract typecheck bench bench-smoke demo figures smoke farm-smoke verify clean
+.PHONY: install test lint sast sast-oracle sast-contract sast-variants typecheck bench bench-smoke demo figures smoke farm-smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,11 +39,21 @@ sast-contract:
 	$(PYTHON) -m repro.sast verify src/repro --contract leakage-contract.json \
 		--write-contract
 
+# Dynamic CT007 gate: replay each countermeasure variant's workload with
+# every module line watched and check the digests against the variant's
+# recorded claim (masking: key-independent except the clear boundary;
+# constant-time: values stay key-dependent). Needs numpy for keygen.
+sast-variants:
+	$(PYTHON) -m repro.sast verify src/repro --contract leakage-contract.json \
+		--variant masked-mul --oracle
+	$(PYTHON) -m repro.sast verify src/repro --contract leakage-contract.json \
+		--variant ct-mul --oracle
+
 # Mypy is not vendored; like lint, the gate is enforced in CI and runs
 # locally whenever the tool happens to be installed.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy --strict src/repro/utils src/repro/obs src/repro/sast src/repro/leakage src/repro/farm; \
+		mypy --strict src/repro/utils src/repro/obs src/repro/sast src/repro/leakage src/repro/farm src/repro/countermeasures; \
 	else \
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi

@@ -12,7 +12,12 @@ of ``src/repro`` (the real tree is never touched):
 * **warm_core_edit** — a module inside the big taint component edited;
   the cache correctly cascades through the component (taint is
   interprocedural in both directions, so this is the sound floor, not
-  a cache bug).
+  a cache bug);
+* **variant_static** — the CT007 countermeasure-variant checks run
+  against the real contract's ``variants`` section on top of the cold
+  findings (the leak-class lattice and masking taint domain already
+  ran inside the analysis phases — this isolates the gate layered on
+  top of them).
 
 The emitted ``BENCH_sast.json`` records exactly which modules each
 edit re-analyzed, so the incremental claim is auditable from the
@@ -27,7 +32,9 @@ import time
 from _emit import emit_bench
 
 from repro.sast.cache import run_with_cache
+from repro.sast.contract import infer_leak_class, load_contract
 from repro.sast.project import load_project
+from repro.sast.variants import check_variants_static, normalize_line
 
 _LEAF_EDIT = os.path.join("analysis", "key_rank.py")
 _CORE_EDIT = os.path.join("fpr", "emu.py")
@@ -56,6 +63,28 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
         with open(os.path.join(root, rel), "a") as fh:
             fh.write("\n# bench: cache invalidation probe\n")
 
+    contract = load_contract(
+        os.path.join(os.path.dirname(__file__), "..", "leakage-contract.json")
+    )
+    variant_out = {}
+
+    def phase_variants(name):
+        findings, _ = results["cold"]
+
+        def classify(f):
+            if f.leak_class:
+                return f.leak_class
+            rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+            return infer_leak_class(
+                f.rule, rel, f.function or "", normalize_line(f.source_line or "")
+            )
+
+        t0 = time.perf_counter()
+        variant_out[name] = check_variants_static(
+            findings, contract.variants, root, classify
+        )
+        timings[name] = time.perf_counter() - t0
+
     def run_all():
         phase("cold")
         phase("warm_noop")
@@ -63,6 +92,7 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
         phase("warm_leaf_edit")
         touch(_CORE_EDIT)
         phase("warm_core_edit")
+        phase_variants("variant_static")
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -85,6 +115,8 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
     # trailing comments change no findings
     assert leaf_findings == cold_findings
     assert core_findings == cold_findings
+    # the shipped variants satisfy their contract claims
+    assert variant_out["variant_static"] == []
 
     emit_bench(
         "sast",
@@ -95,6 +127,7 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
             "core_edit": _CORE_EDIT.replace(os.sep, "/"),
             "core_reanalyzed": len(core_stats.reanalyzed),
             "core_reused": len(core_stats.reused),
+            "variants": sorted(contract.variants),
         },
         wall_s=timings["cold"],
         per_stage_s={
@@ -102,5 +135,6 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
             "warm_noop": timings["warm_noop"],
             "warm_leaf_edit": timings["warm_leaf_edit"],
             "warm_core_edit": timings["warm_core_edit"],
+            "variant_static": timings["variant_static"],
         },
     )

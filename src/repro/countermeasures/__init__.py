@@ -5,20 +5,45 @@ masking." Neither existed for FALCON at publication time; this package
 models both on the attacked multiplication so their effect on the attack
 can be quantified (benchmarks/bench_countermeasures.py):
 
-* :mod:`repro.countermeasures.masking` — ideal first-order masking:
-  every mantissa-datapath intermediate is blinded by a fresh uniform
-  mask per execution, so no single sample's expectation depends on the
-  secret. First-order CPA collapses to noise.
+* :mod:`repro.countermeasures.masking` — ideal first-order masking as a
+  *trace-level model*: every mantissa-datapath intermediate is blinded
+  by a fresh uniform mask per execution, so no single sample's
+  expectation depends on the secret. First-order CPA collapses to noise.
 * :mod:`repro.countermeasures.shuffling` — hiding by operation
   shuffling: the four partial products (and their accumulations) execute
   in a random order, spreading each intermediate's leakage over several
   time samples.
 
-Both are exposed as ``value_transform`` hooks for
+Trace-level transforms are exposed as ``value_transform`` hooks for
 :class:`repro.leakage.capture.CaptureCampaign`.
+
+Two *code-level* variants reimplement ``fpr_mul`` itself and are
+verified against the leakage contract (``repro-sast verify --variant``,
+rule CT007; see ``docs/countermeasures.md``):
+
+* :mod:`repro.countermeasures.masked_mul` — first-order boolean-masked
+  multiplier: every register write holds a blinded share.
+* :mod:`repro.countermeasures.ct_mul` — branchless constant-time
+  multiplier under the ``# sast: constant-time`` strict dialect.
 """
 
+from repro.countermeasures.ct_mul import ct_fpr_mul
+from repro.countermeasures.masked_mul import (
+    MaskContext,
+    RandomMaskSource,
+    SimulationMaskSource,
+    masked_fpr_mul,
+)
 from repro.countermeasures.masking import MaskingTransform, capture_masked_shares
 from repro.countermeasures.shuffling import ShufflingTransform
 
-__all__ = ["MaskingTransform", "capture_masked_shares", "ShufflingTransform"]
+__all__ = [
+    "MaskContext",
+    "MaskingTransform",
+    "RandomMaskSource",
+    "ShufflingTransform",
+    "SimulationMaskSource",
+    "capture_masked_shares",
+    "ct_fpr_mul",
+    "masked_fpr_mul",
+]

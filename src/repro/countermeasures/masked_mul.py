@@ -1,0 +1,289 @@
+"""First-order Boolean-masked variant of ``fpr_mul`` (register-transfer model).
+
+The leakage model shared by the static pass and the dynamic oracle is a
+*register probe* model: an observation samples the named values a
+source line touches (the oracle digests exactly the locals named on a
+traced line; the taint pass reports the taint of named data flowing
+into sinks). Under that model a masked implementation must ensure that
+no *named* value is secret in the clear — every register holds either
+a share ``v XOR m`` or public data, and mask material never appears as
+a named local at all (it lives inside :class:`MaskContext`, whose
+default ``repr`` is address-based and therefore opaque to the oracle's
+value encoder).
+
+Clear values do exist transiently inside expression temporaries — the
+analogue of combinational logic between registers. As in the standard
+glitch-free d-probing argument for hardware masking, combinational
+intermediates are assumed to leak only through the registers they are
+latched into; the engine mirrors this by tracking kinds/masks on named
+flows and treating expression temporaries as below its granularity.
+This is the documented soundness boundary of the model (see
+``docs/countermeasures.md``), not an accident.
+
+Each register write follows one idiom::
+
+    reg_s = CLEAR_EXPR ^ ctx.fresh_mask("reg", CLEAR_EXPR, width)
+
+``fresh_mask`` is the statically recognized mask source: the taint
+engine sees ``secret ^ mask`` and degrades the result to a ``share``,
+which the SF001–SF004 sinks ignore. ``CLEAR_EXPR`` is spelled twice —
+once for the datapath and once so the mask source can couple to the
+value — because Python has no unnamed registers; both evaluations are
+transient and the source text stays branch-free.
+
+Two mask sources implement the two sides of the simulatability
+argument:
+
+* :class:`RandomMaskSource` — independent uniform masks, the real
+  countermeasure. Every share is uniform and independent of the
+  secret, but a *replay* oracle cannot certify that from two traces.
+* :class:`SimulationMaskSource` — draws ``m := v XOR R`` with ``R``
+  from a fixed key-independent stream, so every share equals ``R``.
+  This is a valid coupling of the same per-execution distribution
+  (``v XOR R`` is uniform when ``R`` is), chosen so the key-equality
+  oracle can observe what the distribution argument proves: under it,
+  every compute-region line digests identically across secret keys and
+  the oracle returns REFUTED. The residual lines — the zero test, the
+  unpack/blinding boundary, and the coupling internals that touch the
+  clear value — stay CONFIRMED and are recorded in the contract's
+  variant section.
+"""
+
+from __future__ import annotations
+
+from repro.fpr.emu import BIAS, MANT_BITS, SIGN_BIT, decompose, is_zero
+from repro.utils.rng import ChaCha20Prng
+
+__all__ = [
+    "MaskContext",
+    "RandomMaskSource",
+    "SimulationMaskSource",
+    "fresh_mask",
+    "masked_fpr_mul",
+]
+
+_EXP_MASK = (1 << 11) - 1
+_MANT_MASK = (1 << MANT_BITS) - 1
+_IMPLICIT = 1 << MANT_BITS
+_INF = 0x7FF << MANT_BITS
+
+
+def fresh_mask(width: int, rng: ChaCha20Prng) -> int:
+    """Uniform ``width``-bit mask word — the module's randomness primitive."""
+    return int.from_bytes(rng.randombytes((width + 7) // 8), "little") & (
+        (1 << width) - 1
+    )
+
+
+class RandomMaskSource:
+    """Independent uniform masks: the deployed countermeasure."""
+
+    def __init__(self, seed: int = 2718) -> None:
+        self._rng = ChaCha20Prng(seed)
+
+    def fresh_mask(self, value: int, width: int) -> int:
+        return fresh_mask(width, self._rng)
+
+
+class SimulationMaskSource:
+    """Coupled masks ``m = value XOR R`` with key-independent ``R``.
+
+    The mask distribution is unchanged (uniform), but under this
+    coupling every share ``value XOR m`` equals the stream value ``R``,
+    so a differential-replay oracle observes the key-independence that
+    holds in distribution for :class:`RandomMaskSource`.
+    """
+
+    def __init__(self, seed: int = 2718) -> None:
+        self._rng = ChaCha20Prng(seed)
+
+    def fresh_mask(self, value: int, width: int) -> int:
+        return value ^ fresh_mask(width, self._rng)
+
+
+class MaskContext:
+    """Mask register file: holds every live mask, opaque to the oracle.
+
+    Deliberately not a dataclass and without a custom ``repr``: the
+    default address-based repr encodes as ``<MaskContext>`` under the
+    oracle, so naming the context on a line never leaks mask material.
+    """
+
+    def __init__(self, source: RandomMaskSource | SimulationMaskSource) -> None:
+        self._source = source
+        self._masks: dict[str, int] = {}
+
+    def fresh_mask(self, label: str, value: int, width: int) -> int:
+        mask = self._source.fresh_mask(value, width)
+        self._masks[label] = mask
+        return mask
+
+    def mask_of(self, label: str) -> int:
+        return self._masks[label]
+
+
+def masked_fpr_mul(
+    x: int, y: int, source: RandomMaskSource | SimulationMaskSource | None = None
+) -> int:
+    """Bit-exact ``fpr_mul`` with every named intermediate masked.
+
+    The rounding algorithm is the branchless select chain of
+    :func:`repro.countermeasures.ct_mul.ct_fpr_mul`; here each step is
+    additionally latched into a Boolean-masked register. The clear
+    input boundary (zero test, field unpack, initial blinding) is the
+    accepted residual leakage recorded in the leakage contract.
+    """
+    if is_zero(x) or is_zero(y):
+        # residual: the zero test reads the clear inputs (SF001)
+        return (x ^ y) & SIGN_BIT
+    ctx = MaskContext(source if source is not None else RandomMaskSource())
+    # -- blinding boundary: clear fields exist here and only here --------
+    sx, bex, fx = decompose(x)
+    sy, bey, fy = decompose(y)
+    s_s = (sx ^ sy) ^ ctx.fresh_mask("s", sx ^ sy, 1)
+    mx_s = (_IMPLICIT | fx) ^ ctx.fresh_mask("mx", _IMPLICIT | fx, 53)
+    my_s = (_IMPLICIT | fy) ^ ctx.fresh_mask("my", _IMPLICIT | fy, 53)
+    e_s = (bex + bey) ^ ctx.fresh_mask("e", bex + bey, 12)
+    # -- masked compute region: named values are shares from here on -----
+    sig_s = (
+        (mx_s ^ ctx.mask_of("mx")) * (my_s ^ ctx.mask_of("my"))
+    ) ^ ctx.fresh_mask(
+        "sig", (mx_s ^ ctx.mask_of("mx")) * (my_s ^ ctx.mask_of("my")), 106
+    )
+    b_s = (
+        ((sig_s ^ ctx.mask_of("sig")) >> 105) & 1
+    ) ^ ctx.fresh_mask("b", ((sig_s ^ ctx.mask_of("sig")) >> 105) & 1, 1)
+    keep0_s = (
+        ((sig_s ^ ctx.mask_of("sig")) >> 53) * (b_s ^ ctx.mask_of("b"))
+        + ((sig_s ^ ctx.mask_of("sig")) >> 52) * (1 - (b_s ^ ctx.mask_of("b")))
+    ) ^ ctx.fresh_mask(
+        "keep0",
+        ((sig_s ^ ctx.mask_of("sig")) >> 53) * (b_s ^ ctx.mask_of("b"))
+        + ((sig_s ^ ctx.mask_of("sig")) >> 52) * (1 - (b_s ^ ctx.mask_of("b"))),
+        54,
+    )
+    rem_s = (
+        ((sig_s ^ ctx.mask_of("sig")) & ((1 << 53) - 1)) * (b_s ^ ctx.mask_of("b"))
+        + ((sig_s ^ ctx.mask_of("sig")) & ((1 << 52) - 1))
+        * (1 - (b_s ^ ctx.mask_of("b")))
+    ) ^ ctx.fresh_mask(
+        "rem",
+        ((sig_s ^ ctx.mask_of("sig")) & ((1 << 53) - 1)) * (b_s ^ ctx.mask_of("b"))
+        + ((sig_s ^ ctx.mask_of("sig")) & ((1 << 52) - 1))
+        * (1 - (b_s ^ ctx.mask_of("b"))),
+        53,
+    )
+    half_s = (
+        (1 << 51) * (1 + (b_s ^ ctx.mask_of("b")))
+    ) ^ ctx.fresh_mask("half", (1 << 51) * (1 + (b_s ^ ctx.mask_of("b"))), 53)
+    # dz = half - rem carries both rounding comparisons: its sign bit is
+    # the strict rem > half test and its zeroness is the tie test (a
+    # subtraction register rather than rem XOR half: XORing two shares
+    # with shared mask history is exactly what SF005 rejects)
+    dz_s = (
+        (half_s ^ ctx.mask_of("half")) - (rem_s ^ ctx.mask_of("rem"))
+    ) ^ ctx.fresh_mask(
+        "dz", (half_s ^ ctx.mask_of("half")) - (rem_s ^ ctx.mask_of("rem")), 54
+    )
+    gt_s = (
+        ((dz_s ^ ctx.mask_of("dz")) >> 63) & 1
+    ) ^ ctx.fresh_mask("gt", ((dz_s ^ ctx.mask_of("dz")) >> 63) & 1, 1)
+    eq_s = (
+        1
+        - (
+            (
+                (
+                    (dz_s ^ ctx.mask_of("dz"))
+                    | -(dz_s ^ ctx.mask_of("dz"))
+                )
+                >> 63
+            )
+            & 1
+        )
+    ) ^ ctx.fresh_mask(
+        "eq",
+        1 - ((((dz_s ^ ctx.mask_of("dz")) | -(dz_s ^ ctx.mask_of("dz"))) >> 63) & 1),
+        1,
+    )
+    up_s = (
+        (gt_s ^ ctx.mask_of("gt"))
+        | (
+            (eq_s ^ ctx.mask_of("eq"))
+            & (keep0_s ^ ctx.mask_of("keep0"))
+            & 1
+        )
+    ) ^ ctx.fresh_mask(
+        "up",
+        (gt_s ^ ctx.mask_of("gt"))
+        | ((eq_s ^ ctx.mask_of("eq")) & (keep0_s ^ ctx.mask_of("keep0")) & 1),
+        1,
+    )
+    k1_s = (
+        (keep0_s ^ ctx.mask_of("keep0")) + (up_s ^ ctx.mask_of("up"))
+    ) ^ ctx.fresh_mask(
+        "k1", (keep0_s ^ ctx.mask_of("keep0")) + (up_s ^ ctx.mask_of("up")), 54
+    )
+    c_s = (
+        (k1_s ^ ctx.mask_of("k1")) >> 53
+    ) ^ ctx.fresh_mask("c", (k1_s ^ ctx.mask_of("k1")) >> 53, 1)
+    keep_s = (
+        ((k1_s ^ ctx.mask_of("k1")) >> 1) * (c_s ^ ctx.mask_of("c"))
+        + (k1_s ^ ctx.mask_of("k1")) * (1 - (c_s ^ ctx.mask_of("c")))
+    ) ^ ctx.fresh_mask(
+        "keep",
+        ((k1_s ^ ctx.mask_of("k1")) >> 1) * (c_s ^ ctx.mask_of("c"))
+        + (k1_s ^ ctx.mask_of("k1")) * (1 - (c_s ^ ctx.mask_of("c"))),
+        53,
+    )
+    # biased exponent = bex + bey + drop - BIAS - MANT_BITS with
+    # drop = 52 + b + c; may be negative (underflow), handled by selects
+    biased_s = (
+        (e_s ^ ctx.mask_of("e"))
+        + (b_s ^ ctx.mask_of("b"))
+        + (c_s ^ ctx.mask_of("c"))
+        - BIAS
+    ) ^ ctx.fresh_mask(
+        "biased",
+        (e_s ^ ctx.mask_of("e"))
+        + (b_s ^ ctx.mask_of("b"))
+        + (c_s ^ ctx.mask_of("c"))
+        - BIAS,
+        13,
+    )
+    ovf_s = (
+        ((_EXP_MASK - 1 - (biased_s ^ ctx.mask_of("biased"))) >> 63) & 1
+    ) ^ ctx.fresh_mask(
+        "ovf", ((_EXP_MASK - 1 - (biased_s ^ ctx.mask_of("biased"))) >> 63) & 1, 1
+    )
+    unf_s = (
+        (((biased_s ^ ctx.mask_of("biased")) - 1) >> 63) & 1
+    ) ^ ctx.fresh_mask(
+        "unf", (((biased_s ^ ctx.mask_of("biased")) - 1) >> 63) & 1, 1
+    )
+    patn_s = (
+        ((s_s ^ ctx.mask_of("s")) << 63)
+        | (((biased_s ^ ctx.mask_of("biased")) & _EXP_MASK) << MANT_BITS)
+        | ((keep_s ^ ctx.mask_of("keep")) & _MANT_MASK)
+    ) ^ ctx.fresh_mask(
+        "patn",
+        ((s_s ^ ctx.mask_of("s")) << 63)
+        | (((biased_s ^ ctx.mask_of("biased")) & _EXP_MASK) << MANT_BITS)
+        | ((keep_s ^ ctx.mask_of("keep")) & _MANT_MASK),
+        64,
+    )
+    pat_s = (
+        (patn_s ^ ctx.mask_of("patn"))
+        * (1 - (ovf_s ^ ctx.mask_of("ovf")) - (unf_s ^ ctx.mask_of("unf")))
+        + (((s_s ^ ctx.mask_of("s")) << 63) | _INF) * (ovf_s ^ ctx.mask_of("ovf"))
+        + ((s_s ^ ctx.mask_of("s")) << 63) * (unf_s ^ ctx.mask_of("unf"))
+    ) ^ ctx.fresh_mask(
+        "pat",
+        (patn_s ^ ctx.mask_of("patn"))
+        * (1 - (ovf_s ^ ctx.mask_of("ovf")) - (unf_s ^ ctx.mask_of("unf")))
+        + (((s_s ^ ctx.mask_of("s")) << 63) | _INF) * (ovf_s ^ ctx.mask_of("ovf"))
+        + ((s_s ^ ctx.mask_of("s")) << 63) * (unf_s ^ ctx.mask_of("unf")),
+        64,
+    )
+    # the unmasked result is returned, never named: the transient
+    # recombination is the audited exit from the masked domain
+    return pat_s ^ ctx.mask_of("pat")

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import permutations
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.fpr.trace import MUL_STEP_LABELS
 
@@ -30,8 +32,8 @@ class ShufflingTransform:
 
     group: tuple[str, ...] = DEFAULT_SHUFFLE_GROUP
 
-    _cols: np.ndarray = field(default=None, init=False, repr=False)
-    _perms: np.ndarray = field(default=None, init=False, repr=False)
+    _cols: NDArray[Any] = field(init=False, repr=False)
+    _perms: NDArray[Any] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         for label in self.group:
@@ -40,7 +42,9 @@ class ShufflingTransform:
         self._cols = np.array([MUL_STEP_LABELS.index(lab) for lab in self.group])
         self._perms = np.array(list(permutations(range(len(self.group)))))
 
-    def __call__(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def __call__(
+        self, values: NDArray[np.uint64], rng: np.random.Generator
+    ) -> NDArray[np.uint64]:
         out = values.copy()
         d = out.shape[0]
         pick = rng.integers(0, len(self._perms), size=d)

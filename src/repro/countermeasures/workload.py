@@ -1,0 +1,94 @@
+"""Secret-driven workloads for the countermeasure variants.
+
+These drivers exist for the verification loop, not for the attack: they
+pull key material through :func:`masked_fpr_mul` and
+:func:`ct_fpr_mul` so that
+
+* the static pass sees real secret taint entering the variants (the
+  residual findings recorded in the contract's variant sections are
+  reachable, not vacuous), and
+* the dynamic oracle can replay the variants per key seed and compare
+  line digests (``repro-sast verify --variant <name> --oracle``).
+
+This module deliberately lives outside the ``# sast: constant-time``
+dialect — the drivers loop over secret-derived data, which the strict
+dialect forbids (SF006) inside the countermeasure implementations.
+
+Patterns are built from raw bit operations rather than through
+``repro.fpr.emu`` so the drivers add no emulator call sites of their
+own. The biased exponent is pinned into ``[1023, 1038]``, which keeps
+every key-derived pattern nonzero: the zero patterns that exercise the
+clear zero branch sit at *fixed positions* in the schedule, so the
+number and order of ``fresh_mask`` draws is identical for every key and
+the :class:`~repro.countermeasures.masked_mul.SimulationMaskSource`
+stream stays aligned across oracle seeds.
+"""
+
+from __future__ import annotations
+
+from repro.countermeasures.ct_mul import ct_fpr_mul
+from repro.countermeasures.masked_mul import SimulationMaskSource, masked_fpr_mul
+from repro.falcon.keygen import SecretKey
+
+__all__ = [
+    "run_ct_workload",
+    "run_masked_workload",
+    "variant_patterns",
+]
+
+_MANT_MASK = (1 << 52) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _pattern(c: int) -> int:
+    """Nonzero fpr pattern whose sign/exponent/mantissa all depend on ``c``."""
+    return (
+        ((c & 1) << 63)
+        | ((1023 + (c & 15)) << 52)
+        | ((c * _GOLDEN) & _MANT_MASK)
+    )
+
+
+def variant_patterns(sk: SecretKey) -> list[int]:
+    """Key-derived operand schedule, with zero traffic at fixed slots."""
+    pats = [_pattern(c) for c in sk.f[:8]]
+    pats += [_pattern(c) for c in sk.g[:8]]
+    # fixed-position zeros: the clear zero branch runs for every key at
+    # the same schedule slots, keeping the mask stream key-independent
+    return pats + [0, 1 << 63]
+
+
+def _pairs(pats: list[int]) -> list[tuple[int, int]]:
+    return list(zip(pats, pats[1:] + pats[:1]))
+
+
+def run_masked_workload(seed: str, n: int) -> None:
+    """Replay ``masked_fpr_mul`` over one key's operand schedule.
+
+    Uses the simulation coupling so the oracle observes the
+    key-independence of the shares (see ``masked_mul``); the residual
+    clear-boundary lines are the only ones expected to stay CONFIRMED.
+    """
+    from repro.falcon.keygen import keygen
+    from repro.falcon.params import FalconParams
+
+    params = FalconParams.get(n)
+    sk, _pk = keygen(params, seed=f"oracle-key-{seed}")
+    source = SimulationMaskSource()
+    for x, y in _pairs(variant_patterns(sk)):
+        masked_fpr_mul(x, y, source)
+
+
+def run_ct_workload(seed: str, n: int) -> None:
+    """Replay ``ct_fpr_mul`` over one key's operand schedule.
+
+    Every line is expected to stay CONFIRMED: straight-line control flow
+    does not make the *values* key-independent (the GALACTICS caveat).
+    """
+    from repro.falcon.keygen import keygen
+    from repro.falcon.params import FalconParams
+
+    params = FalconParams.get(n)
+    sk, _pk = keygen(params, seed=f"oracle-key-{seed}")
+    for x, y in _pairs(variant_patterns(sk)):
+        ct_fpr_mul(x, y)

@@ -3,7 +3,7 @@
 ``repro.sast`` is a zero-dependency (stdlib ``ast`` + ``tokenize``)
 analyzer with three passes over the package source:
 
-* secret-flow taint (:mod:`repro.sast.taint`, rules SF001-SF004);
+* secret-flow taint (:mod:`repro.sast.taint`, rules SF001-SF006);
 * determinism lint (:mod:`repro.sast.determinism`, DT001-DT003);
 * concurrency/durability lint (:mod:`repro.sast.concurrency`,
   CC001-CC002).

@@ -19,6 +19,13 @@ Three kinds of inline annotation steer the analyzer (full grammar in
     itself a finding (AN001). An optional rule filter restricts the
     suppression: ``# sast: declassify(rules=SF001|DT002, reason=...)``.
 
+``# sast: constant-time``
+    Module-level pragma: the whole module opts into the stricter
+    constant-time dialect. Interval-based discharging of SF001–SF003 is
+    disabled and secret-bounded loops fire SF006 (see
+    ``docs/static-analysis.md``). Takes no arguments; conventionally
+    placed on its own line near the top of the module.
+
 Annotations are extracted with :mod:`tokenize` so they are recognized
 only in real comments, never inside string literals.
 """
@@ -35,7 +42,7 @@ from repro.sast.findings import RULES, Finding
 __all__ = ["Annotation", "extract_annotations"]
 
 _PREFIX = re.compile(r"#\s*sast:")
-_HEAD = re.compile(r"#\s*sast:\s*(\w+)\s*(?:\((.*)\)\s*)?$")
+_HEAD = re.compile(r"#\s*sast:\s*([\w-]+)\s*(?:\((.*)\)\s*)?$")
 _RULES_ARG = re.compile(r"^\s*rules\s*=\s*([A-Z0-9|\s]+?)\s*,\s*")
 _REASON_ARG = re.compile(r"^\s*reason\s*=\s*(.*\S)\s*$")
 
@@ -44,7 +51,7 @@ _REASON_ARG = re.compile(r"^\s*reason\s*=\s*(.*\S)\s*$")
 class Annotation:
     """One parsed ``# sast:`` comment."""
 
-    kind: str                      # "source" | "sink" | "declassify"
+    kind: str        # "source" | "sink" | "declassify" | "constant-time"
     line: int                      # 1-based line the comment sits on
     reason: str = ""
     rules: tuple[str, ...] = ()    # empty = applies to every rule
@@ -92,7 +99,7 @@ def extract_annotations(
             err(line, col, f"unparseable sast annotation: {tok.string.strip()!r}")
             continue
         kind, args = m.group(1), m.group(2)
-        if kind not in ("source", "sink", "declassify"):
+        if kind not in ("source", "sink", "declassify", "constant-time"):
             err(line, col, f"unknown sast annotation kind {kind!r}")
             continue
         rules: tuple[str, ...] = ()

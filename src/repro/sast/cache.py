@@ -210,6 +210,7 @@ def _encode_finding(f: Finding, root: str) -> dict[str, Any]:
         "taint_chain": list(f.taint_chain),
         "function": f.function,
         "source_line": f.source_line,
+        "leak_class": f.leak_class,
     }
 
 
@@ -223,6 +224,7 @@ def _decode_finding(raw: dict[str, Any], root: str) -> Finding:
         taint_chain=tuple(raw.get("taint_chain", ())),
         function=str(raw.get("function", "")),
         source_line=str(raw.get("source_line", "")),
+        leak_class=str(raw.get("leak_class", "")),
     )
 
 

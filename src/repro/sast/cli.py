@@ -146,6 +146,13 @@ def _build_verify_parser() -> argparse.ArgumentParser:
         "carrying over reviewed classes/reasons by fingerprint",
     )
     parser.add_argument(
+        "--variant", default=None, metavar="NAME",
+        help="focus one countermeasure variant from the contract's 'variants' "
+        "section: run the static gate, then (with --oracle) replay the "
+        "variant's workload with every line of its module watched and "
+        "enforce the recorded dynamic claims (CT007)",
+    )
+    parser.add_argument(
         "--seeds", default=None, metavar="S1,S2",
         help="comma-separated oracle key seeds (default: three fixed seeds)",
     )
@@ -191,6 +198,13 @@ def _run_verify(argv: list[str]) -> int:
         return EXIT_ERROR
 
     findings = _collect_maybe_cached(project, args.cache)
+
+    if args.variant is not None:
+        if args.write_contract:
+            print("repro-sast: error: --variant cannot be combined with "
+                  "--write-contract", file=sys.stderr)
+            return EXIT_ERROR
+        return _run_variant(args, project, findings)
 
     report = None
     if args.oracle or args.write_contract:
@@ -246,6 +260,11 @@ def _run_verify(argv: list[str]) -> int:
     violations = verify_contract(
         findings, contract, project.root, contract_path=args.contract, report=report,
     )
+    mode = "fresh oracle verdicts" if report is not None else "recorded verdicts"
+    return _finish_verify(args, project, contract, findings, violations, mode)
+
+
+def _finish_verify(args, project, contract, findings, violations, mode) -> int:
     if args.format == "sarif":
         from repro.sast.baseline import assign_occurrences, fingerprint
         from repro.sast.sarif import render_sarif
@@ -269,13 +288,73 @@ def _run_verify(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return EXIT_FINDINGS
-    mode = "fresh oracle verdicts" if report is not None else "recorded verdicts"
     print(
         f"repro-sast: contract holds ({len(contract.entries)} entries, "
         f"{len(contract.refuted)} refuted; {mode})",
         file=sys.stdout if args.format == "text" else sys.stderr,
     )
     return EXIT_CLEAN
+
+
+def _run_variant(args, project, findings) -> int:
+    """``verify --variant NAME``: one countermeasure's claims, end to end.
+
+    Static CT007 checks already run inside every ``verify_contract``
+    call; this mode additionally replays the variant's own workload
+    under the oracle (``--oracle``) with *every* line of the variant
+    module watched, enforcing the contract's recorded dynamic claims.
+    """
+    from repro.sast.contract import load_contract, verify_contract
+    from repro.sast.oracle import OracleError, run_oracle
+    from repro.sast.variants import check_variant_dynamic, variant_module_sites
+
+    try:
+        contract = load_contract(args.contract)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"repro-sast: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    spec = contract.variants.get(args.variant)
+    if spec is None:
+        known = ", ".join(sorted(contract.variants)) or "none"
+        print(
+            f"repro-sast: error: unknown variant {args.variant!r} "
+            f"(contract defines: {known})",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    violations = verify_contract(
+        findings, contract, project.root, contract_path=args.contract,
+    )
+    mode = f"variant {spec.name!r}, recorded verdicts"
+    if args.oracle:
+        oracle_kwargs: dict[str, object] = {}
+        if args.seeds:
+            oracle_kwargs["seeds"] = [
+                s.strip() for s in args.seeds.split(",") if s.strip()
+            ]
+        if args.n is not None:
+            oracle_kwargs["n"] = args.n
+        try:
+            report = run_oracle(
+                project.root,
+                package=project.package,
+                sites=variant_module_sites(project.root, spec),
+                workload=spec.workload(),
+                **oracle_kwargs,  # type: ignore[arg-type]
+            )
+        except OracleError as exc:
+            print(f"repro-sast: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        violations.extend(check_variant_dynamic(spec, report, project.root))
+        executed = [r for r in report.sites.values() if r.hits > 0]
+        confirmed = sum(1 for r in executed if r.status == "CONFIRMED")
+        mode = (
+            f"variant {spec.name!r}, {spec.dynamic_mode}: {len(executed)} lines "
+            f"executed, {confirmed} key-dependent, "
+            f"{len(executed) - confirmed} key-independent"
+        )
+    return _finish_verify(args, project, contract, findings, violations, mode)
 
 
 def main(argv: list[str] | None = None) -> int:

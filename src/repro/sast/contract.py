@@ -14,8 +14,11 @@ finding must carry:
   ``refuted`` section records findings whose operand streams were
   proven secret-independent at runtime.
 
-``repro-sast verify`` enforces the contract (rules CT001–CT005): new
-findings must be triaged in, stale entries must be removed, and —
+``repro-sast verify`` enforces the contract (rules CT001–CT007): new
+findings must be triaged in, stale entries must be removed, recorded
+leak classes must agree with the dataflow-inferred class when the
+taint engine produced one (CT006), countermeasure variants must honor
+their recorded ``classes_absent``/``residual`` claims (CT007), and —
 when the dynamic oracle runs — recorded verdicts must still hold and
 declassify scopes inside the declared coverage must still execute.
 Entries are matched by the same drift-tolerant fingerprint the
@@ -32,6 +35,13 @@ from typing import Any, Iterable, Mapping
 from repro.sast.baseline import assign_occurrences, fingerprint
 from repro.sast.findings import Finding
 from repro.sast.oracle import CONFIRMED, LIVE, REFUTED, UNREACHED, OracleReport
+from repro.sast.variants import (
+    VariantSpec,
+    check_variants_static,
+    normalize_line,
+    parse_variants,
+    render_variants,
+)
 
 __all__ = [
     "LEAK_CLASSES",
@@ -73,6 +83,10 @@ class ContractEntry:
     leak_class: str
     reason: str
     verdict: str
+    #: how the leak class was derived: "dataflow" entries are machine-
+    #: checked against the taint component lattice on every verify
+    #: (CT006); "heuristic" entries came from the keyword fallback.
+    leak_class_source: str = "heuristic"
 
     @property
     def fingerprint(self) -> Fingerprint:
@@ -91,6 +105,7 @@ class Contract:
     refuted: list[ContractEntry] = field(default_factory=list)
     coverage_prefixes: tuple[str, ...] = DEFAULT_COVERAGE
     oracle_meta: dict[str, Any] = field(default_factory=dict)
+    variants: dict[str, VariantSpec] = field(default_factory=dict)
 
     def entry_map(self) -> dict[Fingerprint, ContractEntry]:
         return {e.fingerprint: e for e in self.entries}
@@ -117,6 +132,7 @@ def _parse_entry(raw: Any, path: str, section: str) -> ContractEntry:
         leak_class=str(raw.get("leak_class", "")),
         reason=str(raw.get("reason", "")),
         verdict=str(raw.get("verdict", "")),
+        leak_class_source=str(raw.get("leak_class_source", "heuristic")),
     )
     if not entry.rule or not entry.path:
         raise ValueError(f"contract {path!r}: entry missing rule/path in {section!r}")
@@ -127,6 +143,11 @@ def _parse_entry(raw: Any, path: str, section: str) -> ContractEntry:
         )
     if not entry.reason.strip():
         raise ValueError(f"contract {path!r}: {entry.describe()} has no reason")
+    if entry.leak_class_source not in ("dataflow", "heuristic"):
+        raise ValueError(
+            f"contract {path!r}: {entry.describe()} has leak_class_source "
+            f"{entry.leak_class_source!r}; expected 'dataflow' or 'heuristic'"
+        )
     expected = (REFUTED,) if section == "refuted" else _ENTRY_VERDICTS
     if entry.verdict not in expected:
         raise ValueError(
@@ -155,6 +176,7 @@ def load_contract(path: str) -> Contract:
         contract.entries.append(_parse_entry(raw, path, "entries"))
     for raw in data.get("refuted", []):
         contract.refuted.append(_parse_entry(raw, path, "refuted"))
+    contract.variants = parse_variants(data.get("variants", {}), path, LEAK_CLASSES)
     return contract
 
 
@@ -166,6 +188,7 @@ def render_contract(contract: Contract) -> str:
             "function": entry.function,
             "line_text": entry.line_text,
             "leak_class": entry.leak_class,
+            "leak_class_source": entry.leak_class_source,
             "reason": entry.reason,
             "verdict": entry.verdict,
         }
@@ -185,6 +208,8 @@ def render_contract(contract: Contract) -> str:
         doc["refuted"] = [encode(e) for e in sorted(contract.refuted, key=order)]
     if contract.oracle_meta:
         doc["oracle"] = contract.oracle_meta
+    if contract.variants:
+        doc["variants"] = render_variants(contract.variants)
     return json.dumps(doc, indent=1, sort_keys=True) + "\n"
 
 
@@ -259,6 +284,9 @@ def build_contract(
         prev_entries.update(previous.entry_map())
         prev_entries.update(previous.refuted_map())
     contract = Contract(coverage_prefixes=tuple(coverage_prefixes))
+    if previous is not None:
+        # variant claims are hand-authored; a rebuild must not drop them
+        contract.variants = dict(previous.variants)
     if report is not None:
         contract.oracle_meta = {
             "backend": report.backend,
@@ -269,23 +297,34 @@ def build_contract(
     for f in assign_occurrences(list(findings)):
         fp = fingerprint(f, root)
         rule, rel, function, line_text, occurrence = fp
+        prev = prev_entries.get(fp)
         if report is not None and rule.startswith("SF"):
             site = f"{rel}:{f.line}"
             verdict = report.verdict(site)
         elif rule.startswith("SF"):
-            verdict = CONFIRMED       # static-only refresh keeps the claim
+            # static-only refresh: carry the recorded verdict (a rebuild
+            # without the oracle must not resurrect a refuted chain as
+            # CONFIRMED), default to CONFIRMED only for new findings
+            verdict = prev.verdict if prev is not None else CONFIRMED
         else:
             verdict = "N/A"
-        prev = prev_entries.get(fp)
+        if f.leak_class:
+            leak_class, leak_source = f.leak_class, "dataflow"
+        elif prev is not None:
+            leak_class, leak_source = prev.leak_class, "heuristic"
+        else:
+            leak_class = infer_leak_class(rule, rel, function, line_text)
+            leak_source = "heuristic"
         entry = ContractEntry(
             rule=rule,
             path=rel,
             function=function,
             line_text=line_text,
             occurrence=occurrence,
-            leak_class=prev.leak_class if prev else infer_leak_class(rule, rel, function, line_text),
+            leak_class=leak_class,
             reason=prev.reason if prev else _default_reason(rel),
             verdict=verdict,
+            leak_class_source=leak_source,
         )
         if verdict == REFUTED:
             contract.refuted.append(entry)
@@ -308,7 +347,7 @@ def verify_contract(
     contract_path: str = "leakage-contract.json",
     report: OracleReport | None = None,
 ) -> list[Finding]:
-    """Contract violations (CT001–CT005) for the current findings.
+    """Contract violations (CT001–CT007) for the current findings.
 
     Without an oracle ``report`` the recorded verdicts are enforced;
     with one, fresh verdicts override recorded ones and declassify
@@ -320,6 +359,31 @@ def verify_contract(
     matched: set[Fingerprint] = set()
     numbered = assign_occurrences(list(findings))
 
+    def check_leak_class(entry: ContractEntry, f: Finding) -> None:
+        """CT006: the recorded class must match the inferred one."""
+        if not f.rule.startswith("SF"):
+            return
+        inferred = f.leak_class or infer_leak_class(
+            entry.rule, entry.path, entry.function, entry.line_text
+        )
+        source = "dataflow" if f.leak_class else "heuristic"
+        if inferred and entry.leak_class != inferred:
+            violations.append(_violation(
+                "CT006", f.path, line=f.line,
+                message=f"{entry.describe()}: recorded leak_class "
+                f"{entry.leak_class!r} disagrees with the {source}-inferred "
+                f"class {inferred!r} — fix the entry or document the lattice "
+                "refinement",
+            ))
+        elif entry.leak_class_source == "dataflow" and not f.leak_class:
+            violations.append(_violation(
+                "CT006", f.path, line=f.line,
+                message=f"{entry.describe()}: recorded as dataflow-derived but "
+                "the taint lattice no longer resolves a component for it — "
+                "re-derive the entry (leak_class_source: heuristic) or fix the "
+                "lattice regression",
+            ))
+
     for f in numbered:
         fp = fingerprint(f, root)
         rel = fp[1]
@@ -330,6 +394,7 @@ def verify_contract(
         if fp in entry_map:
             matched.add(fp)
             entry = entry_map[fp]
+            check_leak_class(entry, f)
             verdict = fresh if fresh is not None else entry.verdict
             if verdict in (UNREACHED, REFUTED):
                 qualifier = "fresh oracle" if fresh is not None else "recorded"
@@ -340,6 +405,7 @@ def verify_contract(
                 ))
         elif fp in refuted_map:
             matched.add(fp)
+            check_leak_class(refuted_map[fp], f)
             if fresh == CONFIRMED:
                 violations.append(_violation(
                     "CT004", f.path, line=f.line,
@@ -373,4 +439,16 @@ def verify_contract(
                     "executed under the oracle workload — remove the annotation "
                     "or extend the workload",
                 ))
+
+    def classify(f: Finding) -> str:
+        if f.leak_class:
+            return f.leak_class
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        return infer_leak_class(
+            f.rule, rel, f.function or "", normalize_line(f.source_line or "")
+        )
+
+    violations.extend(
+        check_variants_static(numbered, contract.variants, root, classify)
+    )
     return violations

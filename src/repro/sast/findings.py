@@ -42,6 +42,10 @@ RULES: dict[str, str] = {
     "SF002": "secret-indexed subscript (a tainted value selects the element)",
     "SF003": "secret operand reaches a variable-time operation (div/mod/pow/exp/log/sqrt)",
     "SF004": "tainted value reaches a '# sast: sink' annotated line",
+    "SF005": "masking violation (mask reuse across values, or share recombination "
+    "that re-exposes a secret)",
+    "SF006": "secret-bounded loop in a '# sast: constant-time' module (iteration "
+    "count depends on a secret)",
     # -- determinism (DT) -------------------------------------------------
     "DT001": "unseeded randomness outside repro.utils.rng (random module, legacy "
     "np.random, seedless default_rng, os.urandom)",
@@ -64,6 +68,10 @@ RULES: dict[str, str] = {
     "CT003": "contract entry whose oracle verdict is UNREACHED or REFUTED",
     "CT004": "refuted contract entry contradicted by a fresh CONFIRMED verdict",
     "CT005": "dead declassify scope (annotated code never ran under the oracle workload)",
+    "CT006": "contract entry whose recorded leak class disagrees with the "
+    "dataflow-inferred class",
+    "CT007": "countermeasure variant drift (a claimed leak-class reduction no "
+    "longer holds statically or dynamically)",
 }
 
 
@@ -86,6 +94,11 @@ class Finding:
     source_line: str = ""
     #: Disambiguates identical (rule, path, function, source_line) tuples.
     occurrence: int = 0
+    #: Dataflow-inferred leak class ("" when the taint component lattice
+    #: could not resolve one; the keyword heuristic is the fallback then).
+    #: Not part of the fingerprint: class drift is surfaced as CT006, not
+    #: as a stale entry.
+    leak_class: str = ""
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -102,6 +115,8 @@ class Finding:
             out["taint_chain"] = list(self.taint_chain)
         if self.function:
             out["function"] = self.function
+        if self.leak_class:
+            out["leak_class"] = self.leak_class
         return out
 
 

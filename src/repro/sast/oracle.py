@@ -161,12 +161,19 @@ def run_oracle(
     seeds: Sequence[str] = DEFAULT_SEEDS,
     n: int = DEFAULT_N,
     timeout: float = 600.0,
+    workload: Mapping[str, str] | None = None,
 ) -> OracleReport:
     """Run the seeded workload under tracing and classify every site.
 
     ``root`` is the analyzed package directory (e.g. ``src/repro`` or a
     fixture copy); its *parent* goes first on the worker's ``sys.path``
     so the analyzed tree — not the ambient install — executes.
+
+    ``workload`` optionally dispatches to a different traced driver —
+    ``{"module": "repro.countermeasures.workload", "func":
+    "run_masked_workload"}`` — with the same ``(seed, n)`` signature as
+    the default :func:`_run_workload`. Used by ``verify --variant`` to
+    replay one countermeasure per key seed.
     """
     if package != "repro":
         raise OracleError(
@@ -186,6 +193,11 @@ def run_oracle(
             for key, spec in sorted((declassify or {}).items())
         ],
     }
+    if workload is not None:
+        job["workload"] = {
+            "module": str(workload["module"]),
+            "func": str(workload["func"]),
+        }
     from repro.utils.io import atomic_write_text
 
     with tempfile.TemporaryDirectory(prefix="sast-oracle-") as tmp:
@@ -266,6 +278,8 @@ def _run_workload(seed: str, n: int) -> None:  # sast: declassify(reason=oracle 
     from repro.fpr import trace as fpr_trace
     from repro.math import ntt
 
+    from repro.countermeasures.workload import run_ct_workload, run_masked_workload
+
     params = FalconParams.get(n)
     sk, pk = keygen(params, seed=f"oracle-key-{seed}")
     message = b"falcon-down oracle workload"
@@ -325,6 +339,11 @@ def _run_workload(seed: str, n: int) -> None:  # sast: declassify(reason=oracle 
         emu.fpr_rint(emu.fpr_from_float(x * 2.0**60))
         emu.fpr_floor(emu.fpr_from_float(x * 2.0**-120))
         emu.fpr_trunc(emu.fpr_from_float(x * 2.0**-120))
+
+    # countermeasure variants over the same key: keeps their residual
+    # contract entries (e.g. the masked zero branch) reachable here too
+    run_masked_workload(seed, n)
+    run_ct_workload(seed, n)
 
 
 # -- tracing backends (worker side) ----------------------------------------
@@ -487,9 +506,19 @@ def _worker_main(job_path: str) -> None:
     recorder = _Recorder(watch)
     backend = _backend_name()
     trace = _trace_monitoring if backend == "monitoring" else _trace_settrace
+    workload_fn = _run_workload
+    spec = job.get("workload")
+    if spec:
+        # import outside tracing so module-level lines (constants, class
+        # bodies) never enter the digests: only per-seed execution counts
+        import importlib
+
+        workload_fn = getattr(
+            importlib.import_module(str(spec["module"])), str(spec["func"])
+        )
     for seed in job["seeds"]:
         recorder.begin_seed(seed)
-        trace(recorder, lambda: _run_workload(seed, int(job["n"])))
+        trace(recorder, lambda: workload_fn(seed, int(job["n"])))
         if backend == "monitoring":
             sys.monitoring.restart_events()
     payload = {

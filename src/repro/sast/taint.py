@@ -1,4 +1,4 @@
-"""Secret-flow taint engine (rules SF001-SF004).
+"""Secret-flow taint engine (rules SF001-SF006).
 
 Taint is seeded at the declared sources of key material:
 
@@ -24,6 +24,28 @@ explicit ``# sast: sink`` lines (SF004).
 
 Findings carry a ``taint_chain``: source first, then up to
 ``_MAX_HOPS`` propagation steps, then the sink.
+
+Two refinements ride on the same fixpoint:
+
+* **Leak-class components.** Taint values carry the architectural field
+  of the fpr datapath they derive from (``sign`` / ``exponent`` /
+  ``mantissa`` / ``sampler``), seeded by the declared field layout of
+  ``decompose`` / ``_unpack_normal`` / ``mul_limbs`` and transformed by
+  a small join lattice (mantissa ⊗ mantissa under ``*`` →
+  ``mantissa-mul``, under ``+``/``-`` → ``mantissa-add``, an order
+  comparison against zero extracts ``sign``, ``bit_length`` of a
+  significand is ``exponent`` information). Every finding records the
+  resulting class in ``Finding.leak_class`` so the leakage contract can
+  machine-check its hand-reviewed taxonomy (rule CT006).
+
+* **Masking awareness.** XORing a secret with fresh uniform randomness
+  from a recognized mask source degrades it from ``secret`` to
+  ``share``: shares are key-independent in isolation, so SF001–SF004
+  stay quiet on them. Reusing one mask across distinct values or
+  recombining shares blinded by the same mask re-exposes the secret and
+  fires SF005. A module-level ``# sast: constant-time`` pragma enables
+  a stricter dialect: interval-based discharging is disabled and
+  secret-bounded ``range()`` loops fire SF006.
 """
 
 from __future__ import annotations
@@ -47,9 +69,49 @@ from repro.sast.project import (
     unparse_short,
 )
 
-__all__ = ["TaintConfig", "run_taint"]
+__all__ = ["COMPONENT_CLASSES", "TaintConfig", "run_taint"]
 
 _MAX_HOPS = 6
+
+#: the mantissa sub-family of the component lattice: a raw significand
+#: limb and the two arithmetic structures the paper distinguishes
+_MANTISSA_FAMILY = frozenset({"mantissa", "mantissa-mul", "mantissa-add"})
+
+#: contract leak class per inferred component. A bare ``mantissa`` (a
+#: significand limb not yet tied to a mul/add step) and the generic top
+#: ``""`` map to no class — the keyword heuristic is the fallback there.
+COMPONENT_CLASSES: dict[str, str] = {
+    "sign": "sign",
+    "exponent": "exponent",
+    "mantissa-mul": "mantissa-mul",
+    "mantissa-add": "mantissa-add",
+    "sampler": "ancillary",
+    "mantissa": "",
+    "": "",
+}
+
+#: components whose order comparison against zero reveals the sign bit
+#: of a signed magnitude. Exponent quantities keep their class (an
+#: exponent's sign is exponent information) and sampler/generic values
+#: stay put: a keygen bigint's transient sign is not the paper's sign
+#: channel.
+_SIGN_EXTRACTABLE = _MANTISSA_FAMILY
+
+_KIND_ORDER = {"mask": 0, "share": 1, "secret": 2}
+
+
+def _join_component(a: str, b: str) -> str:
+    """Nearest common ancestor of two datapath components."""
+    if a == b:
+        return a
+    if a in _MANTISSA_FAMILY and b in _MANTISSA_FAMILY:
+        return "mantissa"
+    return ""
+
+
+def _join_kind(a: str, b: str) -> str:
+    """secret > share > mask: a merge is as exposed as its worst input."""
+    return a if _KIND_ORDER.get(a, 2) >= _KIND_ORDER.get(b, 2) else b
 
 
 @dataclass(frozen=True)
@@ -101,6 +163,31 @@ class TaintConfig:
     vartime_names: frozenset[str] = frozenset({"divmod", "pow"})
     #: Methods whose cost depends on the receiver's value.
     vartime_methods: frozenset[str] = frozenset({"bit_length", "bit_count"})
+    #: Functions whose tuple return carries per-element datapath
+    #: components (the declared fpr field layout the old keyword
+    #: heuristic only guessed at from line text).
+    component_sources: dict[str, tuple[str, ...]] = field(default_factory=lambda: {
+        "repro.fpr.emu.decompose": ("sign", "exponent", "mantissa"),
+        "repro.fpr.emu._unpack_normal": ("sign", "mantissa", "exponent"),
+        "repro.fpr.trace.mul_limbs": ("mantissa", "mantissa"),
+    })
+    #: Whole-value component of configured source returns (sampler
+    #: outputs are ``sampler``: ancillary until a later op refines them).
+    source_components: dict[str, str] = field(default_factory=lambda: {
+        "repro.falcon.samplerz.samplerz": "sampler",
+        "repro.falcon.samplerz.samplerz_simple": "sampler",
+        "repro.falcon.samplerz.base_sampler": "sampler",
+        "repro.falcon.ffsampling.ffsampling": "sampler",
+        "repro.math.gaussian.sample_dgauss": "sampler",
+        "repro.math.gaussian.sample_poly_dgauss": "sampler",
+    })
+    #: Recognized mask sources: calls returning fresh uniform mask
+    #: material. XORing a secret with one degrades it to a ``share``;
+    #: each syntactic call site is one mask identity for SF005.
+    mask_source_methods: frozenset[str] = frozenset({"fresh_mask"})
+    mask_source_functions: frozenset[str] = frozenset({
+        "repro.countermeasures.masked_mul.fresh_mask",
+    })
 
 
 @dataclass(frozen=True)
@@ -111,6 +198,14 @@ class Taint:
     source: str = ""                   # short source id for messages
     hops: tuple[str, ...] = ()
     params: frozenset[int] = frozenset()
+    #: datapath component ("" = generic key material, the lattice top)
+    component: str = ""
+    #: per-element components of a tuple value (distributed on unpack)
+    components: tuple[str, ...] | None = None
+    #: "secret" | "share" (secret ^ fresh mask) | "mask" (the randomness)
+    kind: str = "secret"
+    #: mask identities: blinding masks of a share / ids of a mask value
+    masks: frozenset[str] = frozenset()
 
     @property
     def real(self) -> bool:
@@ -138,7 +233,23 @@ def _merge(a: Taint | None, b: Taint | None) -> Taint | None:
     origin, source, hops = a.origin, a.source, a.hops
     if origin is None and b.origin is not None:
         origin, source, hops = b.origin, b.source, b.hops
-    return Taint(origin=origin, source=source, hops=hops, params=a.params | b.params)
+    if a.real and b.real:
+        component = _join_component(a.component, b.component)
+        kind = _join_kind(a.kind, b.kind)
+    elif b.real:
+        component, kind = b.component, b.kind
+    else:
+        component, kind = a.component, a.kind
+    return Taint(
+        origin=origin,
+        source=source,
+        hops=hops,
+        params=a.params | b.params,
+        component=component,
+        components=a.components or b.components,
+        kind=kind,
+        masks=a.masks | b.masks,
+    )
 
 
 @dataclass
@@ -172,11 +283,15 @@ class _Engine:
                 summary.source_return = Taint(
                     origin=config.source_functions[info.qualname],
                     source=info.node.name,
+                    component=config.source_components.get(info.qualname, ""),
+                    components=config.component_sources.get(info.qualname),
                 )
             elif info.is_source:
                 summary.source_return = Taint(
                     origin=f"annotated source {info.qualname}()",
                     source=info.node.name,
+                    component=config.source_components.get(info.qualname, ""),
+                    components=config.component_sources.get(info.qualname),
                 )
             self.summaries[info.qualname] = summary
             self.param_taints[info.qualname] = {}
@@ -185,7 +300,12 @@ class _Engine:
         for qual, desc in config.source_functions.items():
             if qual not in self.summaries:
                 self.summaries[qual] = _Summary(
-                    source_return=Taint(origin=desc, source=qual.rsplit(".", 1)[-1])
+                    source_return=Taint(
+                        origin=desc,
+                        source=qual.rsplit(".", 1)[-1],
+                        component=config.source_components.get(qual, ""),
+                        components=config.component_sources.get(qual),
+                    )
                 )
 
     # -- fixpoint ----------------------------------------------------------
@@ -220,12 +340,35 @@ class _Engine:
     # -- cross-unit updates ------------------------------------------------
 
     def feed_param(self, callee: str, index: int, taint: Taint) -> bool:
-        """Record a real tainted argument; True if this is news."""
-        slot = self.param_taints.setdefault(callee, {})
-        if index in slot or not taint.real:
+        """Record a real tainted argument; True if this is news.
+
+        The first real taint pins the chain evidence; later call sites
+        only *join* their datapath component and kind in, so a parameter
+        fed ``mantissa-mul`` by one caller and ``mantissa-add`` by
+        another settles on the family ancestor instead of whichever
+        caller the fixpoint visited first.
+        """
+        if not taint.real:
             return False
-        slot[index] = Taint(origin=taint.origin, source=taint.source, hops=taint.hops)
-        return True
+        slot = self.param_taints.setdefault(callee, {})
+        cur = slot.get(index)
+        if cur is None:
+            slot[index] = Taint(
+                origin=taint.origin,
+                source=taint.source,
+                hops=taint.hops,
+                component=taint.component,
+                components=taint.components,
+                kind=taint.kind,
+                masks=taint.masks,
+            )
+            return True
+        component = _join_component(cur.component, taint.component)
+        kind = _join_kind(cur.kind, taint.kind)
+        if component != cur.component or kind != cur.kind:
+            slot[index] = replace(cur, component=component, kind=kind)
+            return True
+        return False
 
 
 class _AnalysisUnit:
@@ -251,7 +394,13 @@ class _AnalysisUnit:
                 changed.append(self.info.qualname)
             if ret.real and summary.source_return is None and not summary.declassified:
                 summary.source_return = Taint(
-                    origin=ret.origin, source=ret.source, hops=ret.hops
+                    origin=ret.origin,
+                    source=ret.source,
+                    hops=ret.hops,
+                    component=ret.component,
+                    components=ret.components,
+                    kind=ret.kind,
+                    masks=ret.masks,
                 )
                 changed.append(self.info.qualname)
         changed.extend(ev.dirty_callees)
@@ -280,6 +429,13 @@ class _Evaluator(ast.NodeVisitor):
         self._sink_hit_lines: set[int] = set()
         self.intervals: IntervalAnalysis = engine.intervals
         self.ienv = IntervalEnv(engine.intervals, module, info)
+        #: module-level `# sast: constant-time` pragma: stricter dialect
+        #: (no interval discharging, secret-bounded loops fire SF006)
+        self.strict_ct = any(
+            a.kind == "constant-time" for a in module.annotations.values()
+        )
+        #: mask id -> syntactic site where it first blinded a value
+        self._mask_uses: dict[str, str] = {}
 
     # -- driver ------------------------------------------------------------
 
@@ -299,6 +455,7 @@ class _Evaluator(ast.NodeVisitor):
             self.findings = []
             self._seen.clear()
             self._sink_hit_lines.clear()
+            self._mask_uses.clear()
             self.ienv = IntervalEnv(self.engine.intervals, self.module, self.info)
             for stmt in body:
                 self.exec_stmt(stmt)
@@ -340,6 +497,10 @@ class _Evaluator(ast.NodeVisitor):
     ) -> None:
         if not self.report or not taint.real:
             return
+        if rule != "SF005" and taint.kind != "secret":
+            # shares and masks are key-independent in isolation: only a
+            # masking violation (SF005) is reportable on them
+            return
         lineno = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
         if self.project.suppressed(self.module, lineno, rule, self.info):
@@ -358,6 +519,7 @@ class _Evaluator(ast.NodeVisitor):
                 taint_chain=taint.chain(f"{sink} at {self._loc(node)}"),
                 function=self.info.qualname,
                 source_line=self.module.source_line(lineno),
+                leak_class=COMPONENT_CLASSES.get(taint.component, ""),
             )
         )
 
@@ -433,14 +595,108 @@ class _Evaluator(ast.NodeVisitor):
             )
         return _merge(value, index)
 
+    def _binop_component(
+        self, node: ast.BinOp | ast.AugAssign,
+        left: Taint | None, right: Taint | None, out: Taint | None,
+    ) -> Taint | None:
+        """Component lattice transitions for an arithmetic operator."""
+        if out is None or not out.real:
+            return out
+        lc = left.component if left is not None and left.real else None
+        rc = right.component if right is not None and right.real else None
+        component = out.component
+        if lc in _MANTISSA_FAMILY and rc in _MANTISSA_FAMILY:
+            if isinstance(node.op, ast.Mult):
+                component = "mantissa-mul"
+            elif isinstance(node.op, (ast.Add, ast.Sub)):
+                component = "mantissa-add"
+        elif isinstance(node.op, ast.Mult) and (
+            (lc in _MANTISSA_FAMILY and rc == "sign")
+            or (rc in _MANTISSA_FAMILY and lc == "sign")
+        ):
+            # signed magnitude: multiplying a significand by (+/-1)
+            # keeps the mantissa structure, it only applies the sign
+            component = "mantissa"
+        elif isinstance(node.op, (ast.LShift, ast.RShift)) and lc is not None:
+            # a shifted significand is still the significand; the shift
+            # amount (typically exponent-class) sets the *timing*, which
+            # the SF003 check attributes to the amount operand instead
+            component = lc
+        if component != out.component:
+            return replace(out, component=component)
+        return out
+
+    def _xor_taint(
+        self, node: ast.BinOp | ast.AugAssign,
+        left: Taint | None, right: Taint | None,
+    ) -> Taint | None:
+        """XOR: masking transitions (blind / reuse / recombine)."""
+        out = _merge(left, right)
+        if out is None or not out.real:
+            return out
+        lk = left.kind if left is not None and left.real else None
+        rk = right.kind if right is not None and right.real else None
+        mask: Taint | None = None
+        val: Taint | None = None
+        if lk == "mask" and rk in ("secret", "share"):
+            mask, val = left, right
+        elif rk == "mask" and lk in ("secret", "share"):
+            mask, val = right, left
+        if mask is not None and val is not None:
+            if val.kind == "share" and (val.masks & mask.masks):
+                self._emit(
+                    "SF005", node,
+                    f"share recombination: {unparse_short(node)} XORs a share "
+                    "with a mask already blinding it, re-exposing the secret",
+                    out, "share recombination",
+                )
+                return replace(
+                    out, kind="secret", masks=frozenset(), component=val.component
+                )
+            site = f"{self.module.path}:{getattr(node, 'lineno', 0)}"
+            for mid in sorted(mask.masks):
+                prev = self._mask_uses.get(mid)
+                if prev is not None and prev != site:
+                    self._emit(
+                        "SF005", node,
+                        f"mask reuse: {unparse_short(node)} blinds a value with "
+                        f"the mask drawn at {mid}, which already blinded a "
+                        f"value at {prev}",
+                        out, "mask reuse",
+                    )
+                else:
+                    self._mask_uses[mid] = site
+            return replace(
+                out, kind="share", masks=val.masks | mask.masks,
+                component=val.component,
+            )
+        if (
+            lk == "share" and rk == "share"
+            and left is not None and right is not None
+            and left.masks & right.masks
+        ):
+            self._emit(
+                "SF005", node,
+                f"share recombination: {unparse_short(node)} XORs two shares "
+                "blinded by the same mask, cancelling it",
+                out, "share recombination",
+            )
+            return replace(out, kind="secret", masks=frozenset())
+        return out
+
     def _eval_BinOp(self, node: ast.BinOp) -> Taint | None:
         left = self.eval(node.left)
         right = self.eval(node.right)
-        out = _merge(left, right)
+        if isinstance(node.op, ast.BitXor):
+            out = self._xor_taint(node, left, right)
+        else:
+            out = self._binop_component(node, left, right, _merge(left, right))
         if self.report:
             vartime = isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow))
             if vartime and out is not None and out.real:
-                if isinstance(node.op, ast.Pow):
+                if self.strict_ct:
+                    bounded = False
+                elif isinstance(node.op, ast.Pow):
                     bounded = self.intervals.pow_exponent_bounded(
                         self.ienv.eval(node.right)
                     )
@@ -463,8 +719,11 @@ class _Evaluator(ast.NodeVisitor):
                 isinstance(node.op, (ast.LShift, ast.RShift))
                 and right is not None
                 and right.real
-                and not self.intervals.shift_amount_bounded(
-                    self.ienv.eval(node.right)
+                and (
+                    self.strict_ct
+                    or not self.intervals.shift_amount_bounded(
+                        self.ienv.eval(node.right)
+                    )
                 )
             ):
                 self._emit(
@@ -475,6 +734,45 @@ class _Evaluator(ast.NodeVisitor):
                     "variable-width shift",
                 )
         return out
+
+    def _eval_Compare(self, node: ast.Compare) -> Taint | None:
+        out = self.eval(node.left)
+        for comp in node.comparators:
+            out = _merge(out, self.eval(comp))
+        if (
+            out is not None
+            and out.real
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+            and out.component in _SIGN_EXTRACTABLE
+            and any(
+                isinstance(side, ast.Constant)
+                and type(side.value) in (int, float)
+                and side.value == 0
+                for side in (node.left, node.comparators[0])
+            )
+        ):
+            # an order comparison against zero reveals exactly the sign
+            # of a signed magnitude (`coeff < 0`, `v < 0`); exponent
+            # quantities keep their class — an exponent's sign is still
+            # exponent information
+            out = replace(out, component="sign")
+        return out
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Taint | None:
+        elts = [self.eval(e) for e in node.elts]
+        out: Taint | None = None
+        for t in elts:
+            out = _merge(out, t)
+        if out is not None and out.real and len(node.elts) > 1:
+            comps = tuple(
+                (t.component if t is not None and t.real else "") for t in elts
+            )
+            if any(comps):
+                out = replace(out, components=comps)
+        return out
+
+    _eval_List = _eval_Tuple
 
     def _eval_IfExp(self, node: ast.IfExp) -> Taint | None:
         test = self.eval(node.test)
@@ -531,6 +829,25 @@ class _Evaluator(ast.NodeVisitor):
         for t in list(arg_taints) + list(kw_taints.values()) + star_kw + [receiver]:
             any_taint = _merge(any_taint, t)
 
+        # recognized mask source: the return is fresh uniform mask
+        # material, one identity per syntactic call site (a call in a
+        # loop draws fresh randomness each iteration, so one site is
+        # one mask family for the reuse check)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in cfg.mask_source_methods
+        ) or (resolved is not None and resolved in cfg.mask_source_functions):
+            site = (
+                f"{self.module.path}:{getattr(node, 'lineno', 0)}"
+                f":{getattr(node, 'col_offset', 0)}"
+            )
+            return Taint(
+                origin=f"fresh mask at {loc}",
+                source="fresh mask",
+                kind="mask",
+                masks=frozenset({site}),
+            )
+
         # variable-time call checks (report phase only)
         if self.report:
             operand = any_taint if any_taint is not None else None
@@ -581,6 +898,18 @@ class _Evaluator(ast.NodeVisitor):
                 # over a secret): the callable itself carries the taint
                 any_taint = _merge(any_taint, self.env.get(node.func.id))
             out = any_taint
+            if (
+                out is not None
+                and out.real
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in cfg.vartime_methods
+                and receiver is not None
+                and receiver.real
+                and receiver.component in _MANTISSA_FAMILY
+            ):
+                # the bit width of a significand is its normalization
+                # amount: exponent-class information, not mantissa
+                out = replace(out, component="exponent")
             return out.hop(f"through {short}() at {loc}") if out is not None else None
         if resolved in cfg.sanitizer_names or resolved.rsplit(".", 1)[-1] in (
             cfg.sanitizer_names
@@ -654,9 +983,15 @@ class _Evaluator(ast.NodeVisitor):
         out: Taint | None = None
         if summary.source_return is not None:
             src = summary.source_return
-            out = Taint(origin=src.origin, source=src.source, hops=src.hops).hop(
-                f"returned by {short}() at {loc}"
-            )
+            out = Taint(
+                origin=src.origin,
+                source=src.source,
+                hops=src.hops,
+                component=src.component,
+                components=src.components,
+                kind=src.kind,
+                masks=src.masks,
+            ).hop(f"returned by {short}() at {loc}")
         for idx, t in mapped:
             if idx in summary.param_to_return:
                 out = _merge(out, t.hop(f"through {short}() at {loc}"))
@@ -773,8 +1108,17 @@ class _Evaluator(ast.NodeVisitor):
                 hop = f"assigned to {target.id} at {self._loc(target)}"
                 self.env[target.id] = _merge(self.env.get(target.id), taint.hop(hop)) or taint
         elif isinstance(target, (ast.Tuple, ast.List)):
-            for elt in target.elts:
-                self._assign_target(elt, taint)
+            comps = taint.components if taint is not None else None
+            if comps is not None and len(comps) == len(target.elts):
+                # distribute per-element components positionally:
+                # `s, be, m = decompose(x)` gives each field its class
+                for elt, comp in zip(target.elts, comps):
+                    self._assign_target(
+                        elt, replace(taint, component=comp, components=None)
+                    )
+            else:
+                for elt in target.elts:
+                    self._assign_target(elt, taint)
         elif isinstance(target, ast.Starred):
             self._assign_target(target.value, taint)
         elif isinstance(target, (ast.Attribute, ast.Subscript)):
@@ -839,7 +1183,10 @@ class _Evaluator(ast.NodeVisitor):
         existing = None
         if isinstance(node.target, ast.Name):
             existing = self.env.get(node.target.id)
-        out = _merge(existing, taint)
+        if isinstance(node.op, ast.BitXor):
+            out = self._xor_taint(node, existing, taint)
+        else:
+            out = self._binop_component(node, existing, taint, _merge(existing, taint))
         # augmented assignments run the same variable-time operators as
         # BinOp and historically escaped the SF003 check entirely
         if self.report:
@@ -849,7 +1196,9 @@ class _Evaluator(ast.NodeVisitor):
             value_iv = self.ienv.eval(node.value)
             vartime = isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod, ast.Pow))
             if vartime and out is not None and out.real:
-                if isinstance(node.op, ast.Pow):
+                if self.strict_ct:
+                    bounded = False
+                elif isinstance(node.op, ast.Pow):
                     bounded = self.intervals.pow_exponent_bounded(value_iv)
                 else:
                     bounded = self.intervals.division_bounded(
@@ -868,7 +1217,10 @@ class _Evaluator(ast.NodeVisitor):
                 isinstance(node.op, (ast.LShift, ast.RShift))
                 and taint is not None
                 and taint.real
-                and not self.intervals.shift_amount_bounded(value_iv)
+                and (
+                    self.strict_ct
+                    or not self.intervals.shift_amount_bounded(value_iv)
+                )
             ):
                 self._emit(
                     "SF003",
@@ -934,6 +1286,29 @@ class _Evaluator(ast.NodeVisitor):
 
     def _exec_For(self, node: ast.For) -> None:
         it = self.eval(node.iter)
+        if self.strict_ct:
+            # constant-time dialect: the iteration *count* must be
+            # public. `range()` is a taint sanitizer, so re-examine its
+            # arguments; a secret bound fires SF006 even though the
+            # loop variable itself stays clean.
+            bound = it
+            if (
+                isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"
+            ):
+                bound = None
+                for arg in node.iter.args:
+                    bound = _merge(bound, self.eval(arg))
+            if bound is not None and bound.real and bound.kind == "secret":
+                self._emit(
+                    "SF006",
+                    node.iter,
+                    f"secret-bounded loop in constant-time module: "
+                    f"{unparse_short(node.iter)}",
+                    bound,
+                    "loop bound",
+                )
         self.ienv.havoc_assigned(node.body)
         self.ienv.bind_loop_target(node.target, node.iter)
         self._bind_loop_target(node.target, node.iter, it)

@@ -1,0 +1,335 @@
+"""Countermeasure variant specs and the CT007 drift checks.
+
+A *variant* is an alternative implementation of a contract-covered
+primitive (today: ``repro.countermeasures.masked_mul`` and
+``repro.countermeasures.ct_mul`` re-implementing ``fpr_mul``) whose
+point is to *remove* leak chains the baseline contract records. The
+contract's ``variants`` section freezes that claim per variant:
+
+* ``classes_absent`` — leak classes the variant must not exhibit: a
+  static finding in the variant module carrying one of these classes is
+  a broken claim.
+* ``residual`` — the accepted findings that remain (e.g. the masked
+  multiplier's clear zero test). Findings outside this list are drift;
+  residual records matching no finding are stale.
+* ``dynamic`` — what the differential-replay oracle must observe when
+  the variant's workload runs with every module line watched:
+  ``refuted-except-residual`` (masking: every executed line digests
+  key-independently except the listed clear-boundary lines) or
+  ``confirmed`` (constant-time code whose *values* stay key-dependent —
+  the GALACTICS caveat made checkable).
+
+Static checks run on every ``repro-sast verify``; dynamic checks run
+under ``verify --variant <name> --oracle``. Both report rule CT007, so
+a countermeasure silently losing its property fails the same gate as a
+new leak in the baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.sast.findings import Finding
+from repro.sast.oracle import CONFIRMED, OracleReport
+
+__all__ = [
+    "DYNAMIC_MODES",
+    "ResidualRecord",
+    "VariantSpec",
+    "check_variant_dynamic",
+    "check_variants_static",
+    "normalize_line",
+    "parse_variants",
+    "render_variants",
+    "variant_module_sites",
+]
+
+DYNAMIC_MODES = ("refuted-except-residual", "confirmed")
+
+
+def normalize_line(text: str) -> str:
+    """Whitespace-insensitive form used to match source lines."""
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True)
+class ResidualRecord:
+    """One accepted static finding that survives in a variant."""
+
+    rule: str
+    function: str
+    line_text: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.function, normalize_line(self.line_text))
+
+
+@dataclass
+class VariantSpec:
+    """Frozen claims for one countermeasure variant."""
+
+    name: str
+    module: str                          # contract-relative path of the variant
+    entry: str                           # qualname of the reimplemented primitive
+    workload_module: str                 # dotted module of the oracle driver
+    workload_func: str                   # (seed, n) callable in workload_module
+    classes_absent: tuple[str, ...] = ()
+    residual: tuple[ResidualRecord, ...] = ()
+    dynamic_mode: str = "refuted-except-residual"
+    dynamic_residual: tuple[str, ...] = field(default=())
+
+    def workload(self) -> dict[str, str]:
+        return {"module": self.workload_module, "func": self.workload_func}
+
+
+# -- contract (de)serialization --------------------------------------------
+
+
+def parse_variants(
+    data: Any, contract_path: str, leak_classes: Iterable[str]
+) -> dict[str, VariantSpec]:
+    """Validated ``variants`` section of a contract document."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"contract {contract_path!r}: 'variants' must be an object")
+    known = set(leak_classes)
+    out: dict[str, VariantSpec] = {}
+    for name, raw in sorted(data.items()):
+        where = f"contract {contract_path!r}: variant {name!r}"
+        if not isinstance(raw, Mapping):
+            raise ValueError(f"{where}: must be an object")
+        for req in ("module", "entry", "workload"):
+            if req not in raw:
+                raise ValueError(f"{where}: missing {req!r}")
+        workload = raw["workload"]
+        if (
+            not isinstance(workload, Mapping)
+            or not isinstance(workload.get("module"), str)
+            or not isinstance(workload.get("func"), str)
+        ):
+            raise ValueError(f"{where}: 'workload' needs string module/func")
+        classes = tuple(raw.get("classes_absent", ()))
+        bad = [c for c in classes if c not in known]
+        if bad:
+            raise ValueError(f"{where}: unknown leak class in classes_absent: {bad}")
+        residual = []
+        for rec in raw.get("residual", ()):
+            if not isinstance(rec, Mapping) or not all(
+                isinstance(rec.get(k), str) for k in ("rule", "function", "line_text")
+            ):
+                raise ValueError(
+                    f"{where}: residual records need string rule/function/line_text"
+                )
+            residual.append(
+                ResidualRecord(
+                    rule=rec["rule"],
+                    function=rec["function"],
+                    line_text=rec["line_text"],
+                )
+            )
+        dynamic = raw.get("dynamic", {})
+        if not isinstance(dynamic, Mapping):
+            raise ValueError(f"{where}: 'dynamic' must be an object")
+        mode = dynamic.get("mode", "refuted-except-residual")
+        if mode not in DYNAMIC_MODES:
+            raise ValueError(
+                f"{where}: dynamic mode must be one of {DYNAMIC_MODES}, got {mode!r}"
+            )
+        dyn_residual = tuple(
+            normalize_line(str(t)) for t in dynamic.get("residual_lines", ())
+        )
+        out[name] = VariantSpec(
+            name=name,
+            module=str(raw["module"]),
+            entry=str(raw["entry"]),
+            workload_module=str(workload["module"]),
+            workload_func=str(workload["func"]),
+            classes_absent=classes,
+            residual=tuple(residual),
+            dynamic_mode=str(mode),
+            dynamic_residual=dyn_residual,
+        )
+    return out
+
+
+def render_variants(variants: Mapping[str, VariantSpec]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for name, spec in sorted(variants.items()):
+        out[name] = {
+            "module": spec.module,
+            "entry": spec.entry,
+            "workload": spec.workload(),
+            "classes_absent": list(spec.classes_absent),
+            "residual": [
+                {"rule": r.rule, "function": r.function, "line_text": r.line_text}
+                for r in spec.residual
+            ],
+            "dynamic": {
+                "mode": spec.dynamic_mode,
+                "residual_lines": list(spec.dynamic_residual),
+            },
+        }
+    return out
+
+
+# -- static drift checks (CT007, run on every verify) ----------------------
+
+
+def _violation(spec: VariantSpec, message: str, path: str, line: int = 0) -> Finding:
+    return Finding(
+        rule="CT007",
+        path=path,
+        line=line,
+        col=0,
+        message=f"variant {spec.name!r}: {message}",
+    )
+
+
+def check_variants_static(
+    findings: Iterable[Finding],
+    variants: Mapping[str, VariantSpec],
+    root: str,
+    classify: Callable[[Finding], str],
+) -> list[Finding]:
+    """CT007 violations from the current static findings.
+
+    ``classify`` maps a finding to its leak class (dataflow-inferred
+    when available, heuristic otherwise) — injected so this module does
+    not depend on :mod:`repro.sast.contract`.
+    """
+    violations: list[Finding] = []
+    by_module: dict[str, list[Finding]] = {}
+    for f in findings:
+        if not f.rule.startswith("SF"):
+            continue
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        by_module.setdefault(rel, []).append(f)
+    for _name, spec in sorted(variants.items()):
+        module_findings = by_module.get(spec.module, [])
+        expected = {r.key() for r in spec.residual}
+        seen: set[tuple[str, str, str]] = set()
+        for f in module_findings:
+            key = (f.rule, f.function or "", normalize_line(f.source_line or ""))
+            seen.add(key)
+            if key not in expected:
+                violations.append(
+                    _violation(
+                        spec,
+                        f"unexpected {f.rule} finding not in the residual list "
+                        f"({f.source_line or '?'}) — the countermeasure drifted",
+                        f.path,
+                        f.line,
+                    )
+                )
+            leak_class = classify(f)
+            if leak_class in spec.classes_absent:
+                violations.append(
+                    _violation(
+                        spec,
+                        f"finding carries leak class {leak_class!r} which the "
+                        "variant claims absent",
+                        f.path,
+                        f.line,
+                    )
+                )
+        for rec in spec.residual:
+            if rec.key() not in seen:
+                violations.append(
+                    _violation(
+                        spec,
+                        f"stale residual record {rec.rule} ({rec.line_text!r}) "
+                        "matches no current finding",
+                        os.path.join(root, spec.module),
+                    )
+                )
+    return violations
+
+
+# -- dynamic replay checks (CT007, run under --variant --oracle) -----------
+
+
+def variant_module_sites(root: str, spec: VariantSpec) -> list[str]:
+    """Watch *every* source line of the variant module.
+
+    The dynamic claim quantifies over the whole implementation, not just
+    the lines the static pass flagged — a masked variant whose compute
+    lines digest key-dependently has lost its property even if no
+    static rule fires there.
+    """
+    path = os.path.join(root, spec.module)
+    with open(path, encoding="utf-8") as fh:
+        count = sum(1 for _ in fh)
+    return [f"{spec.module}:{line}" for line in range(1, count + 1)]
+
+
+def check_variant_dynamic(
+    spec: VariantSpec, report: OracleReport, root: str
+) -> list[Finding]:
+    """CT007 violations from one variant oracle replay."""
+    path = os.path.join(root, spec.module)
+    with open(path, encoding="utf-8") as fh:
+        source_lines = fh.read().splitlines()
+
+    def text(line: int) -> str:
+        if 1 <= line <= len(source_lines):
+            return normalize_line(source_lines[line - 1])
+        return ""
+
+    violations: list[Finding] = []
+    executed_confirmed: list[int] = []
+    executed = 0
+    for site, result in sorted(report.sites.items()):
+        rel, _, lineno = site.rpartition(":")
+        if rel != spec.module or result.hits == 0:
+            continue
+        executed += 1
+        if result.status == CONFIRMED:
+            executed_confirmed.append(int(lineno))
+    if executed == 0:
+        return [
+            _violation(
+                spec,
+                f"workload {spec.workload_module}.{spec.workload_func} never "
+                "executed the variant module",
+                path,
+            )
+        ]
+    if spec.dynamic_mode == "refuted-except-residual":
+        residual = set(spec.dynamic_residual)
+        confirmed_texts: set[str] = set()
+        for lineno in executed_confirmed:
+            line_text = text(lineno)
+            confirmed_texts.add(line_text)
+            if line_text not in residual:
+                violations.append(
+                    _violation(
+                        spec,
+                        "line digests key-dependently but is not an accepted "
+                        f"clear-boundary line: {line_text!r}",
+                        path,
+                        lineno,
+                    )
+                )
+        for line_text in sorted(residual - confirmed_texts):
+            violations.append(
+                _violation(
+                    spec,
+                    "recorded clear-boundary line no longer digests "
+                    f"key-dependently (stale dynamic residual): {line_text!r}",
+                    path,
+                )
+            )
+    elif not executed_confirmed:
+        # mode "confirmed": straight-line code is claimed, *not* value
+        # independence — if every executed line digests identically the
+        # recorded caveat (values remain key-dependent) is stale
+        violations.append(
+            _violation(
+                spec,
+                "every executed line digested key-independently; the variant's "
+                "recorded CONFIRMED caveat no longer holds",
+                path,
+            )
+        )
+    return violations

@@ -47,6 +47,46 @@ class TestMaskingTransform:
         other = MUL_STEP_LABELS.index("load_y_lo")
         np.testing.assert_array_equal(out[:, other], values[:, other])
 
+    @staticmethod
+    def _reference_call(xform, values, rng):
+        """The pre-vectorization per-column loop, kept as the oracle."""
+        from repro.countermeasures.masking import _random_masks
+
+        out = values.copy()
+        d = out.shape[0]
+        for col, width in xform._indices:
+            out[:, col] = out[:, col] ^ _random_masks(rng, d, width)
+        return out
+
+    @pytest.mark.parametrize("d", [1, 2, 7, 64, 101])
+    @pytest.mark.parametrize("prime_buffer", [False, True])
+    def test_batched_masks_bit_identical_to_loop(self, d, prime_buffer):
+        """One batched RNG call must reproduce the per-column loop
+        exactly — masks, and the generator state it leaves behind
+        (including the half-word buffer odd batch sizes strand)."""
+        xform = MaskingTransform()
+        values = np.arange(d * len(MUL_STEP_LABELS), dtype=np.uint64).reshape(
+            d, len(MUL_STEP_LABELS)
+        )
+        rng_new = np.random.default_rng(1234)
+        rng_ref = np.random.default_rng(1234)
+        if prime_buffer:
+            # leave a cached 32-bit half in each generator's buffer
+            rng_new.integers(0, 2, size=1, dtype=np.int64)
+            rng_ref.integers(0, 2, size=1, dtype=np.int64)
+        np.testing.assert_array_equal(
+            xform(values, rng_new), self._reference_call(xform, values, rng_ref)
+        )
+        # end-state: later bounded draws and doubles must not diverge
+        np.testing.assert_array_equal(
+            rng_new.integers(0, 5, size=9), rng_ref.integers(0, 5, size=9)
+        )
+        np.testing.assert_array_equal(rng_new.normal(size=4), rng_ref.normal(size=4))
+        # a second masked batch keeps tracking the loop
+        np.testing.assert_array_equal(
+            xform(values, rng_new), self._reference_call(xform, values, rng_ref)
+        )
+
     def test_default_covers_all_secret_steps(self):
         secret_bearing = {"p_ll", "p_lh", "s_lo", "p_hl", "s_mid", "p_hh", "s_hi",
                           "mant_out", "exp_sum", "sign_out", "result"}

@@ -123,11 +123,21 @@ def test_repo_gate_is_green():
 
 def test_repo_contract_documents_only_the_attack_surface():
     """Accepted findings live exclusively in the faithfully-leaky layers
-    (falcon/, fpr/, math/) — everything else must stay finding-free."""
+    (falcon/, fpr/, math/) plus the masked variant's recorded clear
+    boundary — everything else must stay finding-free."""
     root = os.path.join(_REPO_ROOT, "src", "repro")
     findings = collect_findings(load_project(root, package="repro"))
     prefixes = {os.path.relpath(f.path, root).split(os.sep)[0] for f in findings}
-    assert prefixes <= {"falcon", "fpr", "math"}
+    assert prefixes <= {"falcon", "fpr", "math", "countermeasures"}
+    # the only countermeasures finding is the masked multiplier's zero
+    # test on the unblinded inputs (the contract's residual record)
+    residual = [
+        f for f in findings
+        if os.path.relpath(f.path, root).split(os.sep)[0] == "countermeasures"
+    ]
+    assert [(f.rule, os.path.basename(f.path)) for f in residual] == [
+        ("SF001", "masked_mul.py")
+    ]
 
 
 def test_repo_contract_entries_are_fully_triaged():

@@ -129,7 +129,9 @@ def test_build_contract_infers_for_new_findings(tmp_path):
 def test_verify_flags_untriaged_and_stale_and_failing_verdicts(tmp_path):
     root = str(tmp_path / "pkg")
     covered = _entry()
-    unreached = _entry(path="fpr/emu.py", line_text="if s:", verdict="UNREACHED")
+    unreached = _entry(
+        path="fpr/emu.py", line_text="if s:", leak_class="sign", verdict="UNREACHED"
+    )
     stale = _entry(path="math/ntt.py", line_text="gone")
     new = _entry(path="falcon/keygen.py", line_text="if sk.g[0]:")
     contract = Contract(entries=[covered, unreached, stale])
