@@ -53,7 +53,7 @@ sast-variants:
 # locally whenever the tool happens to be installed.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy --strict src/repro/utils src/repro/obs src/repro/sast src/repro/leakage src/repro/farm src/repro/countermeasures; \
+		mypy --strict src/repro/utils src/repro/obs src/repro/sast src/repro/leakage src/repro/farm src/repro/countermeasures src/repro/sasca; \
 	else \
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi

@@ -17,7 +17,14 @@ of ``src/repro`` (the real tree is never touched):
   against the real contract's ``variants`` section on top of the cold
   findings (the leak-class lattice and masking taint domain already
   ran inside the analysis phases — this isolates the gate layered on
-  top of them).
+  top of them);
+* **rank** — the exploitability triage made operational: the shipped
+  contract is ranked, the top hypothesis-computable NTT/FFT entry is
+  compiled into its ``contract:<id>`` traced surface, and the full
+  capture/attack stack recovers the entry's live operand stream at
+  n=8. The stage times ranking + end-to-end recovery together, so a
+  regression in either the triage pass or the settrace capture path
+  shows up in the artifact.
 
 The emitted ``BENCH_sast.json`` records exactly which modules each
 edit re-analyzed, so the incremental claim is auditable from the
@@ -33,8 +40,12 @@ from _emit import emit_bench
 
 from repro.sast.cache import run_with_cache
 from repro.sast.contract import infer_leak_class, load_contract
+from repro.sast.exploit import rank_entries
 from repro.sast.project import load_project
 from repro.sast.variants import check_variants_static, normalize_line
+
+_RANK_TRACES = 512
+_RANK_NOISE = 2.0
 
 _LEAF_EDIT = os.path.join("analysis", "key_rank.py")
 _CORE_EDIT = os.path.join("fpr", "emu.py")
@@ -85,6 +96,39 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
         )
         timings[name] = time.perf_counter() - t0
 
+    rank_out = {}
+
+    def phase_rank(name):
+        # heavy imports stay local: every other phase is numpy-free
+        from repro.attack import AttackConfig, recover_full_key
+        from repro.falcon import FalconParams, keygen
+        from repro.leakage import CaptureCampaign, DeviceModel
+
+        contract_path = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "leakage-contract.json")
+        )
+        os.environ["REPRO_CONTRACT"] = contract_path
+        t0 = time.perf_counter()
+        ranked = rank_entries(contract)
+        entry = next(
+            e for e in ranked
+            if e.path in ("math/ntt.py", "math/fft.py")
+            and e.exploitability.hypothesis_computable
+        )
+        sk, pk = keygen(FalconParams.get(8), seed=b"bench-rank")
+        campaign = CaptureCampaign(
+            sk=sk,
+            device=DeviceModel(noise_sigma=_RANK_NOISE),
+            n_traces=_RANK_TRACES,
+            seed=5,
+            target=f"contract:{entry.exploitability.entry_id}",
+        )
+        result = recover_full_key(campaign, pk, config=AttackConfig())
+        timings[name] = time.perf_counter() - t0
+        rank_out["ranked"] = ranked
+        rank_out["entry"] = entry
+        rank_out["result"] = result
+
     def run_all():
         phase("cold")
         phase("warm_noop")
@@ -93,6 +137,7 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
         touch(_CORE_EDIT)
         phase("warm_core_edit")
         phase_variants("variant_static")
+        phase_rank("rank")
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -118,6 +163,15 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
     # the shipped variants satisfy their contract claims
     assert variant_out["variant_static"] == []
 
+    # the triage ranking is total over CONFIRMED entries and the top
+    # NTT/FFT entry's traced surface recovers its operand stream exactly
+    ranked = rank_out["ranked"]
+    entry = rank_out["entry"]
+    result = rank_out["result"]
+    assert all(e.exploitability is not None for e in ranked)
+    assert result.records and all(r.correct for r in result.records)
+    assert len(result.recovered_values) == len(result.records)
+
     emit_bench(
         "sast",
         params={
@@ -128,6 +182,17 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
             "core_reanalyzed": len(core_stats.reanalyzed),
             "core_reused": len(core_stats.reused),
             "variants": sorted(contract.variants),
+            "rank_entries": len(ranked),
+            "rank_top_score": ranked[0].exploitability.score,
+            "rank_attacked": {
+                "entry_id": entry.exploitability.entry_id,
+                "where": f"{entry.path}:{entry.function}",
+                "leak_class": entry.leak_class,
+                "score": entry.exploitability.score,
+                "n_traces": _RANK_TRACES,
+                "noise_sigma": _RANK_NOISE,
+                "targets_recovered": len(result.recovered_values),
+            },
         },
         wall_s=timings["cold"],
         per_stage_s={
@@ -136,5 +201,6 @@ def test_sast_cold_vs_warm_cache(tmp_path, benchmark):
             "warm_leaf_edit": timings["warm_leaf_edit"],
             "warm_core_edit": timings["warm_core_edit"],
             "variant_static": timings["variant_static"],
+            "rank": timings["rank"],
         },
     )

@@ -107,14 +107,19 @@ def _write_metrics_json(path: str, payload: dict) -> None:
 
 
 def cmd_attack_coefficient(args) -> int:
-    from repro.attack import AttackConfig, recover_coefficient
+    from repro.attack import AttackConfig
     from repro.leakage import TraceSet
     from repro.obs import RunJournal, collect_spans, scoped_registry, span
+    from repro.targets import DEFAULT_TARGET, get_target
 
     ts = TraceSet.load(args.traceset)
+    # the traceset records which surface captured it (legacy archives
+    # predate surfaces and are always fpr-mul); recovery must go through
+    # the same surface or the layout/hypothesis pairing is meaningless
+    surface = get_target(str(ts.meta.get("target", DEFAULT_TARGET)))
     with scoped_registry() as reg, collect_spans() as roots:
         with span("attack_coefficient", target=ts.target_index):
-            rec = recover_coefficient(ts, AttackConfig(chunk_rows=args.chunk_rows))
+            rec = surface.recover(ts, AttackConfig(chunk_rows=args.chunk_rows))
     snap = reg.snapshot()
     root = roots[0] if roots else None
     if args.log_json:
@@ -130,10 +135,16 @@ def cmd_attack_coefficient(args) -> int:
                 "metrics": snap.to_jsonable(),
             },
         )
-    print(f"recovered coefficient pattern: {rec.pattern:#018x}")
-    if ts.true_secret is not None:
-        print(f"ground truth:                  {ts.true_secret:#018x}")
-        print(f"exact: {'YES' if rec.correct else 'no'}")
+    if hasattr(rec, "pattern"):
+        print(f"recovered coefficient pattern: {rec.pattern:#018x}")
+        if ts.true_secret is not None:
+            print(f"ground truth:                  {ts.true_secret:#018x}")
+            print(f"exact: {'YES' if rec.correct else 'no'}")
+    else:
+        print(f"recovered {surface.name} value: {rec.value:#x}")
+        if ts.true_secret is not None:
+            print(f"ground truth:{' ' * (len(surface.name) + 7)}{ts.true_secret:#x}")
+            print(f"exact: {'YES' if rec.correct else 'no'}")
     return 0
 
 
@@ -385,7 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sk", type=str, required=True, help="victim secret key")
     p.add_argument(
         "--target", type=str, default=DEFAULT_TARGET,
-        help=f"leakage surface to capture (registered: {target_names})",
+        help=f"leakage surface to capture (registered: {target_names}; "
+        "'contract:<id>' traces any ranked leakage-contract entry, see "
+        "repro-sast rank)",
     )
     p.add_argument(
         "--index", type=int, default=0,
@@ -445,8 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--target", type=str, default=DEFAULT_TARGET,
         help="leakage surface to attack: 'fpr-mul' is the paper's key "
-        "extraction, 'samplerz' recovers the ffSampling sampler transcript "
-        f"(registered: {target_names})",
+        "extraction, 'samplerz' recovers the ffSampling sampler transcript, "
+        "'contract:<id>' recovers the live operands of any ranked "
+        f"leakage-contract entry (registered: {target_names})",
     )
     p.add_argument(
         "--message", type=str,
@@ -517,7 +531,8 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--traces", type=int, default=10_000)
     fp.add_argument("--capture-seed", type=int, default=2021)
     fp.add_argument("--target", type=str, default=DEFAULT_TARGET,
-                    help=f"leakage surface (registered: {target_names})")
+                    help=f"leakage surface (registered: {target_names}; "
+                    "or 'contract:<id>' for a traced contract entry)")
     fp.add_argument("--backend", type=str, default="numpy-batch",
                     help=f"capture engine (registered: {backend_names})")
     fp.add_argument("--distinguisher", type=str, default="cpa",

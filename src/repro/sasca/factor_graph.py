@@ -20,24 +20,33 @@ where scale_w permutes a pmf by t = w*b mod q.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["FactorGraph", "hw_prior"]
 
 from repro.utils.bits import hamming_weight
 
+FloatArray = NDArray[np.float64]
+IntGrid = NDArray[np.int64]
 
-def hw_prior(sample: float, q: int, noise_sigma: float, gain: float = 1.0, offset: float = 0.0) -> np.ndarray:
+
+def hw_prior(
+    sample: float, q: int, noise_sigma: float, gain: float = 1.0, offset: float = 0.0
+) -> FloatArray:
     """P(value | one leakage sample) for a Z_q variable under HW leakage."""
     values_hw = np.array([hamming_weight(v) for v in range(q)], dtype=np.float64)
-    ll = -((sample - (gain * values_hw + offset)) ** 2) / (2.0 * noise_sigma * noise_sigma)
+    ll: FloatArray = -((sample - (gain * values_hw + offset)) ** 2) / (
+        2.0 * noise_sigma * noise_sigma
+    )
     ll -= ll.max()
-    p = np.exp(ll)
-    return p / p.sum()
+    p: FloatArray = np.exp(ll)
+    return (p / p.sum()).astype(np.float64)
 
 
-def _scale_pmf(pmf: np.ndarray, w: int, q: int) -> np.ndarray:
+def _scale_pmf(pmf: FloatArray, w: int, q: int) -> FloatArray:
     """pmf of t = w*b given pmf of b (a permutation for gcd(w, q) = 1)."""
     idx = (np.arange(q) * w) % q
     out = np.zeros(q)
@@ -45,23 +54,23 @@ def _scale_pmf(pmf: np.ndarray, w: int, q: int) -> np.ndarray:
     return out
 
 
-def _unscale_pmf(pmf_t: np.ndarray, w: int, q: int) -> np.ndarray:
+def _unscale_pmf(pmf_t: FloatArray, w: int, q: int) -> FloatArray:
     """pmf of b given pmf of t = w*b."""
     idx = (np.arange(q) * w) % q
-    return pmf_t[idx]
+    return pmf_t[idx].astype(np.float64)
 
 
-def _cyclic_conv(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _cyclic_conv(a: FloatArray, b: FloatArray) -> FloatArray:
     fa = np.fft.rfft(a)
     fb = np.fft.rfft(b)
-    return np.maximum(np.fft.irfft(fa * fb, n=len(a)), 0.0)
+    return np.maximum(np.fft.irfft(fa * fb, n=len(a)), 0.0).astype(np.float64)
 
 
-def _cyclic_corr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _cyclic_corr(a: FloatArray, b: FloatArray) -> FloatArray:
     """out[d] = sum_t a[d + t] b[t]  (distribution of a - b mod q)."""
     fa = np.fft.rfft(a)
     fb = np.fft.rfft(b)
-    return np.maximum(np.fft.irfft(fa * np.conj(fb), n=len(a)), 0.0)
+    return np.maximum(np.fft.irfft(fa * np.conj(fb), n=len(a)), 0.0).astype(np.float64)
 
 
 @dataclass
@@ -94,11 +103,11 @@ class FactorGraph:
 
     q: int
     n_variables: int
-    priors: np.ndarray = field(init=False)      # (V, q)
+    priors: FloatArray = field(init=False)      # (V, q)
     factors: list[_Factor] = field(default_factory=list)
     butterflies: list[_Butterfly] = field(default_factory=list)
-    _grid_sum: np.ndarray = field(default=None, init=False, repr=False)
-    _grid_diff: np.ndarray = field(default=None, init=False, repr=False)
+    _grid_sum: IntGrid | None = field(default=None, init=False, repr=False)
+    _grid_diff: IntGrid | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.q < 2:
@@ -107,11 +116,11 @@ class FactorGraph:
 
     # -- construction ------------------------------------------------------
 
-    def set_prior(self, var: int, pmf: np.ndarray) -> None:
+    def set_prior(self, var: int, pmf: NDArray[Any]) -> None:
         pmf = np.asarray(pmf, dtype=np.float64)
         if pmf.shape != (self.q,):
             raise ValueError(f"prior must have length {self.q}")
-        total = pmf.sum()
+        total = float(pmf.sum())
         if total <= 0:
             raise ValueError("prior must have positive mass")
         self.priors[var] = pmf / total
@@ -130,17 +139,17 @@ class FactorGraph:
                 raise ValueError(f"variable index {var} out of range")
         self.butterflies.append(_Butterfly(u=u, v=v, up=up, vp=vp, w=w % self.q))
 
-    def _grids(self) -> tuple[np.ndarray, np.ndarray]:
+    def _grids(self) -> tuple[IntGrid, IntGrid]:
         """(i+j) % q and (i-j) % q index matrices (cached)."""
-        if self._grid_sum is None:
+        if self._grid_sum is None or self._grid_diff is None:
             idx = np.arange(self.q)
-            self._grid_sum = (idx[:, None] + idx[None, :]) % self.q
-            self._grid_diff = (idx[:, None] - idx[None, :]) % self.q
+            self._grid_sum = ((idx[:, None] + idx[None, :]) % self.q).astype(np.int64)
+            self._grid_diff = ((idx[:, None] - idx[None, :]) % self.q).astype(np.int64)
         return self._grid_sum, self._grid_diff
 
     # -- inference ----------------------------------------------------------
 
-    def _roles(self):
+    def _roles(self) -> Iterator[tuple[str, int, str, int]]:
         for fi, f in enumerate(self.factors):
             for role in ("a", "b", "c"):
                 yield ("f", fi, role, getattr(f, role))
@@ -148,29 +157,36 @@ class FactorGraph:
             for role in ("u", "v", "up", "vp"):
                 yield ("b", bi, role, getattr(bf, role))
 
-    def run(self, iterations: int = 12, damping: float = 0.3) -> np.ndarray:
+    def run(self, iterations: int = 12, damping: float = 0.3) -> FloatArray:
         """Loopy sum-product; returns (V, q) marginals."""
         q = self.q
         eps = 1e-30
         uniform = np.full(q, 1.0 / q)
-        msgs = {(kind, i, role): uniform.copy() for kind, i, role, _ in self._roles()}
+        msgs: dict[tuple[str, int, str], FloatArray] = {
+            (kind, i, role): uniform.copy() for kind, i, role, _ in self._roles()
+        }
         grid_sum, grid_diff = self._grids()
 
-        def beliefs_from(msg_dict):
+        def beliefs_from(
+            msg_dict: dict[tuple[str, int, str], FloatArray]
+        ) -> FloatArray:
             beliefs = self.priors.copy()
             for (kind, i, role), msg in msg_dict.items():
-                f = self.factors[i] if kind == "f" else self.butterflies[i]
+                f: _Factor | _Butterfly = (
+                    self.factors[i] if kind == "f" else self.butterflies[i]
+                )
                 beliefs[getattr(f, role)] *= msg + eps
             beliefs /= beliefs.sum(axis=1, keepdims=True)
             return beliefs
 
-        def normalized(m):
-            s = m.sum()
-            return m / s if s > 0 else uniform.copy()
+        def normalized(m: NDArray[Any]) -> FloatArray:
+            arr = np.asarray(m, dtype=np.float64)
+            s = float(arr.sum())
+            return arr / s if s > 0 else uniform.copy()
 
         for _ in range(iterations):
             beliefs = beliefs_from(msgs)
-            new_msgs = {}
+            new_msgs: dict[tuple[str, int, str], FloatArray] = {}
 
             for fi, f in enumerate(self.factors):
                 mu = {
@@ -200,7 +216,7 @@ class FactorGraph:
                 core = up_grid * vp_grid
                 m_u = (core * b_t[None, :]).sum(axis=1)
                 m_t = (core * mu["u"][:, None]).sum(axis=0)
-                m_v = _unscale_pmf(m_t, bf.w, q)
+                m_v = _unscale_pmf(np.asarray(m_t, dtype=np.float64), bf.w, q)
                 w_ub = mu["u"][:, None] * b_t[None, :]
                 m_up = np.bincount(
                     grid_sum.ravel(), weights=(w_ub * vp_grid).ravel(), minlength=q
@@ -216,6 +232,6 @@ class FactorGraph:
 
         return beliefs_from(msgs)
 
-    def map_estimate(self, marginals: np.ndarray) -> np.ndarray:
+    def map_estimate(self, marginals: NDArray[Any]) -> NDArray[np.int64]:
         """Per-variable argmax."""
-        return marginals.argmax(axis=1)
+        return marginals.argmax(axis=1).astype(np.int64)

@@ -22,14 +22,19 @@ is what separates NTT from FALCON's FFT, not the particular q.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.math.ntt import psi_table
 from repro.sasca.factor_graph import FactorGraph, hw_prior
 from repro.utils.bits import hamming_weight
 
 __all__ = ["NttSasca", "single_trace_attack", "SingleTraceResult"]
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
 
 
 @dataclass
@@ -42,6 +47,9 @@ class NttSasca:
     _factors: list[tuple[int, int, int, int]] = field(init=False, repr=False)
     _f_vars: list[int] = field(init=False, repr=False)
     _leak_vars: list[int] = field(init=False, repr=False)
+    _zero: int = field(init=False, repr=False)
+    _butterflies: list[tuple[int, int, int, int, int]] = field(init=False, repr=False)
+    _output_vars: list[int] = field(init=False, repr=False)
     n_variables: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -87,7 +95,7 @@ class NttSasca:
                 pos[i], pos[j] = pos[j], pos[i]
         # butterfly stages (omega = psi^2); each butterfly becomes one
         # merged four-variable factor (avoids loopy short cycles)
-        self._butterflies: list[tuple[int, int, int, int, int]] = []
+        self._butterflies = []
         omega = self._psi[2 % n]
         length = 2
         while length <= n:
@@ -110,7 +118,7 @@ class NttSasca:
 
     # -- simulation ------------------------------------------------------------
 
-    def execute(self, f: list[int]) -> np.ndarray:
+    def execute(self, f: list[int]) -> IntArray:
         """Values of every variable for input f (ground truth)."""
         n, q = self.n, self.q
         if len(f) != n:
@@ -134,19 +142,22 @@ class NttSasca:
     def leak(
         self, f: list[int], noise_sigma: float, rng: np.random.Generator,
         gain: float = 1.0, offset: float = 0.0,
-    ) -> np.ndarray:
+    ) -> FloatArray:
         """One trace: a noisy HW sample per leaking intermediate."""
         values = self.execute(f)
-        hw = np.array([hamming_weight(int(values[v])) for v in self._leak_vars], dtype=float)
-        return gain * hw + offset + rng.normal(0.0, noise_sigma, len(hw))
+        hw = np.array(
+            [hamming_weight(int(values[v])) for v in self._leak_vars], dtype=np.float64
+        )
+        noise = rng.normal(0.0, noise_sigma, len(hw))
+        return (gain * hw + offset + noise).astype(np.float64)
 
     # -- attack -----------------------------------------------------------------
 
     def attack(
-        self, trace: np.ndarray, noise_sigma: float,
+        self, trace: NDArray[Any], noise_sigma: float,
         gain: float = 1.0, offset: float = 0.0,
         iterations: int = 12,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[IntArray, FloatArray]:
         """BP on one or more traces; returns (recovered f mod q, marginals).
 
         ``trace`` may be a single (L,) trace or a (T, L) stack from
@@ -154,10 +165,10 @@ class NttSasca:
         likelihoods of independent traces multiply, extending the
         attack's noise tolerance gracefully.
         """
-        trace = np.atleast_2d(np.asarray(trace, dtype=np.float64))
-        if trace.shape[1] != len(self._leak_vars):
+        stack = np.atleast_2d(np.asarray(trace, dtype=np.float64))
+        if stack.shape[1] != len(self._leak_vars):
             raise ValueError(
-                f"expected {len(self._leak_vars)} samples per trace, got {trace.shape[1]}"
+                f"expected {len(self._leak_vars)} samples per trace, got {stack.shape[1]}"
             )
         graph = FactorGraph(q=self.q, n_variables=self.n_variables)
         delta = np.zeros(self.q)
@@ -165,8 +176,8 @@ class NttSasca:
         graph.set_prior(self._zero, delta)
         for col, var in enumerate(self._leak_vars):
             log_p = np.zeros(self.q)
-            for t in range(trace.shape[0]):
-                p = hw_prior(float(trace[t, col]), self.q, noise_sigma, gain, offset)
+            for t in range(stack.shape[0]):
+                p = hw_prior(float(stack[t, col]), self.q, noise_sigma, gain, offset)
                 log_p += np.log(p + 1e-300)
             log_p -= log_p.max()
             graph.set_prior(var, np.exp(log_p))
@@ -176,22 +187,23 @@ class NttSasca:
             graph.add_butterfly_factor(u, v, up, vp, w)
         marginals = graph.run(iterations=iterations)
         est = graph.map_estimate(marginals)
-        return est[self._f_vars], marginals
+        return est[np.asarray(self._f_vars)], marginals
 
     def leak_many(
         self, f: list[int], n_traces: int, noise_sigma: float,
         rng: np.random.Generator, gain: float = 1.0, offset: float = 0.0,
-    ) -> np.ndarray:
+    ) -> FloatArray:
         """(T, L) stack of independent noisy executions of the same f."""
-        return np.vstack([
+        stack: FloatArray = np.vstack([
             self.leak(f, noise_sigma, rng, gain, offset) for _ in range(n_traces)
         ])
+        return stack
 
 
 @dataclass
 class SingleTraceResult:
-    recovered: np.ndarray
-    truth: np.ndarray
+    recovered: IntArray
+    truth: IntArray
     noise_sigma: float
 
     @property
@@ -212,5 +224,5 @@ def single_trace_attack(
     rng = np.random.default_rng(seed)
     trace = model.leak(f, noise_sigma, rng)
     recovered, _ = model.attack(trace, noise_sigma, iterations=iterations)
-    truth = np.array([v % q for v in f])
+    truth = np.array([v % q for v in f], dtype=np.int64)
     return SingleTraceResult(recovered=recovered, truth=truth, noise_sigma=noise_sigma)

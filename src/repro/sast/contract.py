@@ -29,10 +29,14 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sast.project import Project
 
 from repro.sast.baseline import assign_occurrences, fingerprint
+from repro.sast.exploit import Exploitability, score_contract
 from repro.sast.findings import Finding
 from repro.sast.oracle import CONFIRMED, LIVE, REFUTED, UNREACHED, OracleReport
 from repro.sast.variants import (
@@ -46,6 +50,7 @@ from repro.sast.variants import (
 __all__ = [
     "LEAK_CLASSES",
     "DEFAULT_COVERAGE",
+    "HEURISTIC_FALLBACK_RULES",
     "Contract",
     "ContractEntry",
     "build_contract",
@@ -55,7 +60,11 @@ __all__ = [
     "verify_contract",
 ]
 
-_FORMAT_VERSION = 1
+#: schema v2 adds per-entry ``exploitability`` blocks (score, guess
+#: space, hypothesis computability, oracle operand statistics); v1
+#: files still load — their entries simply carry no block yet
+_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
 
 #: the paper's leak taxonomy plus the bucket for supporting arithmetic
 LEAK_CLASSES = ("sign", "exponent", "mantissa-mul", "mantissa-add", "ancillary")
@@ -87,6 +96,10 @@ class ContractEntry:
     #: checked against the taint component lattice on every verify
     #: (CT006); "heuristic" entries came from the keyword fallback.
     leak_class_source: str = "heuristic"
+    #: schema v2 triage block (None for v1 files and refuted entries);
+    #: deliberately NOT part of the fingerprint, so score drift never
+    #: reads as a stale entry
+    exploitability: Exploitability | None = None
 
     @property
     def fingerprint(self) -> Fingerprint:
@@ -123,6 +136,11 @@ class Contract:
 def _parse_entry(raw: Any, path: str, section: str) -> ContractEntry:
     if not isinstance(raw, dict):
         raise ValueError(f"contract {path!r}: non-object entry in {section!r}")
+    block = raw.get("exploitability")
+    if block is not None and not isinstance(block, dict):
+        raise ValueError(
+            f"contract {path!r}: 'exploitability' must be an object in {section!r}"
+        )
     entry = ContractEntry(
         rule=str(raw.get("rule", "")),
         path=str(raw.get("path", "")),
@@ -133,6 +151,9 @@ def _parse_entry(raw: Any, path: str, section: str) -> ContractEntry:
         reason=str(raw.get("reason", "")),
         verdict=str(raw.get("verdict", "")),
         leak_class_source=str(raw.get("leak_class_source", "heuristic")),
+        exploitability=(
+            Exploitability.from_jsonable(block) if block is not None else None
+        ),
     )
     if not entry.rule or not entry.path:
         raise ValueError(f"contract {path!r}: entry missing rule/path in {section!r}")
@@ -161,7 +182,7 @@ def load_contract(path: str) -> Contract:
     """Read and validate a contract file (ValueError when malformed)."""
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
-    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+    if not isinstance(data, dict) or data.get("version") not in _ACCEPTED_VERSIONS:
         raise ValueError(f"unsupported contract format in {path!r}")
     if not isinstance(data.get("entries"), list):
         raise ValueError(f"contract {path!r} has no 'entries' list")
@@ -194,6 +215,8 @@ def render_contract(contract: Contract) -> str:
         }
         if entry.occurrence:
             out["occurrence"] = entry.occurrence
+        if entry.exploitability is not None:
+            out["exploitability"] = entry.exploitability.to_jsonable()
         return out
 
     def order(entry: ContractEntry) -> tuple[str, str, str, str, int]:
@@ -218,9 +241,20 @@ def render_contract(contract: Contract) -> str:
 _SIGN_TOKENS = ("sx", "sy", "s_b", "s_s", "sign", "coeff < 0")
 _EXP_TOKENS = ("be", "exp", "drop", "shift", "e >= 0", "e & 1", "e // 2", "extra")
 
+#: rules the keyword fallback still serves. The component lattice fully
+#: covers the other SF rules — SF002/SF005 findings carry lattice- or
+#: masking-derived evidence by construction, SF004/SF006 fire on
+#: annotated/pragma'd lines whose class the annotation review settles —
+#: so the keyword heuristic is retired for them: a new finding there
+#: defaults straight to ``ancillary`` until the lattice or review
+#: refines it, instead of guessing from line tokens.
+HEURISTIC_FALLBACK_RULES = frozenset({"SF001", "SF003"})
+
 
 def infer_leak_class(rule: str, rel_path: str, function: str, line_text: str) -> str:
     """Default paper leak class for a finding (review can override)."""
+    if rule not in HEURISTIC_FALLBACK_RULES:
+        return "ancillary"
     short = function.rsplit(".", 1)[-1]
     if rel_path.startswith("fpr/"):
         tokens = f"{line_text} {short}"
@@ -270,6 +304,7 @@ def build_contract(
     report: OracleReport | None = None,
     previous: Contract | None = None,
     coverage_prefixes: tuple[str, ...] = DEFAULT_COVERAGE,
+    project: "Project | None" = None,
 ) -> Contract:
     """Triaged contract for the current findings.
 
@@ -278,6 +313,12 @@ def build_contract(
     reviewed). With an oracle ``report``, REFUTED findings move to the
     ``refuted`` section; UNREACHED ones stay in ``entries`` with their
     failing verdict so ``verify`` flags them until triaged.
+
+    With a ``project``, every SF entry additionally gets a schema-v2
+    ``exploitability`` block from :func:`repro.sast.exploit.score_contract`
+    — oracle operand statistics come from ``report`` when present, else
+    from the entry carried over from ``previous``, so a static-only
+    rebuild re-scores without losing the recorded dynamics.
     """
     prev_entries: dict[Fingerprint, ContractEntry] = {}
     if previous is not None:
@@ -325,11 +366,22 @@ def build_contract(
             reason=prev.reason if prev else _default_reason(rel),
             verdict=verdict,
             leak_class_source=leak_source,
+            exploitability=prev.exploitability if prev else None,
         )
         if verdict == REFUTED:
             contract.refuted.append(entry)
         else:
             contract.entries.append(entry)
+    if project is not None:
+        blocks = score_contract(contract.entries, findings, project, report)
+        contract.entries = [
+            replace(e, exploitability=blocks.get(e.fingerprint, e.exploitability))
+            for e in contract.entries
+        ]
+        # refuted chains are not attack targets: no triage block
+        contract.refuted = [
+            replace(e, exploitability=None) for e in contract.refuted
+        ]
     return contract
 
 

@@ -12,7 +12,12 @@ import os
 
 from tests.sast_util import write_package
 
-from repro.sast.cache import analyzer_digest, file_digests, run_with_cache
+from repro.sast.cache import (
+    analyzer_digest,
+    contract_digest,
+    file_digests,
+    run_with_cache,
+)
 from repro.sast.cli import collect_findings, main
 from repro.sast.findings import EXIT_FINDINGS
 from repro.sast.project import load_project
@@ -105,6 +110,33 @@ def test_analyzer_change_invalidates(tmp_path):
     cache.write_text(json.dumps(doc))
     _, stats = run_with_cache(project, str(cache))
     assert not stats.fast_path and stats.reanalyzed == ["pkg.a"]
+
+
+def test_contract_digest_tracks_file(tmp_path):
+    path = tmp_path / "contract.json"
+    assert contract_digest(str(path)) == ""          # missing file
+    assert contract_digest(None) == ""
+    path.write_text("{\"entries\": []}")
+    first = contract_digest(str(path))
+    assert len(first) == 64
+    path.write_text("{\"entries\": [1]}")
+    assert contract_digest(str(path)) != first
+
+
+def test_contract_change_invalidates_cache(tmp_path):
+    """The cache is keyed on the contract digest as well as the source:
+    regenerating the contract must re-run the analysis even when no
+    module changed (the severity annotations depend on it)."""
+    project = _project(tmp_path, {"a.py": _LEAKY_A})
+    cache = str(tmp_path / "cache.json")
+    _, cold = run_with_cache(project, cache, contract_digest="a" * 64)
+    assert not cold.fast_path
+    _, hot = run_with_cache(project, cache, contract_digest="a" * 64)
+    assert hot.fast_path
+    _, stale = run_with_cache(project, cache, contract_digest="b" * 64)
+    assert not stale.fast_path and stale.reanalyzed == ["pkg.a"]
+    _, rewarmed = run_with_cache(project, cache, contract_digest="b" * 64)
+    assert rewarmed.fast_path
 
 
 def test_file_digests_track_content(tmp_path):

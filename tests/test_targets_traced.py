@@ -1,0 +1,138 @@
+"""The generic ``contract:<id>`` traced surface end to end.
+
+The surface compiles a ranked contract entry into an attackable target:
+its line is re-anchored in the installed package, the oracle workload
+runs once under ``sys.settrace`` to collect the line's hits, and each
+hit's live operands become device step values. These tests pin the
+registry dispatch, the trace layout, and a full
+``recover_full_key`` run against the shipped contract's NTT butterfly
+entry at n=8 — the previously-ancillary entry the exploitability triage
+promotes to a first-class attack target.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.falcon import FalconParams, keygen
+from repro.leakage import CaptureCampaign, DeviceModel
+from repro.sast.contract import load_contract
+from repro.targets import get_target
+from repro.targets.traced import MAX_TARGETS, VALUE_BITS, resolve_traced_target
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_CONTRACT = os.path.join(_REPO_ROOT, "leakage-contract.json")
+
+
+def _butterfly_entry():
+    contract = load_contract(_CONTRACT)
+    for entry in contract.entries:
+        if entry.path == "math/ntt.py" and "u - v" in entry.line_text:
+            return entry
+    raise AssertionError("shipped contract lost its NTT butterfly entry")
+
+
+@pytest.fixture(scope="module")
+def entry():
+    return _butterfly_entry()
+
+
+@pytest.fixture(scope="module")
+def victim():
+    sk, pk = keygen(FalconParams.get(8), seed=b"pin-traced")
+    return sk, pk
+
+
+@pytest.fixture(autouse=True)
+def _contract_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACT", _CONTRACT)
+
+
+def _campaign(sk, entry, n_traces=512, seed=7):
+    return CaptureCampaign(
+        sk=sk,
+        device=DeviceModel(noise_sigma=2.0),
+        n_traces=n_traces,
+        seed=seed,
+        target=f"contract:{entry.exploitability.entry_id}",
+    )
+
+
+class TestResolution:
+    def test_registry_dispatch(self, entry):
+        surface = get_target(f"contract:{entry.exploitability.entry_id}")
+        assert surface.name == f"contract:{entry.exploitability.entry_id}"
+        assert surface.rel_path == "math/ntt.py"
+        assert surface.has_forgery is False
+        # the watched operands are the line's identifiers, sorted
+        assert surface.value_names == ("a", "half", "k", "q", "u", "v")
+
+    def test_unknown_id_lists_remedy(self):
+        with pytest.raises(ValueError, match="repro-sast rank"):
+            get_target("contract:000000000000")
+
+    def test_missing_contract_names_the_env_var(self, tmp_path):
+        with pytest.raises(ValueError, match="REPRO_CONTRACT"):
+            resolve_traced_target(
+                "contract:dead00000000", os.path.join(str(tmp_path), "nope.json")
+            )
+
+
+class TestCaptureLayout:
+    def test_campaign_shape_and_meta(self, victim, entry):
+        sk, _ = victim
+        campaign = _campaign(sk, entry)
+        surface = get_target(campaign.target)
+        # the butterfly line is hot: the surface caps the exposed hits
+        assert campaign.n_targets == MAX_TARGETS
+        layout = surface.layout(campaign.device)
+        # per operand: one full-word step + VALUE_BITS bit steps
+        assert len(layout.labels) == len(surface.value_names) * (1 + VALUE_BITS)
+        assert "u" in layout.labels and "u_b00" in layout.labels
+        ts = campaign.capture(0)
+        assert ts.meta["target"] == campaign.target
+        assert ts.meta["entry_id"] == entry.exploitability.entry_id
+        assert ts.meta["site"].startswith("math/ntt.py:")
+        seg, = ts.segments
+        assert seg.traces.shape == (512, layout.n_samples)
+
+    def test_primary_operand_is_the_intermediate(self, victim, entry):
+        sk, _ = victim
+        ts = _campaign(sk, entry).capture(0)
+        # u (the butterfly's live value) varies most across hits; loop
+        # geometry (k, half) and the modulus constant q must not win
+        assert ts.meta["primary"] == "u"
+        assert ts.true_secret == ts.meta["true_values"]["u"]
+
+
+class TestEndToEnd:
+    def test_recover_full_key_over_contract_surface(self, victim, entry):
+        from repro.attack import AttackConfig, recover_full_key
+
+        sk, pk = victim
+        campaign = _campaign(sk, entry)
+        result = recover_full_key(campaign, pk, config=AttackConfig())
+        assert result.recovered_sk is None
+        assert len(result.recovered_values) == MAX_TARGETS
+        assert result.records and all(r.correct for r in result.records)
+        # the recovered stream is the ground-truth operand stream
+        truth = [
+            campaign.capture(i).meta["true_values"]["u"]
+            for i in range(MAX_TARGETS)
+        ]
+        assert result.recovered_values == truth
+
+    def test_recovery_deterministic_with_positive_margin(self, victim, entry):
+        from repro.attack import AttackConfig
+
+        sk, _ = victim
+        campaign = _campaign(sk, entry)
+        surface = get_target(campaign.target)
+        rec_a = surface.recover(campaign.capture(3), AttackConfig())
+        rec_b = surface.recover(campaign.capture(3), AttackConfig())
+        assert rec_a == rec_b
+        assert rec_a.correct
+        assert rec_a.margin > 0.0
+        assert set(rec_a.values) == set(surface.value_names)
